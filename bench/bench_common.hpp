@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses (one binary per
+ * figure/table of the reproduction plan in DESIGN.md §4).
+ *
+ * Every harness prints (a) the paper-style aligned table and (b) the
+ * same data as CSV, so EXPERIMENTS.md can quote either.
+ */
+
+#ifndef CACHECRAFT_BENCH_BENCH_COMMON_HPP
+#define CACHECRAFT_BENCH_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cachecraft.hpp"
+
+namespace cachecraft::bench {
+
+/** Workload sizing used across the experiments: large enough that
+ *  the 4 MiB L2 misses substantially, small enough that the full
+ *  suite runs in minutes. */
+inline WorkloadParams
+defaultWorkloadParams()
+{
+    WorkloadParams p;
+    p.footprintBytes = 4 * 1024 * 1024;
+    p.numWarps = 256;
+    p.memInstsPerWarp = 48;
+    p.seed = 7;
+    return p;
+}
+
+/** Baseline system configuration for a given scheme. */
+inline SystemConfig
+configFor(SchemeKind scheme)
+{
+    SystemConfig cfg;
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+/** Run one (config, workload) point on a fresh system. */
+inline RunStats
+runPoint(const SystemConfig &cfg, WorkloadKind kind,
+         const WorkloadParams &params)
+{
+    GpuSystem gpu(cfg);
+    return gpu.run(makeWorkload(kind, params));
+}
+
+/** Print a table in both text and CSV form. */
+inline void
+emit(const ResultTable &table)
+{
+    std::printf("%s\n", table.renderText().c_str());
+    std::printf("--- CSV ---\n%s\n", table.renderCsv().c_str());
+}
+
+/** The four schemes in report order. */
+inline std::vector<SchemeKind>
+allSchemes()
+{
+    return {SchemeKind::kNone, SchemeKind::kInlineNaive,
+            SchemeKind::kEccCache, SchemeKind::kCacheCraft};
+}
+
+} // namespace cachecraft::bench
+
+#endif // CACHECRAFT_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Experiment E11 — codec micro-costs (google-benchmark): encode and
+ * decode throughput of each sector codec, including the fast clean
+ * path and the correction slow path. These justify the "decode at
+ * fill" design: the clean path must be cheap relative to a DRAM
+ * access.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "ecc/codec.hpp"
+
+using namespace cachecraft;
+using namespace cachecraft::ecc;
+
+namespace {
+
+SectorData
+randomSector(std::uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    SectorData data;
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    return data;
+}
+
+void
+BM_Encode(benchmark::State &state, CodecKind kind)
+{
+    const auto codec = makeCodec(kind);
+    const SectorData data = randomSector(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec->encode(data, 0x5A));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kSectorBytes);
+}
+
+void
+BM_DecodeClean(benchmark::State &state, CodecKind kind)
+{
+    const auto codec = makeCodec(kind);
+    const SectorData data = randomSector(2);
+    const SectorCheck check = codec->encode(data, 0x5A);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec->decode(data, check, 0x5A));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kSectorBytes);
+}
+
+void
+BM_DecodeCorrect(benchmark::State &state, CodecKind kind)
+{
+    const auto codec = makeCodec(kind);
+    const SectorData data = randomSector(3);
+    const SectorCheck check = codec->encode(data, 0x5A);
+    SectorData corrupt = data;
+    corrupt[7] ^= 0x10; // one bit: always correctable
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec->decode(corrupt, check, 0x5A));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kSectorBytes);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_Encode, secded, CodecKind::kSecDed);
+BENCHMARK_CAPTURE(BM_Encode, chipkill, CodecKind::kChipkill);
+BENCHMARK_CAPTURE(BM_Encode, aftecc, CodecKind::kAftEcc);
+BENCHMARK_CAPTURE(BM_DecodeClean, secded, CodecKind::kSecDed);
+BENCHMARK_CAPTURE(BM_DecodeClean, chipkill, CodecKind::kChipkill);
+BENCHMARK_CAPTURE(BM_DecodeClean, aftecc, CodecKind::kAftEcc);
+BENCHMARK_CAPTURE(BM_DecodeCorrect, secded, CodecKind::kSecDed);
+BENCHMARK_CAPTURE(BM_DecodeCorrect, chipkill, CodecKind::kChipkill);
+BENCHMARK_CAPTURE(BM_DecodeCorrect, aftecc, CodecKind::kAftEcc);
+
+BENCHMARK_MAIN();

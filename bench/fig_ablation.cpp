@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Experiment E6 — mechanism ablation: every combination of
+ * R1 (chunk-granularity reconstruction), R2 (write-back MRC), and
+ * R3 (co-located layout), plus the two R2 refinements
+ * (fetch-on-write-miss, eager writeout), reported as GMEAN normalized
+ * performance and metadata traffic over the full suite.
+ *
+ * Expected shape: each mechanism adds on top of the others; R1
+ * matters most for read-amortization, R2+fetch-on-write-miss for the
+ * write path, R3 for read-path row locality.
+ */
+
+#include "bench_common.hpp"
+
+using namespace cachecraft;
+using namespace cachecraft::bench;
+
+namespace {
+
+struct Variant
+{
+    const char *label;
+    bool r1;
+    bool r2;
+    bool r3;
+    bool fetch_on_write;
+    bool eager;
+};
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadParams params = defaultWorkloadParams();
+    const std::vector<Variant> variants = {
+        {"none (MRC only)", false, false, false, false, false},
+        {"R1", true, false, false, false, false},
+        {"R2", false, true, false, true, false},
+        {"R3", false, false, true, false, false},
+        {"R1+R2", true, true, false, true, false},
+        {"R1+R3", true, false, true, false, false},
+        {"R2+R3", false, true, true, true, false},
+        {"R1+R2+R3 (full)", true, true, true, true, false},
+        {"full, no fetch-on-wr", true, true, true, false, false},
+        {"full + eager writeout", true, true, true, true, true},
+    };
+
+    ResultTable table(
+        "E6: Ablation of CacheCraft mechanisms (GMEAN over suite)");
+    table.setHeader({"variant", "gmean-norm-perf", "ecc-txns/kinst"});
+
+    // Cache the No-ECC baselines per workload.
+    std::map<WorkloadKind, double> baseline;
+    for (WorkloadKind kind : allWorkloads())
+        baseline[kind] = static_cast<double>(
+            runPoint(configFor(SchemeKind::kNone), kind, params).cycles);
+
+    for (const Variant &v : variants) {
+        std::vector<double> normalized;
+        double ecc_txns = 0.0;
+        double kinsts = 0.0;
+        for (WorkloadKind kind : allWorkloads()) {
+            SystemConfig cfg = configFor(SchemeKind::kCacheCraft);
+            cfg.mrc.chunkGranularity = v.r1;
+            cfg.mrc.writebackMrc = v.r2;
+            cfg.coLocatedLayout = v.r3;
+            cfg.mrc.fetchOnWriteMiss = v.fetch_on_write;
+            cfg.mrc.eagerWriteout = v.eager;
+            const RunStats rs = runPoint(cfg, kind, params);
+            normalized.push_back(baseline[kind] /
+                                 static_cast<double>(rs.cycles));
+            ecc_txns += static_cast<double>(rs.dramEccReads +
+                                            rs.dramEccWrites);
+            kinsts += static_cast<double>(rs.instructions) / 1000.0;
+        }
+        table.addRow({v.label, ResultTable::num(geomean(normalized)),
+                      ResultTable::num(ecc_txns / kinsts, 1)});
+        std::fflush(stdout);
+    }
+
+    emit(table);
+    return 0;
+}

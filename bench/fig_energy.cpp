@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Experiment E12 — memory-system energy: DRAM + on-chip energy per
+ * scheme, normalized to No-ECC, plus a component breakdown for the
+ * full CacheCraft configuration.
+ *
+ * Expected shape: inline-naive's extra transactions cost ~30-60 %
+ * more DRAM energy; CacheCraft's metadata reduction recovers most of
+ * it, at the price of a (tiny) MRC and codec energy adder.
+ */
+
+#include "bench_common.hpp"
+#include "stats/energy.hpp"
+
+using namespace cachecraft;
+using namespace cachecraft::bench;
+
+int
+main()
+{
+    const WorkloadParams params = defaultWorkloadParams();
+
+    ResultTable table("E12: DRAM energy normalized to No-ECC");
+    table.setHeader({"workload", "no-ecc", "inline-naive", "ecc-cache",
+                     "cachecraft"});
+
+    std::map<SchemeKind, std::vector<double>> normalized;
+    for (WorkloadKind kind : allWorkloads()) {
+        std::vector<std::string> row{toString(kind)};
+        double baseline = 0.0;
+        for (SchemeKind scheme : allSchemes()) {
+            const RunStats rs = runPoint(configFor(scheme), kind, params);
+            const double dram_nj = computeEnergy(rs.all).dramNj();
+            if (scheme == SchemeKind::kNone)
+                baseline = dram_nj;
+            const double norm = dram_nj / baseline;
+            normalized[scheme].push_back(norm);
+            row.push_back(ResultTable::num(norm));
+        }
+        table.addRow(row);
+        std::fflush(stdout);
+    }
+    std::vector<std::string> gmean_row{"GMEAN"};
+    for (SchemeKind scheme : allSchemes())
+        gmean_row.push_back(
+            ResultTable::num(geomean(normalized[scheme])));
+    table.addRow(gmean_row);
+    emit(table);
+
+    ResultTable breakdown(
+        "E12b: Energy breakdown, CacheCraft on streaming (nJ)");
+    breakdown.setHeader({"component", "energy-nJ", "share%"});
+    const RunStats rs = runPoint(configFor(SchemeKind::kCacheCraft),
+                                 WorkloadKind::kStreaming, params);
+    const EnergyBreakdown e = computeEnergy(rs.all);
+    const auto add = [&](const char *name, double nj) {
+        breakdown.addRow({name, ResultTable::num(nj, 0),
+                          ResultTable::num(100.0 * nj / e.totalNj(), 1)});
+    };
+    add("dram activate", e.dramActivateNj);
+    add("dram read", e.dramReadNj);
+    add("dram write", e.dramWriteNj);
+    add("l1", e.l1Nj);
+    add("l2", e.l2Nj);
+    add("mrc", e.mrcNj);
+    add("codec", e.codecNj);
+    add("crossbar", e.xbarNj);
+    add("TOTAL", e.totalNj());
+    emit(breakdown);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Experiment E1 — the headline figure: performance (IPC normalized to
+ * the unprotected No-ECC system) of each protection scheme across the
+ * nine-kernel suite, with the geometric mean.
+ *
+ * Expected shape: None >= CacheCraft > EccCache > InlineNaive, with
+ * CacheCraft recovering most of the inline-ECC performance loss and
+ * the largest gaps on irregular (random/spmv) and write-scatter
+ * (transpose) workloads.
+ */
+
+#include "bench_common.hpp"
+
+using namespace cachecraft;
+using namespace cachecraft::bench;
+
+int
+main()
+{
+    const WorkloadParams params = defaultWorkloadParams();
+
+    ResultTable table(
+        "E1: Performance normalized to No-ECC (higher is better)");
+    table.setHeader({"workload", "no-ecc", "inline-naive", "ecc-cache",
+                     "cachecraft"});
+
+    std::map<SchemeKind, std::vector<double>> normalized;
+    for (WorkloadKind kind : allWorkloads()) {
+        std::vector<std::string> row{toString(kind)};
+        double baseline_cycles = 0.0;
+        for (SchemeKind scheme : allSchemes()) {
+            const RunStats rs = runPoint(configFor(scheme), kind, params);
+            if (scheme == SchemeKind::kNone)
+                baseline_cycles = static_cast<double>(rs.cycles);
+            const double norm =
+                baseline_cycles / static_cast<double>(rs.cycles);
+            normalized[scheme].push_back(norm);
+            row.push_back(ResultTable::num(norm));
+        }
+        table.addRow(row);
+        std::fflush(stdout);
+    }
+
+    std::vector<std::string> gmean_row{"GMEAN"};
+    for (SchemeKind scheme : allSchemes())
+        gmean_row.push_back(ResultTable::num(geomean(normalized[scheme])));
+    table.addRow(gmean_row);
+
+    emit(table);
+
+    const double naive = geomean(normalized[SchemeKind::kInlineNaive]);
+    const double craft = geomean(normalized[SchemeKind::kCacheCraft]);
+    std::printf("CacheCraft speedup over inline-naive ECC: %.2fx\n",
+                craft / naive);
+    std::printf("CacheCraft speedup over prior ECC cache:  %.2fx\n",
+                craft / geomean(normalized[SchemeKind::kEccCache]));
+    std::printf("Inline-ECC loss recovered by CacheCraft:  %.0f%%\n",
+                100.0 * (craft - naive) / (1.0 - naive));
+    return 0;
+}

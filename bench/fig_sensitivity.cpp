@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Experiment E5 — sensitivity sweeps: GMEAN normalized performance of
+ * CacheCraft vs (a) MRC capacity per slice and (b) L2 slice capacity.
+ *
+ * Expected shape: a knee at a small MRC (a few KiB per slice covers
+ * the in-flight chunk working set); the CacheCraft benefit persists
+ * across L2 sizes because metadata traffic scales with L2 *misses*,
+ * which larger L2s reduce but never eliminate for streaming
+ * footprints.
+ */
+
+#include "bench_common.hpp"
+
+using namespace cachecraft;
+using namespace cachecraft::bench;
+
+namespace {
+
+/** Workloads for the sweep (a fast, representative subset). */
+const std::vector<WorkloadKind> kSweepKernels = {
+    WorkloadKind::kStreaming, WorkloadKind::kStencil2D,
+    WorkloadKind::kTranspose, WorkloadKind::kRandomAccess,
+    WorkloadKind::kSpmv};
+
+double
+gmeanNormalized(const SystemConfig &cfg, const WorkloadParams &params)
+{
+    std::vector<double> normalized;
+    for (WorkloadKind kind : kSweepKernels) {
+        const RunStats none =
+            runPoint(configFor(SchemeKind::kNone), kind, params);
+        const RunStats rs = runPoint(cfg, kind, params);
+        normalized.push_back(static_cast<double>(none.cycles) /
+                             static_cast<double>(rs.cycles));
+    }
+    return geomean(normalized);
+}
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadParams params = defaultWorkloadParams();
+
+    ResultTable mrc_table(
+        "E5a: GMEAN normalized perf vs MRC size per slice (CacheCraft)");
+    mrc_table.setHeader({"mrc-size", "gmean-norm-perf"});
+    for (std::size_t kib : {1, 2, 4, 8, 16, 32, 64}) {
+        SystemConfig cfg = configFor(SchemeKind::kCacheCraft);
+        cfg.mrc.sizeBytes = kib * 1024;
+        mrc_table.addRow({std::to_string(kib) + " KiB",
+                          ResultTable::num(gmeanNormalized(cfg, params))});
+        std::fflush(stdout);
+    }
+    emit(mrc_table);
+
+    ResultTable l2_table(
+        "E5b: GMEAN normalized perf vs L2 size (all schemes)");
+    l2_table.setHeader({"l2-total", "inline-naive", "ecc-cache",
+                        "cachecraft"});
+    for (std::size_t mib : {1, 2, 4, 8}) {
+        std::vector<std::string> row{std::to_string(mib) + " MiB"};
+        for (SchemeKind scheme :
+             {SchemeKind::kInlineNaive, SchemeKind::kEccCache,
+              SchemeKind::kCacheCraft}) {
+            SystemConfig cfg = configFor(scheme);
+            cfg.l2.cache.sizeBytes =
+                mib * 1024 * 1024 / cfg.dram.numChannels;
+            // Normalize against a No-ECC system with the same L2.
+            std::vector<double> normalized;
+            for (WorkloadKind kind : kSweepKernels) {
+                SystemConfig none_cfg = configFor(SchemeKind::kNone);
+                none_cfg.l2.cache.sizeBytes = cfg.l2.cache.sizeBytes;
+                const RunStats none = runPoint(none_cfg, kind, params);
+                const RunStats rs = runPoint(cfg, kind, params);
+                normalized.push_back(static_cast<double>(none.cycles) /
+                                     static_cast<double>(rs.cycles));
+            }
+            row.push_back(ResultTable::num(geomean(normalized)));
+        }
+        l2_table.addRow(row);
+        std::fflush(stdout);
+    }
+    emit(l2_table);
+    return 0;
+}

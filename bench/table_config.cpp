@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Experiment E10 — the simulated-GPU configuration table, printed
+ * from the live defaults so it can never drift from the code.
+ */
+
+#include "bench_common.hpp"
+
+using namespace cachecraft;
+using namespace cachecraft::bench;
+
+int
+main()
+{
+    std::printf("== E10: Simulated GPU configuration ==\n");
+    std::printf("%s\n", configFor(SchemeKind::kCacheCraft)
+                            .describe()
+                            .c_str());
+
+    std::printf("== Workload suite (bench defaults) ==\n");
+    const WorkloadParams params = defaultWorkloadParams();
+    ResultTable table("Kernels");
+    table.setHeader({"kernel", "warps", "total insts", "mem insts",
+                     "regions"});
+    for (WorkloadKind kind : allWorkloads()) {
+        const KernelTrace trace = makeWorkload(kind, params);
+        table.addRow({toString(kind),
+                      std::to_string(trace.warps.size()),
+                      std::to_string(trace.totalInsts()),
+                      std::to_string(trace.totalMemInsts()),
+                      std::to_string(trace.regions.size())});
+    }
+    emit(table);
+    return 0;
+}

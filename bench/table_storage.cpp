@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Experiment E9 — on-chip storage overhead (analytic): bytes of SRAM
+ * each scheme adds per L2 slice and per GPU, and DRAM capacity
+ * consumed by each inline-ECC layout. Storage is arithmetic, not
+ * simulation; the table documents the model.
+ */
+
+#include "bench_common.hpp"
+
+using namespace cachecraft;
+using namespace cachecraft::bench;
+
+namespace {
+
+/** Tag + state overhead of one MRC line (bytes, approximate):
+ *  ~4 B tag/state per 32 B line (tag bits + valid/dirty masks). */
+constexpr double kMrcTagBytesPerLine = 4.0;
+
+} // namespace
+
+int
+main()
+{
+    const SystemConfig cfg = configFor(SchemeKind::kCacheCraft);
+    const unsigned slices = cfg.dram.numChannels;
+
+    ResultTable sram("E9a: On-chip SRAM added per scheme");
+    sram.setHeader({"scheme", "per-slice", "per-GPU", "notes"});
+    sram.addRow({"no-ecc", "0 B", "0 B", "-"});
+    sram.addRow({"inline-naive", "0 B", "0 B",
+                 "no metadata caching"});
+    const std::size_t mrc_lines = cfg.mrc.sizeBytes / kEccChunkBytes;
+    const double mrc_total =
+        static_cast<double>(cfg.mrc.sizeBytes) +
+        kMrcTagBytesPerLine * static_cast<double>(mrc_lines);
+    sram.addRow({"ecc-cache",
+                 ResultTable::num(mrc_total / 1024.0, 1) + " KiB",
+                 ResultTable::num(mrc_total * slices / 1024.0, 1) +
+                     " KiB",
+                 "data array + tags"});
+    sram.addRow({"cachecraft",
+                 ResultTable::num(mrc_total / 1024.0, 1) + " KiB",
+                 ResultTable::num(mrc_total * slices / 1024.0, 1) +
+                     " KiB",
+                 "same structure; adds dirty bits (in tag estimate)"});
+    emit(sram);
+
+    ResultTable dram_tbl("E9b: DRAM capacity cost per layout");
+    dram_tbl.setHeader({"layout", "usable/channel", "overhead%"});
+    for (EccLayout layout :
+         {EccLayout::kNone, EccLayout::kSegregated,
+          EccLayout::kCoLocated}) {
+        const AddressMap map(cfg.dram, layout);
+        const double usable =
+            static_cast<double>(map.usableBytesPerChannel());
+        const double raw =
+            static_cast<double>(cfg.dram.channelCapacity);
+        dram_tbl.addRow({toString(layout),
+                         ResultTable::num(usable / (1 << 20), 1) +
+                             " MiB",
+                         ResultTable::num(100.0 * (raw - usable) / raw,
+                                          2)});
+    }
+    emit(dram_tbl);
+
+    ResultTable l2_tbl(
+        "E9c: MRC size as a fraction of existing L2 SRAM");
+    l2_tbl.setHeader({"structure", "bytes/slice", "% of L2 slice"});
+    l2_tbl.addRow({"L2 slice",
+                   std::to_string(cfg.l2.cache.sizeBytes), "100"});
+    l2_tbl.addRow({"MRC", std::to_string(cfg.mrc.sizeBytes),
+                   ResultTable::num(100.0 * cfg.mrc.sizeBytes /
+                                        cfg.l2.cache.sizeBytes,
+                                    2)});
+    emit(l2_tbl);
+    return 0;
+}

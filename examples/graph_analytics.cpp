@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scenario: irregular graph analytics (BFS/SpMV-style gathers) — the
+ * workload class the paper's introduction motivates, where inline-ECC
+ * overheads are worst because every divergent lane pays its own
+ * metadata fetch and row-buffer locality is already poor.
+ *
+ * Compares the schemes on the random-gather and SpMV kernels and
+ * breaks down *why* CacheCraft wins: the co-located layout turns the
+ * metadata fetch that follows every data fetch into a row-buffer hit.
+ */
+
+#include <cstdio>
+
+#include "core/cachecraft.hpp"
+
+using namespace cachecraft;
+
+namespace {
+
+void
+runKernel(WorkloadKind kind)
+{
+    WorkloadParams wparams;
+    wparams.footprintBytes = 8 * 1024 * 1024;
+    wparams.numWarps = 256;
+    wparams.memInstsPerWarp = 48;
+    const KernelTrace trace = makeWorkload(kind, wparams);
+
+    std::printf("=== %s ===\n", trace.name.c_str());
+    ResultTable table("schemes");
+    table.setHeader({"scheme", "cycles", "norm-perf", "row-hit%",
+                     "ecc-reads", "mean-mem-latency"});
+
+    double baseline = 0.0;
+    for (auto scheme :
+         {SchemeKind::kNone, SchemeKind::kInlineNaive,
+          SchemeKind::kEccCache, SchemeKind::kCacheCraft}) {
+        SystemConfig cfg;
+        cfg.scheme = scheme;
+        GpuSystem gpu(cfg);
+        const RunStats rs = gpu.run(trace);
+        if (scheme == SchemeKind::kNone)
+            baseline = static_cast<double>(rs.cycles);
+        // Representative memory latency (SM 0's histogram).
+        double latency = 0.0;
+        const auto *hist =
+            gpu.statsRegistry().histogram("sm0.mem_latency");
+        if (hist)
+            latency = hist->mean();
+        table.addRow({toString(scheme), std::to_string(rs.cycles),
+                      ResultTable::num(
+                          baseline / static_cast<double>(rs.cycles)),
+                      ResultTable::num(100.0 * rs.rowHitRate, 1),
+                      std::to_string(rs.dramEccReads),
+                      ResultTable::num(latency, 0)});
+    }
+    std::printf("%s\n", table.renderText().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    runKernel(WorkloadKind::kRandomAccess);
+    runKernel(WorkloadKind::kSpmv);
+    std::printf(
+        "Irregular gathers are where inline ECC hurts the most:\n"
+        "every divergent lane misses, and every miss drags a metadata\n"
+        "fetch to a distant carve-out row. CacheCraft's co-located\n"
+        "layout makes that second access a row hit, and the MRC\n"
+        "absorbs the hot-vertex fraction (visible on spmv).\n");
+    return 0;
+}

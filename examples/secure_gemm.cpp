@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Scenario: a training-style tiled GEMM on a GPU that must run with
+ * full memory protection (HPC / data-center requirement). The
+ * question a deployment engineer asks: *what does protection cost me,
+ * and how much of that cost does CacheCraft recover?*
+ *
+ * Runs the GEMM kernel under every scheme, with both the baseline
+ * SEC-DED code and the stronger chipkill symbol code, and prints the
+ * slowdown-vs-unprotected matrix.
+ */
+
+#include <cstdio>
+
+#include "core/cachecraft.hpp"
+
+using namespace cachecraft;
+
+int
+main()
+{
+    WorkloadParams wparams;
+    wparams.footprintBytes = 8 * 1024 * 1024;
+    wparams.numWarps = 256;
+    const KernelTrace trace =
+        makeWorkload(WorkloadKind::kGemmTiled, wparams);
+    std::printf("tiled GEMM: %llu warp instructions, %zu warps\n\n",
+                static_cast<unsigned long long>(trace.totalInsts()),
+                trace.warps.size());
+
+    // Unprotected reference.
+    SystemConfig none;
+    none.scheme = SchemeKind::kNone;
+    GpuSystem reference(none);
+    const RunStats base = reference.run(trace);
+    std::printf("unprotected: %llu cycles (IPC %.3f)\n\n",
+                static_cast<unsigned long long>(base.cycles), base.ipc);
+
+    ResultTable table("GEMM slowdown under memory protection");
+    table.setHeader({"scheme", "codec", "cycles", "slowdown%",
+                     "ecc-txns", "mrc-coverage%"});
+
+    for (auto codec :
+         {ecc::CodecKind::kSecDed, ecc::CodecKind::kChipkill}) {
+        for (auto scheme :
+             {SchemeKind::kInlineNaive, SchemeKind::kEccCache,
+              SchemeKind::kCacheCraft}) {
+            SystemConfig cfg;
+            cfg.scheme = scheme;
+            cfg.codec = codec;
+            GpuSystem gpu(cfg);
+            const RunStats rs = gpu.run(trace);
+            table.addRow(
+                {toString(scheme), toString(codec),
+                 std::to_string(rs.cycles),
+                 ResultTable::num(
+                     100.0 * (static_cast<double>(rs.cycles) /
+                                  static_cast<double>(base.cycles) -
+                              1.0),
+                     1),
+                 std::to_string(rs.dramEccReads + rs.dramEccWrites),
+                 ResultTable::num(100.0 * rs.mrcCoverage(), 1)});
+        }
+    }
+    std::printf("%s\n", table.renderText().c_str());
+    std::printf("Reading the table: CacheCraft's row should sit a few\n"
+                "percent above unprotected, versus tens of percent for\n"
+                "the naive inline-ECC row — protection becomes nearly\n"
+                "free for compute-dense kernels.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+#include "cache/mshr.hpp"
+
+namespace cachecraft {
+
+MshrFile::MshrFile(std::string name, std::size_t capacity,
+                   StatRegistry *stats)
+    : name_(std::move(name)), capacity_(capacity)
+{
+    if (stats) {
+        stats->registerCounter(name_ + ".allocations", &statAllocations);
+        stats->registerCounter(name_ + ".merges", &statMerges);
+        stats->registerCounter(name_ + ".stalls", &statStalls);
+    }
+}
+
+MshrFile::AllocOutcome
+MshrFile::allocate(Addr line_addr, std::uint8_t sector_mask,
+                   std::uint64_t requester)
+{
+    auto it = entries_.find(line_addr);
+    if (it != entries_.end()) {
+        Entry &entry = it->second;
+        entry.requesters.push_back(requester);
+        statMerges.inc();
+        if ((entry.sectorMask & sector_mask) == sector_mask)
+            return AllocOutcome::kMergedExisting;
+        entry.sectorMask |= sector_mask;
+        return AllocOutcome::kMergedNewSector;
+    }
+    if (entries_.size() >= capacity_) {
+        statStalls.inc();
+        return AllocOutcome::kFull;
+    }
+    Entry entry;
+    entry.sectorMask = sector_mask;
+    entry.requesters.push_back(requester);
+    entries_.emplace(line_addr, std::move(entry));
+    statAllocations.inc();
+    return AllocOutcome::kNewEntry;
+}
+
+bool
+MshrFile::contains(Addr line_addr) const
+{
+    return entries_.find(line_addr) != entries_.end();
+}
+
+std::uint8_t
+MshrFile::requestedSectors(Addr line_addr) const
+{
+    auto it = entries_.find(line_addr);
+    return it == entries_.end() ? 0 : it->second.sectorMask;
+}
+
+std::vector<std::uint64_t>
+MshrFile::release(Addr line_addr)
+{
+    auto it = entries_.find(line_addr);
+    if (it == entries_.end())
+        return {};
+    std::vector<std::uint64_t> waiters = std::move(it->second.requesters);
+    entries_.erase(it);
+    return waiters;
+}
+
+} // namespace cachecraft

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Miss Status Holding Registers.
+ *
+ * Tracks outstanding line misses so that concurrent misses to the
+ * same line merge into one memory request instead of duplicating DRAM
+ * traffic. Capacity limits model the finite miss-level parallelism of
+ * GPU caches: when the file is full the requester must stall.
+ */
+
+#ifndef CACHECRAFT_CACHE_MSHR_HPP
+#define CACHECRAFT_CACHE_MSHR_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "stats/stats.hpp"
+
+namespace cachecraft {
+
+/**
+ * An MSHR file keyed by line address. Each entry remembers which
+ * sectors have been requested and a list of opaque requester ids to
+ * notify on fill.
+ */
+class MshrFile
+{
+  public:
+    /**
+     * @param name    stat prefix
+     * @param capacity maximum simultaneous outstanding lines
+     * @param stats   registry (may be nullptr)
+     */
+    MshrFile(std::string name, std::size_t capacity, StatRegistry *stats);
+
+    /** What allocate() did. */
+    enum class AllocOutcome : std::uint8_t
+    {
+        /** New entry created — caller must issue the memory request. */
+        kNewEntry,
+        /** Merged into an existing entry; sector already requested. */
+        kMergedExisting,
+        /** Merged into an existing entry; this sector is new — caller
+         *  must issue a request for the additional sector. */
+        kMergedNewSector,
+        /** The file is full — caller must stall and retry. */
+        kFull,
+    };
+
+    /**
+     * Request (line_addr, sector_mask) on behalf of @p requester.
+     */
+    AllocOutcome allocate(Addr line_addr, std::uint8_t sector_mask,
+                          std::uint64_t requester);
+
+    /** True if @p line_addr has an outstanding entry. */
+    bool contains(Addr line_addr) const;
+
+    /** Sectors already requested for @p line_addr (0 if absent). */
+    std::uint8_t requestedSectors(Addr line_addr) const;
+
+    /**
+     * Retire the entry for @p line_addr (fill arrived); returns the
+     * requester ids that were waiting.
+     */
+    std::vector<std::uint64_t> release(Addr line_addr);
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    bool full() const { return entries_.size() >= capacity_; }
+
+    Counter statAllocations;
+    Counter statMerges;
+    Counter statStalls;
+
+  private:
+    struct Entry
+    {
+        std::uint8_t sectorMask = 0;
+        std::vector<std::uint64_t> requesters;
+    };
+
+    std::string name_;
+    std::size_t capacity_;
+    std::unordered_map<Addr, Entry> entries_;
+};
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_CACHE_MSHR_HPP

@@ -1,0 +1,144 @@
+#include "cache/replacement.hpp"
+
+#include "common/log.hpp"
+
+namespace cachecraft {
+
+const char *
+toString(ReplPolicyKind kind)
+{
+    switch (kind) {
+      case ReplPolicyKind::kLru:
+        return "lru";
+      case ReplPolicyKind::kFifo:
+        return "fifo";
+      case ReplPolicyKind::kSrrip:
+        return "srrip";
+      case ReplPolicyKind::kRandom:
+        return "random";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplPolicyKind kind, std::size_t num_sets,
+                      unsigned num_ways, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplPolicyKind::kLru:
+        return std::make_unique<LruPolicy>(num_sets, num_ways);
+      case ReplPolicyKind::kFifo:
+        return std::make_unique<FifoPolicy>(num_sets, num_ways);
+      case ReplPolicyKind::kSrrip:
+        return std::make_unique<SrripPolicy>(num_sets, num_ways);
+      case ReplPolicyKind::kRandom:
+        return std::make_unique<RandomPolicy>(num_sets, num_ways, seed);
+    }
+    panic("unknown replacement policy");
+}
+
+LruPolicy::LruPolicy(std::size_t num_sets, unsigned num_ways)
+    : ReplacementPolicy(num_sets, num_ways),
+      lastUse_(num_sets * num_ways, 0)
+{
+}
+
+void
+LruPolicy::onInsert(std::size_t set, unsigned way)
+{
+    lastUse_[set * numWays_ + way] = ++clock_;
+}
+
+void
+LruPolicy::onHit(std::size_t set, unsigned way)
+{
+    lastUse_[set * numWays_ + way] = ++clock_;
+}
+
+unsigned
+LruPolicy::victim(std::size_t set)
+{
+    unsigned best = 0;
+    std::uint64_t best_time = lastUse_[set * numWays_];
+    for (unsigned w = 1; w < numWays_; ++w) {
+        const std::uint64_t t = lastUse_[set * numWays_ + w];
+        if (t < best_time) {
+            best_time = t;
+            best = w;
+        }
+    }
+    return best;
+}
+
+FifoPolicy::FifoPolicy(std::size_t num_sets, unsigned num_ways)
+    : ReplacementPolicy(num_sets, num_ways),
+      insertTime_(num_sets * num_ways, 0)
+{
+}
+
+void
+FifoPolicy::onInsert(std::size_t set, unsigned way)
+{
+    insertTime_[set * numWays_ + way] = ++clock_;
+}
+
+unsigned
+FifoPolicy::victim(std::size_t set)
+{
+    unsigned best = 0;
+    std::uint64_t best_time = insertTime_[set * numWays_];
+    for (unsigned w = 1; w < numWays_; ++w) {
+        const std::uint64_t t = insertTime_[set * numWays_ + w];
+        if (t < best_time) {
+            best_time = t;
+            best = w;
+        }
+    }
+    return best;
+}
+
+SrripPolicy::SrripPolicy(std::size_t num_sets, unsigned num_ways)
+    : ReplacementPolicy(num_sets, num_ways),
+      rrpv_(num_sets * num_ways, kMaxRrpv)
+{
+}
+
+void
+SrripPolicy::onInsert(std::size_t set, unsigned way)
+{
+    rrpv_[set * numWays_ + way] = kMaxRrpv - 1;
+}
+
+void
+SrripPolicy::onHit(std::size_t set, unsigned way)
+{
+    rrpv_[set * numWays_ + way] = 0;
+}
+
+unsigned
+SrripPolicy::victim(std::size_t set)
+{
+    // Find a way at max RRPV, aging the whole set until one exists.
+    for (;;) {
+        for (unsigned w = 0; w < numWays_; ++w) {
+            if (rrpv_[set * numWays_ + w] == kMaxRrpv)
+                return w;
+        }
+        for (unsigned w = 0; w < numWays_; ++w)
+            rrpv_[set * numWays_ + w]++;
+    }
+}
+
+RandomPolicy::RandomPolicy(std::size_t num_sets, unsigned num_ways,
+                           std::uint64_t seed)
+    : ReplacementPolicy(num_sets, num_ways), rng_(seed)
+{
+}
+
+unsigned
+RandomPolicy::victim(std::size_t /* set */)
+{
+    return static_cast<unsigned>(rng_.below(numWays_));
+}
+
+} // namespace cachecraft

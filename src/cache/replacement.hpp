@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Replacement policies for set-associative caches.
+ *
+ * A policy owns per-(set, way) metadata and answers victim queries.
+ * LRU is the default for L1/L2 (matching GPGPU-Sim's cache model);
+ * SRRIP is provided for the sensitivity studies, FIFO and Random as
+ * simple baselines and for randomized property tests.
+ */
+
+#ifndef CACHECRAFT_CACHE_REPLACEMENT_HPP
+#define CACHECRAFT_CACHE_REPLACEMENT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cachecraft {
+
+/** Which replacement policy a cache uses. */
+enum class ReplPolicyKind : std::uint8_t
+{
+    kLru,
+    kFifo,
+    kSrrip,
+    kRandom,
+};
+
+/** Human-readable policy name. */
+const char *toString(ReplPolicyKind kind);
+
+/**
+ * Abstract replacement policy over a (num_sets x num_ways) tag array.
+ * The cache calls back on every insert/hit and asks for a victim way
+ * when a set is full.
+ */
+class ReplacementPolicy
+{
+  public:
+    ReplacementPolicy(std::size_t num_sets, unsigned num_ways)
+        : numSets_(num_sets), numWays_(num_ways)
+    {
+    }
+
+    virtual ~ReplacementPolicy() = default;
+
+    /** A line was inserted into (set, way). */
+    virtual void onInsert(std::size_t set, unsigned way) = 0;
+
+    /** The line at (set, way) was accessed and hit. */
+    virtual void onHit(std::size_t set, unsigned way) = 0;
+
+    /** The line at (set, way) was invalidated. */
+    virtual void onInvalidate(std::size_t set, unsigned way) {
+        (void)set;
+        (void)way;
+    }
+
+    /** Choose the victim way in a full @p set. */
+    virtual unsigned victim(std::size_t set) = 0;
+
+    std::size_t numSets() const { return numSets_; }
+    unsigned numWays() const { return numWays_; }
+
+  protected:
+    std::size_t numSets_;
+    unsigned numWays_;
+};
+
+/** Factory for a policy instance. @p seed feeds randomized policies. */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplPolicyKind kind, std::size_t num_sets,
+                      unsigned num_ways, std::uint64_t seed);
+
+/** True LRU via a per-line logical timestamp. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::size_t num_sets, unsigned num_ways);
+
+    void onInsert(std::size_t set, unsigned way) override;
+    void onHit(std::size_t set, unsigned way) override;
+    unsigned victim(std::size_t set) override;
+
+  private:
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> lastUse_;
+};
+
+/** FIFO: evict the oldest insertion, ignoring hits. */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    FifoPolicy(std::size_t num_sets, unsigned num_ways);
+
+    void onInsert(std::size_t set, unsigned way) override;
+    void onHit(std::size_t set, unsigned way) override {
+        (void)set;
+        (void)way;
+    }
+    unsigned victim(std::size_t set) override;
+
+  private:
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> insertTime_;
+};
+
+/**
+ * SRRIP (static re-reference interval prediction) with 2-bit RRPV,
+ * hit-priority promotion, long re-reference insertion (RRPV = 2).
+ */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    SrripPolicy(std::size_t num_sets, unsigned num_ways);
+
+    void onInsert(std::size_t set, unsigned way) override;
+    void onHit(std::size_t set, unsigned way) override;
+    unsigned victim(std::size_t set) override;
+
+    static constexpr std::uint8_t kMaxRrpv = 3;
+
+  private:
+    std::vector<std::uint8_t> rrpv_;
+};
+
+/** Uniform-random victim selection (deterministic generator). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::size_t num_sets, unsigned num_ways,
+                 std::uint64_t seed);
+
+    void onInsert(std::size_t set, unsigned way) override {
+        (void)set;
+        (void)way;
+    }
+    void onHit(std::size_t set, unsigned way) override {
+        (void)set;
+        (void)way;
+    }
+    unsigned victim(std::size_t set) override;
+
+  private:
+    Xoshiro256 rng_;
+};
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_CACHE_REPLACEMENT_HPP

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ECC codecs and address maps.
+ *
+ * All helpers are constexpr-friendly, branch-light, and operate either
+ * on scalar words or on byte buffers (the codecs treat codewords as
+ * byte arrays with bit index 0 = LSB of byte 0).
+ */
+
+#ifndef CACHECRAFT_COMMON_BITS_HPP
+#define CACHECRAFT_COMMON_BITS_HPP
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cachecraft {
+
+/** Number of set bits in @p value. */
+constexpr int
+popcount64(std::uint64_t value)
+{
+    return std::popcount(value);
+}
+
+/** Even parity (0/1) of @p value. */
+constexpr int
+parity64(std::uint64_t value)
+{
+    return std::popcount(value) & 1;
+}
+
+/** Extract bit @p pos (0 = LSB) from @p value. */
+constexpr std::uint64_t
+getBit(std::uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1u;
+}
+
+/** Return @p value with bit @p pos set to @p bit (0 or 1). */
+constexpr std::uint64_t
+setBit(std::uint64_t value, unsigned pos, std::uint64_t bit)
+{
+    return (value & ~(std::uint64_t{1} << pos)) | ((bit & 1u) << pos);
+}
+
+/** Extract the bit field [lo, lo+width) from @p value. */
+constexpr std::uint64_t
+bitField(std::uint64_t value, unsigned lo, unsigned width)
+{
+    if (width >= 64)
+        return value >> lo;
+    return (value >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+/** Insert @p field into bits [lo, lo+width) of @p value. */
+constexpr std::uint64_t
+insertField(std::uint64_t value, unsigned lo, unsigned width,
+            std::uint64_t field)
+{
+    const std::uint64_t mask = (width >= 64)
+        ? ~std::uint64_t{0}
+        : ((std::uint64_t{1} << width) - 1);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** True if @p value is a power of two (and nonzero). */
+constexpr bool
+isPow2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)); @p value must be nonzero. */
+constexpr unsigned
+log2Floor(std::uint64_t value)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(value));
+}
+
+/** ceil(log2(value)); @p value must be nonzero. */
+constexpr unsigned
+log2Ceil(std::uint64_t value)
+{
+    return value <= 1 ? 0 : log2Floor(value - 1) + 1;
+}
+
+/** Get bit @p bit_index from a byte buffer (bit 0 = LSB of byte 0). */
+inline int
+bufGetBit(std::span<const std::uint8_t> buf, std::size_t bit_index)
+{
+    return (buf[bit_index >> 3] >> (bit_index & 7)) & 1;
+}
+
+/** Set bit @p bit_index in a byte buffer to @p bit. */
+inline void
+bufSetBit(std::span<std::uint8_t> buf, std::size_t bit_index, int bit)
+{
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (bit_index & 7));
+    if (bit)
+        buf[bit_index >> 3] |= mask;
+    else
+        buf[bit_index >> 3] &= static_cast<std::uint8_t>(~mask);
+}
+
+/** Flip bit @p bit_index in a byte buffer. */
+inline void
+bufFlipBit(std::span<std::uint8_t> buf, std::size_t bit_index)
+{
+    buf[bit_index >> 3] ^= static_cast<std::uint8_t>(1u << (bit_index & 7));
+}
+
+/** XOR @p src into @p dst (equal lengths). */
+inline void
+bufXor(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src)
+{
+    for (std::size_t i = 0; i < dst.size() && i < src.size(); ++i)
+        dst[i] ^= src[i];
+}
+
+/** Even parity over an entire byte buffer. */
+inline int
+bufParity(std::span<const std::uint8_t> buf)
+{
+    std::uint8_t acc = 0;
+    for (std::uint8_t b : buf)
+        acc ^= b;
+    return std::popcount(static_cast<unsigned>(acc)) & 1;
+}
+
+/** Load a little-endian 64-bit word from @p buf at byte @p offset. */
+inline std::uint64_t
+loadLe64(std::span<const std::uint8_t> buf, std::size_t offset)
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(buf[offset + i]) << (8 * i);
+    return v;
+}
+
+/** Store a little-endian 64-bit word to @p buf at byte @p offset. */
+inline void
+storeLe64(std::span<std::uint8_t> buf, std::size_t offset, std::uint64_t v)
+{
+    for (std::size_t i = 0; i < 8; ++i)
+        buf[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_COMMON_BITS_HPP

@@ -1,0 +1,59 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cachecraft {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (g_level >= LogLevel::Info)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+debugLog(const std::string &msg)
+{
+    if (g_level >= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string &msg)
+{
+    if (g_level >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+} // namespace cachecraft

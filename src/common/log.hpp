@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers, in the spirit of
+ * gem5's logging.hh: panic() for simulator bugs (aborts), fatal() for
+ * user/configuration errors (clean exit), warn()/inform() for status.
+ */
+
+#ifndef CACHECRAFT_COMMON_LOG_HPP
+#define CACHECRAFT_COMMON_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace cachecraft {
+
+/** Verbosity levels for inform()/warn(). */
+enum class LogLevel { Silent, Warn, Info, Debug };
+
+/** Global log level; defaults to Warn. */
+LogLevel logLevel();
+
+/** Set the global log level. */
+void setLogLevel(LogLevel level);
+
+/** Print an informational message (when level >= Info). */
+void inform(const std::string &msg);
+
+/** Print a debug message (when level >= Debug). */
+void debugLog(const std::string &msg);
+
+/** Print a warning (when level >= Warn). */
+void warn(const std::string &msg);
+
+/**
+ * Terminate due to an internal invariant violation (a simulator bug).
+ * Calls std::abort() so debuggers/core dumps see the failure point.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Terminate due to a user error (bad configuration, invalid argument).
+ * Exits with status 1.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Build a message from stream-style pieces: strCat("x=", 4). */
+template <typename... Args>
+std::string
+strCat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_COMMON_LOG_HPP

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every source of randomness in the simulator (workload address
+ * streams, fault injection, random replacement) draws from one of
+ * these generators, seeded explicitly per run, so identical
+ * configurations reproduce bit-identical statistics.
+ */
+
+#ifndef CACHECRAFT_COMMON_RNG_HPP
+#define CACHECRAFT_COMMON_RNG_HPP
+
+#include <cstdint>
+
+namespace cachecraft {
+
+/**
+ * SplitMix64: tiny, fast generator used for seeding and for places
+ * that need only a few draws.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /** Next 64 random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * Xoshiro256** — the workhorse generator. High quality, 2^256-1
+ * period, trivially seedable from a single 64-bit value via SplitMix64.
+ */
+class Xoshiro256
+{
+  public:
+    explicit Xoshiro256(std::uint64_t seed)
+    {
+        SplitMix64 sm(seed);
+        for (auto &s : state_)
+            s = sm.next();
+    }
+
+    /** Next 64 random bits. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style rejection-free-enough reduction; the tiny bias of
+        // the plain multiply-shift is irrelevant for workload synthesis,
+        // but we debias anyway to keep property tests exact.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto l = static_cast<std::uint64_t>(m);
+        if (l < bound) {
+            const std::uint64_t t = (0 - bound) % bound;
+            while (l < t) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_COMMON_RNG_HPP

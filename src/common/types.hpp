@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fundamental types and memory-geometry constants shared by every
+ * CacheCraft module.
+ *
+ * The geometry follows the GDDR/HBM-class GPU memory hierarchy the
+ * paper targets: 32 B DRAM sectors (one GDDR6 burst), 128 B cache
+ * lines (4 sectors), and 256 B protection chunks (8 sectors sharing
+ * one 32 B inline-ECC chunk, i.e. a 12.5 % redundancy ratio).
+ */
+
+#ifndef CACHECRAFT_COMMON_TYPES_HPP
+#define CACHECRAFT_COMMON_TYPES_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cachecraft {
+
+/** Physical byte address in simulated GPU device memory. */
+using Addr = std::uint64_t;
+
+/** Simulated time in memory-clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Identifier types for hardware structures. */
+using SmId = std::uint32_t;
+using WarpId = std::uint32_t;
+using SliceId = std::uint32_t;
+using ChannelId = std::uint32_t;
+
+/** An invalid / "no address" sentinel. */
+inline constexpr Addr kNoAddr = ~Addr{0};
+
+/** Bytes per DRAM sector (one GDDR6 32-bit x16 burst of data). */
+inline constexpr std::size_t kSectorBytes = 32;
+
+/** Bytes per cache line (L1 and L2). */
+inline constexpr std::size_t kLineBytes = 128;
+
+/** Sectors per cache line. */
+inline constexpr std::size_t kSectorsPerLine = kLineBytes / kSectorBytes;
+
+/**
+ * Bytes per protection chunk: the data granule covered by one 32 B
+ * inline-ECC chunk. With a 12.5 % redundancy ratio (4 check bytes per
+ * 32 B sector), eight sectors share one ECC chunk.
+ */
+inline constexpr std::size_t kChunkBytes = 256;
+
+/** Sectors per protection chunk. */
+inline constexpr std::size_t kSectorsPerChunk = kChunkBytes / kSectorBytes;
+
+/** Cache lines per protection chunk. */
+inline constexpr std::size_t kLinesPerChunk = kChunkBytes / kLineBytes;
+
+/** Bytes of inline-ECC metadata covering one protection chunk. */
+inline constexpr std::size_t kEccChunkBytes = 32;
+
+/** SIMT width: threads (lanes) per warp. */
+inline constexpr std::size_t kWarpLanes = 32;
+
+/** Align @p addr down to a multiple of @p granule (power of two). */
+constexpr Addr
+alignDown(Addr addr, std::size_t granule)
+{
+    return addr & ~static_cast<Addr>(granule - 1);
+}
+
+/** Align @p addr up to a multiple of @p granule (power of two). */
+constexpr Addr
+alignUp(Addr addr, std::size_t granule)
+{
+    return (addr + granule - 1) & ~static_cast<Addr>(granule - 1);
+}
+
+/** Byte offset of @p addr within a granule of size @p granule. */
+constexpr std::size_t
+offsetIn(Addr addr, std::size_t granule)
+{
+    return static_cast<std::size_t>(addr & (granule - 1));
+}
+
+/** Address of the sector containing @p addr. */
+constexpr Addr
+sectorBase(Addr addr)
+{
+    return alignDown(addr, kSectorBytes);
+}
+
+/** Address of the cache line containing @p addr. */
+constexpr Addr
+lineBase(Addr addr)
+{
+    return alignDown(addr, kLineBytes);
+}
+
+/** Address of the protection chunk containing @p addr. */
+constexpr Addr
+chunkBase(Addr addr)
+{
+    return alignDown(addr, kChunkBytes);
+}
+
+/** Index of the sector of @p addr within its cache line [0,4). */
+constexpr std::size_t
+sectorInLine(Addr addr)
+{
+    return offsetIn(addr, kLineBytes) / kSectorBytes;
+}
+
+/** Index of the sector of @p addr within its protection chunk [0,8). */
+constexpr std::size_t
+sectorInChunk(Addr addr)
+{
+    return offsetIn(addr, kChunkBytes) / kSectorBytes;
+}
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_COMMON_TYPES_HPP

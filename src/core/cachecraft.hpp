@@ -1,0 +1,34 @@
+/**
+ * @file
+ * CacheCraft — public API umbrella header.
+ *
+ * Include this one header to use the library:
+ *
+ * @code
+ *   #include "core/cachecraft.hpp"
+ *
+ *   cachecraft::SystemConfig config;            // defaults: CacheCraft
+ *   config.scheme = cachecraft::SchemeKind::kCacheCraft;
+ *   config.codec = cachecraft::ecc::CodecKind::kSecDed;
+ *
+ *   cachecraft::WorkloadParams params;
+ *   auto trace = cachecraft::makeWorkload(
+ *       cachecraft::WorkloadKind::kStreaming, params);
+ *
+ *   cachecraft::GpuSystem gpu(config);
+ *   const cachecraft::RunStats stats = gpu.run(trace);
+ * @endcode
+ */
+
+#ifndef CACHECRAFT_CORE_CACHECRAFT_HPP
+#define CACHECRAFT_CORE_CACHECRAFT_HPP
+
+#include "core/config.hpp"          // IWYU pragma: export
+#include "core/gpu_system.hpp"      // IWYU pragma: export
+#include "ecc/codec.hpp"            // IWYU pragma: export
+#include "gpu/kernel_trace.hpp"     // IWYU pragma: export
+#include "protect/scheme.hpp"       // IWYU pragma: export
+#include "stats/table.hpp"          // IWYU pragma: export
+#include "workloads/workloads.hpp"  // IWYU pragma: export
+
+#endif // CACHECRAFT_CORE_CACHECRAFT_HPP

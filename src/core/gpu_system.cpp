@@ -1,0 +1,292 @@
+#include "core/gpu_system.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace cachecraft {
+
+GpuSystem::GpuSystem(const SystemConfig &config) : config_(config)
+{
+    config_.validate();
+
+    map_ = std::make_unique<AddressMap>(config_.dram,
+                                        config_.effectiveLayout());
+    dram_ = std::make_unique<DramSystem>(*map_, config_.timing, events_,
+                                         &stats_);
+    codec_ = ecc::makeCodec(config_.codec);
+
+    const unsigned num_slices = config_.dram.numChannels;
+    reqXbar_ = std::make_unique<Crossbar>("xbar.req", num_slices,
+                                          config_.xbarLatency, events_,
+                                          &stats_);
+    respXbar_ = std::make_unique<Crossbar>("xbar.resp", config_.numSms,
+                                           config_.xbarLatency, events_,
+                                           &stats_);
+
+    auto arch_read = [this](Addr addr) { return archRead(addr); };
+    auto tag_of = [this](Addr addr) { return tagOf(addr); };
+
+    slices_.reserve(num_slices);
+    for (unsigned c = 0; c < num_slices; ++c) {
+        SchemeContext ctx;
+        ctx.channel = static_cast<ChannelId>(c);
+        ctx.map = map_.get();
+        ctx.dram = dram_.get();
+        ctx.events = &events_;
+        ctx.codec = codec_.get();
+        ctx.metaShadow = &metaShadow_;
+        ctx.stats = &stats_;
+        ctx.name = strCat("protect.slice", c);
+        auto scheme = makeScheme(config_.scheme, ctx, config_.mrc);
+
+        L2SliceParams slice_params = config_.l2;
+        slice_params.cache.seed = config_.seed + c;
+        slices_.push_back(std::make_unique<L2Slice>(
+            strCat("l2.slice", c), static_cast<SliceId>(c), slice_params,
+            events_, std::move(scheme), arch_read, tag_of, &stats_));
+    }
+
+    sms_.reserve(config_.numSms);
+    for (unsigned s = 0; s < config_.numSms; ++s) {
+        auto l2_read = [this, s](Addr addr, ecc::MemTag tag,
+                                 std::function<void()> done) {
+            const SliceId slice = sliceOf(addr);
+            reqXbar_->send(slice, [this, slice, addr, tag,
+                                   done = std::move(done), s]() mutable {
+                slices_[slice]->read(addr, tag,
+                                     [this, s, done = std::move(done)] {
+                                         respXbar_->send(s, done);
+                                     });
+            });
+        };
+        auto l2_write = [this](Addr addr, ecc::MemTag tag) {
+            // The store's architectural value is committed at issue;
+            // the transaction models the transfer cost.
+            onStore(addr);
+            const SliceId slice = sliceOf(addr);
+            reqXbar_->send(slice, [this, slice, addr, tag] {
+                slices_[slice]->write(addr, tag);
+            });
+        };
+
+        SmParams sm_params = config_.sm;
+        sm_params.l1.seed = config_.seed + 1000 + s;
+        sms_.push_back(std::make_unique<SmCore>(
+            strCat("sm", s), static_cast<SmId>(s), sm_params, events_,
+            std::move(l2_read), std::move(l2_write), tag_of, &stats_));
+    }
+}
+
+GpuSystem::~GpuSystem() = default;
+
+SliceId
+GpuSystem::sliceOf(Addr addr) const
+{
+    return map_->channelOf(addr);
+}
+
+ecc::SectorData
+GpuSystem::pattern(Addr sector_addr, std::uint64_t generation)
+{
+    SplitMix64 rng((sector_addr >> 5) * 0x9E3779B97F4A7C15ull +
+                   generation * 0xD1B54A32D192ED03ull + 1);
+    ecc::SectorData data{};
+    for (std::size_t i = 0; i < data.size(); i += 8)
+        storeLe64(std::span<std::uint8_t>(data), i, rng.next());
+    return data;
+}
+
+void
+GpuSystem::onStore(Addr sector_addr)
+{
+    const Addr sector = sectorBase(sector_addr);
+    const std::uint64_t gen = ++writeGeneration_[sector];
+    const ecc::SectorData data = pattern(sector, gen);
+    archMem_.write(sector, std::span<const std::uint8_t>(data));
+}
+
+ecc::SectorData
+GpuSystem::archRead(Addr sector_addr) const
+{
+    ecc::SectorData data{};
+    archMem_.read(sectorBase(sector_addr), std::span<std::uint8_t>(data));
+    return data;
+}
+
+ecc::MemTag
+GpuSystem::tagOf(Addr addr) const
+{
+    for (const TaggedRegion &region : regions_) {
+        if (addr >= region.base && addr < region.base + region.size)
+            return region.tag;
+    }
+    panic(strCat("access outside initialized regions: 0x", std::hex,
+                 addr));
+}
+
+void
+GpuSystem::initialize(const KernelTrace &trace)
+{
+    if (initialized_)
+        panic("GpuSystem initialized twice");
+    initialized_ = true;
+
+    regions_ = trace.regions;
+    for (const TaggedRegion &region : regions_) {
+        if (offsetIn(region.base, kSectorBytes) != 0 ||
+            region.size % kSectorBytes != 0)
+            fatal("regions must be 32 B aligned");
+        if (region.base + region.size > map_->usableBytesTotal())
+            fatal("region exceeds usable device memory");
+        for (Addr addr = region.base; addr < region.base + region.size;
+             addr += kSectorBytes) {
+            const ecc::SectorData data = pattern(addr, 0);
+            archMem_.write(addr, std::span<const std::uint8_t>(data));
+            slices_[sliceOf(addr)]->scheme().initializeSector(addr, data,
+                                                              region.tag);
+        }
+    }
+}
+
+RunStats
+GpuSystem::run(const KernelTrace &trace)
+{
+    if (ran_)
+        panic("GpuSystem::run called twice");
+    ran_ = true;
+    if (!initialized_)
+        initialize(trace);
+
+    // Distribute warps round-robin over the SMs.
+    for (std::size_t w = 0; w < trace.warps.size(); ++w)
+        sms_[w % sms_.size()]->addWarp(&trace.warps[w]);
+    for (auto &sm : sms_)
+        sm->start();
+
+    if (!events_.run())
+        panic("event budget exceeded: livelock in the simulator");
+    for (const auto &sm : sms_) {
+        if (!sm->done())
+            panic("deadlock: SM finished with unretired warps");
+    }
+
+    RunStats rs;
+    rs.cycles = events_.now();
+    for (const auto &sm : sms_) {
+        rs.instructions += sm->statInsts.value();
+        rs.memInstructions += sm->statMemInsts.value();
+    }
+    rs.ipc = rs.cycles
+                 ? static_cast<double>(rs.instructions) /
+                       static_cast<double>(rs.cycles)
+                 : 0.0;
+
+    for (const auto &slice : slices_) {
+        const SchemeStats &ps = slice->scheme().stats;
+        rs.dramDataReads += ps.dataReads.value();
+        rs.dramDataWrites += ps.dataWrites.value();
+        rs.dramEccReads += ps.eccReads.value();
+        rs.dramEccWrites += ps.eccWrites.value();
+        rs.dramEccRmwReads += ps.eccRmwReads.value();
+        rs.mrcHits += ps.mrcHits.value();
+        rs.mrcMisses += ps.mrcMisses.value();
+        rs.mrcFetchMerges += ps.mrcFetchMerges.value();
+        rs.mrcDirtyEvictions += ps.mrcDirtyEvictions.value();
+        rs.decodeClean += ps.decodeClean.value();
+        rs.decodeCorrected += ps.decodeCorrected.value();
+        rs.decodeUncorrectable += ps.decodeUncorrectable.value();
+        rs.decodeTagMismatch += ps.decodeTagMismatch.value();
+        rs.l2SectorHits += slice->cache().statSectorHits.value();
+        rs.l2SectorMisses += slice->cache().statSectorMisses.value() +
+                             slice->cache().statLineMisses.value();
+    }
+    rs.dramTotalTxns = dram_->totalTransactions();
+    rs.rowHitRate = dram_->rowHitRate();
+
+    for (const auto &[name, value] : stats_.flatten())
+        rs.all.emplace(name, value);
+
+    // Drain dirty state so post-run audits see consistent memory.
+    // (Deliberately after the stats snapshot: the paper-style traffic
+    // numbers exclude the artificial end-of-run flush.)
+    for (auto &slice : slices_)
+        slice->flushAll();
+    if (!events_.run())
+        panic("event budget exceeded during flush");
+
+    return rs;
+}
+
+AuditResult
+GpuSystem::auditMemory() const
+{
+    AuditResult audit;
+    for (const TaggedRegion &region : regions_) {
+        for (Addr addr = region.base; addr < region.base + region.size;
+             addr += kSectorBytes) {
+            audit.sectors++;
+            const ChannelId channel = map_->channelOf(addr);
+            const Addr local = map_->channelLocalOf(addr);
+
+            ecc::SectorData stored{};
+            dram_->readBytes(channel, map_->dataPhys(local),
+                             std::span<std::uint8_t>(stored));
+
+            const ecc::SectorData golden = archRead(addr);
+            if (map_->layout() == EccLayout::kNone) {
+                if (stored == golden)
+                    audit.clean++;
+                else
+                    audit.silentCorruptions++;
+                continue;
+            }
+
+            ecc::SectorCheck check{};
+            dram_->readBytes(channel,
+                             map_->eccChunkPhys(local) +
+                                 sectorInChunk(local) *
+                                     ecc::kCheckBytesPerSector,
+                             std::span<std::uint8_t>(check));
+            const auto decoded = codec_->decode(stored, check, region.tag);
+            switch (decoded.status) {
+              case ecc::DecodeStatus::kClean:
+                audit.clean++;
+                break;
+              case ecc::DecodeStatus::kCorrected:
+                audit.corrected++;
+                break;
+              case ecc::DecodeStatus::kUncorrectable:
+              case ecc::DecodeStatus::kTagMismatch:
+                audit.uncorrectable++;
+                continue; // no trustworthy data to compare
+            }
+            if (decoded.data != golden)
+                audit.silentCorruptions++;
+        }
+    }
+    return audit;
+}
+
+void
+GpuSystem::injectDataFault(Addr logical, unsigned bit_index)
+{
+    const ChannelId channel = map_->channelOf(logical);
+    const Addr local = map_->channelLocalOf(logical);
+    const Addr phys = map_->dataPhys(sectorBase(local)) + bit_index / 8;
+    dram_->flipBit(channel, phys, bit_index % 8);
+}
+
+void
+GpuSystem::injectEccFault(Addr logical, unsigned byte_in_chunk,
+                          unsigned bit)
+{
+    const ChannelId channel = map_->channelOf(logical);
+    const Addr local = map_->channelLocalOf(logical);
+    dram_->flipBit(channel, map_->eccChunkPhys(local) + byte_in_chunk,
+                   bit);
+}
+
+} // namespace cachecraft

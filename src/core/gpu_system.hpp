@@ -1,0 +1,188 @@
+/**
+ * @file
+ * GpuSystem — the library's top-level object and primary public API.
+ *
+ * Builds the whole machine from a SystemConfig, runs one KernelTrace
+ * to completion under the configured protection scheme, and reports
+ * RunStats. Also exposes the fault-injection and memory-audit hooks
+ * the reliability experiments use.
+ *
+ * A GpuSystem instance runs exactly one kernel (construct a fresh one
+ * per data point — construction is cheap; all DRAM state is sparse).
+ */
+
+#ifndef CACHECRAFT_CORE_GPU_SYSTEM_HPP
+#define CACHECRAFT_CORE_GPU_SYSTEM_HPP
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "dram/storage.hpp"
+#include "gpu/crossbar.hpp"
+#include "gpu/kernel_trace.hpp"
+#include "gpu/l2_slice.hpp"
+#include "gpu/sm_core.hpp"
+
+namespace cachecraft {
+
+/** Results of one kernel run. */
+struct RunStats
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t memInstructions = 0;
+    double ipc = 0.0;
+
+    /** @{ DRAM transaction breakdown (excludes end-of-run flush). */
+    std::uint64_t dramDataReads = 0;
+    std::uint64_t dramDataWrites = 0;
+    std::uint64_t dramEccReads = 0;
+    std::uint64_t dramEccWrites = 0;
+    std::uint64_t dramEccRmwReads = 0;
+    std::uint64_t dramTotalTxns = 0;
+    double rowHitRate = 0.0;
+    /** @} */
+
+    /** @{ Metadata reconstruction cache behaviour. */
+    std::uint64_t mrcHits = 0;
+    std::uint64_t mrcMisses = 0;
+    std::uint64_t mrcFetchMerges = 0;
+    std::uint64_t mrcDirtyEvictions = 0;
+    /** @} */
+
+    /** @{ L2 aggregate behaviour. */
+    std::uint64_t l2SectorHits = 0;
+    std::uint64_t l2SectorMisses = 0;
+    /** @} */
+
+    /** @{ Decode outcomes. */
+    std::uint64_t decodeClean = 0;
+    std::uint64_t decodeCorrected = 0;
+    std::uint64_t decodeUncorrectable = 0;
+    std::uint64_t decodeTagMismatch = 0;
+    /** @} */
+
+    /** Every registered stat, flattened by name. */
+    std::map<std::string, double> all;
+
+    /** Fraction of metadata lookups that hit a resident MRC entry. */
+    double
+    mrcHitRate() const
+    {
+        const auto total = mrcHits + mrcMisses;
+        return total ? double(mrcHits) / double(total) : 0.0;
+    }
+
+    /**
+     * Fraction of metadata lookups served without a dedicated DRAM
+     * metadata transaction (resident hits + in-flight merges).
+     */
+    double
+    mrcCoverage() const
+    {
+        const auto total = mrcHits + mrcMisses;
+        return total ? double(mrcHits + mrcFetchMerges) / double(total)
+                     : 0.0;
+    }
+};
+
+/** Outcome of a post-run memory audit. */
+struct AuditResult
+{
+    std::uint64_t sectors = 0;
+    std::uint64_t clean = 0;
+    std::uint64_t corrected = 0;
+    std::uint64_t uncorrectable = 0;
+    /** Sectors whose decoded bytes differ from the golden copy (SDC). */
+    std::uint64_t silentCorruptions = 0;
+};
+
+/** The simulated GPU. See file comment. */
+class GpuSystem
+{
+  public:
+    explicit GpuSystem(const SystemConfig &config);
+    ~GpuSystem();
+
+    GpuSystem(const GpuSystem &) = delete;
+    GpuSystem &operator=(const GpuSystem &) = delete;
+
+    /** Run @p trace to completion and return its statistics. */
+    RunStats run(const KernelTrace &trace);
+
+    /**
+     * Initialize the trace's regions (golden data + encoded DRAM
+     * state) without running. run() calls this automatically; tests
+     * and fault campaigns call it directly to inject faults between
+     * initialization and execution.
+     */
+    void initialize(const KernelTrace &trace);
+
+    /** Flip one bit of the *stored data* sector at @p logical. */
+    void injectDataFault(Addr logical, unsigned bit_index);
+
+    /**
+     * Flip one bit of the stored ECC chunk covering @p logical
+     * (@p byte_in_chunk in [0,32), @p bit in [0,8)).
+     */
+    void injectEccFault(Addr logical, unsigned byte_in_chunk,
+                        unsigned bit);
+
+    /**
+     * Decode every initialized sector straight from DRAM storage and
+     * compare against the golden copy. Call after run() (which
+     * flushes all dirty state).
+     */
+    AuditResult auditMemory() const;
+
+    /** Golden (architectural) bytes of the sector at @p addr. */
+    ecc::SectorData archRead(Addr sector_addr) const;
+
+    /** The correct tag of @p addr per the initialized regions. */
+    ecc::MemTag tagOf(Addr addr) const;
+
+    const SystemConfig &config() const { return config_; }
+    StatRegistry &statsRegistry() { return stats_; }
+    const AddressMap &addressMap() const { return *map_; }
+    DramSystem &dram() { return *dram_; }
+    L2Slice &slice(std::size_t i) { return *slices_[i]; }
+    std::size_t numSlices() const { return slices_.size(); }
+    EventQueue &events() { return events_; }
+
+  private:
+    /** Deterministic data pattern for (sector, generation). */
+    static ecc::SectorData pattern(Addr sector_addr,
+                                   std::uint64_t generation);
+
+    /** Record a store's new architectural value. */
+    void onStore(Addr sector_addr);
+
+    /** Slice (== channel) owning @p addr. */
+    SliceId sliceOf(Addr addr) const;
+
+    SystemConfig config_;
+    StatRegistry stats_;
+    EventQueue events_;
+    std::unique_ptr<AddressMap> map_;
+    std::unique_ptr<DramSystem> dram_;
+    std::unique_ptr<ecc::SectorCodec> codec_;
+    SparseMemory metaShadow_;
+    SparseMemory archMem_;
+    std::vector<std::unique_ptr<L2Slice>> slices_;
+    std::vector<std::unique_ptr<SmCore>> sms_;
+    std::unique_ptr<Crossbar> reqXbar_;
+    std::unique_ptr<Crossbar> respXbar_;
+
+    std::vector<TaggedRegion> regions_;
+    std::map<Addr, std::uint64_t> writeGeneration_;
+    bool initialized_ = false;
+    bool ran_ = false;
+};
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_CORE_GPU_SYSTEM_HPP

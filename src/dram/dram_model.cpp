@@ -1,0 +1,183 @@
+#include "dram/dram_model.hpp"
+
+#include "common/log.hpp"
+
+namespace cachecraft {
+
+DramChannel::DramChannel(std::string name, ChannelId id,
+                         const AddressMap &map, const DramTiming &timing,
+                         EventQueue &events, StatRegistry *stats)
+    : name_(std::move(name)), id_(id), map_(map), timing_(timing),
+      events_(events), banks_(map.geometry().numBanks)
+{
+    if (stats) {
+        stats->registerCounter(name_ + ".reads", &statReads);
+        stats->registerCounter(name_ + ".writes", &statWrites);
+        stats->registerCounter(name_ + ".row_hits", &statRowHits);
+        stats->registerCounter(name_ + ".row_misses_closed",
+                               &statRowMissesClosed);
+        stats->registerCounter(name_ + ".row_conflicts", &statRowConflicts);
+        stats->registerCounter(name_ + ".busy_cycles", &statBusyCycles);
+        stats->registerHistogram(name_ + ".queue_latency",
+                                 &statQueueLatency);
+    }
+}
+
+void
+DramChannel::enqueue(DramRequest request)
+{
+    Pending pending;
+    pending.coord = map_.coordOf(id_, request.phys);
+    pending.req = std::move(request);
+    pending.arrival = events_.now();
+    pending.seq = seq_++;
+    queue_.push_back(std::move(pending));
+    if (!issueScheduled_) {
+        issueScheduled_ = true;
+        events_.scheduleAfter(0, [this] { tryIssue(); });
+    }
+}
+
+std::size_t
+DramChannel::pickNext() const
+{
+    // FR-FCFS over a bounded scheduler window (real controllers see
+    // a finite transaction queue): the oldest request within the
+    // window whose row is open in its bank wins; otherwise the oldest
+    // request overall.
+    const std::size_t window = std::min<std::size_t>(queue_.size(),
+                                                     kSchedulerWindow);
+    for (std::size_t i = 0; i < window; ++i) {
+        const Pending &p = queue_[i];
+        const BankState &bank = banks_[p.coord.bank];
+        if (bank.open && bank.openRow == p.coord.row)
+            return i;
+    }
+    return 0;
+}
+
+void
+DramChannel::tryIssue()
+{
+    issueScheduled_ = false;
+    if (queue_.empty())
+        return;
+
+    const Cycle now = events_.now();
+    // The data bus is the serialization point: wait for it.
+    if (busFreeAt_ > now) {
+        issueScheduled_ = true;
+        events_.schedule(busFreeAt_, [this] { tryIssue(); });
+        return;
+    }
+
+    const std::size_t idx = pickNext();
+    Pending pending = std::move(queue_[idx]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+
+    BankState &bank = banks_[pending.coord.bank];
+    const Cycle bank_ready = std::max(now, bank.readyAt);
+    Cycle cas_at;
+    if (bank.open && bank.openRow == pending.coord.row) {
+        statRowHits.inc();
+        cas_at = bank_ready;
+    } else if (!bank.open) {
+        statRowMissesClosed.inc();
+        cas_at = bank_ready + timing_.tRcd;
+    } else {
+        statRowConflicts.inc();
+        cas_at = bank_ready + timing_.tRp + timing_.tRcd;
+    }
+    bank.open = true;
+    bank.openRow = pending.coord.row;
+
+    const Cycle data_at = cas_at + timing_.tCas;
+    const Cycle done_at = data_at + timing_.tBurst;
+    // The bank can take its next CAS once this burst completes; writes
+    // additionally hold the bank for write recovery.
+    bank.readyAt = done_at + (pending.req.isWrite ? timing_.tWr : 0);
+    busFreeAt_ = data_at + timing_.tBurst;
+    statBusyCycles.inc(timing_.tBurst);
+
+    if (pending.req.isWrite)
+        statWrites.inc();
+    else
+        statReads.inc();
+
+    const Cycle complete_at = done_at + timing_.tController;
+    statQueueLatency.sample(complete_at - pending.arrival);
+
+    if (pending.req.onComplete)
+        events_.schedule(complete_at, std::move(pending.req.onComplete));
+
+    if (!queue_.empty()) {
+        issueScheduled_ = true;
+        events_.schedule(busFreeAt_, [this] { tryIssue(); });
+    }
+}
+
+DramSystem::DramSystem(const AddressMap &map, const DramTiming &timing,
+                       EventQueue &events, StatRegistry *stats)
+    : map_(map)
+{
+    const unsigned n = map.geometry().numChannels;
+    channels_.reserve(n);
+    for (unsigned c = 0; c < n; ++c) {
+        channels_.push_back(std::make_unique<DramChannel>(
+            strCat("dram.ch", c), static_cast<ChannelId>(c), map, timing,
+            events, stats));
+    }
+}
+
+Addr
+DramSystem::storageAddr(ChannelId channel, Addr phys) const
+{
+    return static_cast<Addr>(channel) * map_.geometry().channelCapacity +
+           phys;
+}
+
+void
+DramSystem::readBytes(ChannelId channel, Addr phys,
+                      std::span<std::uint8_t> out) const
+{
+    storage_.read(storageAddr(channel, phys), out);
+}
+
+void
+DramSystem::writeBytes(ChannelId channel, Addr phys,
+                       std::span<const std::uint8_t> in)
+{
+    storage_.write(storageAddr(channel, phys), in);
+}
+
+void
+DramSystem::flipBit(ChannelId channel, Addr phys, unsigned bit)
+{
+    storage_.flipBit(storageAddr(channel, phys), bit);
+}
+
+double
+DramSystem::rowHitRate() const
+{
+    std::uint64_t hits = 0;
+    std::uint64_t total = 0;
+    for (const auto &ch : channels_) {
+        hits += ch->statRowHits.value();
+        total += ch->statRowHits.value() +
+                 ch->statRowMissesClosed.value() +
+                 ch->statRowConflicts.value();
+    }
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+}
+
+std::uint64_t
+DramSystem::totalTransactions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : channels_)
+        total += ch->statReads.value() + ch->statWrites.value();
+    return total;
+}
+
+} // namespace cachecraft

@@ -1,0 +1,68 @@
+#include "ecc/aft_ecc.hpp"
+
+#include <algorithm>
+
+namespace cachecraft::ecc {
+
+AftEccCodec::AftEccCodec()
+    : rs_(static_cast<unsigned>(kSectorBytes) + 1 +
+              static_cast<unsigned>(kCheckBytesPerSector),
+          static_cast<unsigned>(kSectorBytes) + 1)
+{
+}
+
+SectorCheck
+AftEccCodec::encode(const SectorData &data, MemTag tag) const
+{
+    std::vector<GfElem> message(rs_.k());
+    std::copy(data.begin(), data.end(), message.begin());
+    message[kTagPosition] = tag;
+    const auto parity = rs_.encodeParity(message);
+    SectorCheck check{};
+    std::copy(parity.begin(), parity.end(), check.begin());
+    return check;
+}
+
+DecodeResult
+AftEccCodec::decode(const SectorData &data, const SectorCheck &check,
+                    MemTag tag) const
+{
+    // Reconstitute the virtual codeword with the tag the accessor
+    // *expects*; a stored-tag mismatch then appears as a symbol error
+    // at the (known) tag position.
+    std::vector<GfElem> received(rs_.n());
+    std::copy(data.begin(), data.end(), received.begin());
+    received[kTagPosition] = tag;
+    std::copy(check.begin(), check.end(),
+              received.begin() + kTagPosition + 1);
+
+    const auto rr = rs_.decode(received);
+    DecodeResult res;
+    if (!rr.ok) {
+        res.data = data;
+        res.status = DecodeStatus::kUncorrectable;
+        return res;
+    }
+
+    std::copy(rr.corrected.begin(), rr.corrected.begin() + kSectorBytes,
+              res.data.begin());
+    if (rr.clean)
+        return res;
+
+    const bool tag_hit = std::find(rr.positions.begin(), rr.positions.end(),
+                                   kTagPosition) != rr.positions.end();
+    if (tag_hit) {
+        // The "error" at the virtual position is the tag difference:
+        // a memory-safety violation, not a data error. Any additional
+        // corrected positions were genuine data errors, already fixed
+        // in res.data.
+        res.status = DecodeStatus::kTagMismatch;
+        res.correctedUnits = rr.numErrors - 1;
+    } else {
+        res.status = DecodeStatus::kCorrected;
+        res.correctedUnits = rr.numErrors;
+    }
+    return res;
+}
+
+} // namespace cachecraft::ecc

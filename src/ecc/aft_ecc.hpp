@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Alias-Free Tagged ECC (AFT-ECC), after "Implicit Memory Tagging:
+ * No-Overhead Memory Safety Using Alias-Free Tagged ECC" (ISCA'23).
+ *
+ * The memory tag is folded into the ECC parity instead of being
+ * stored: the code is a systematic RS(37,33) over GF(2^8) whose
+ * message is [32 data bytes | 1 *virtual* tag symbol]. Only the data
+ * and the 4 parity bytes are stored — the tag symbol travels with the
+ * pointer (upper address bits) and is re-inserted at decode time.
+ *
+ * Properties delivered (the "alias-free" contract):
+ *  - no data errors, matching tag     -> clean syndrome;
+ *  - no data errors, mismatched tag   -> the decoder locates a single
+ *    symbol error exactly at the virtual tag position, which is
+ *    unambiguously reported as a tag mismatch (a safety violation),
+ *    never aliased into a data correction;
+ *  - <= 2 data symbol errors, matching tag -> corrected as usual;
+ *  - 1 data error + mismatched tag    -> both identified (t = 2).
+ */
+
+#ifndef CACHECRAFT_ECC_AFT_ECC_HPP
+#define CACHECRAFT_ECC_AFT_ECC_HPP
+
+#include "ecc/codec.hpp"
+#include "ecc/reed_solomon.hpp"
+
+namespace cachecraft::ecc {
+
+/** Sector codec implementing Implicit Memory Tagging via AFT-ECC. */
+class AftEccCodec : public SectorCodec
+{
+  public:
+    AftEccCodec();
+
+    std::string name() const override { return "aft-ecc-rs-37-33"; }
+    bool supportsTags() const override { return true; }
+    unsigned tagBits() const override { return 8; }
+
+    SectorCheck encode(const SectorData &data, MemTag tag) const override;
+    DecodeResult decode(const SectorData &data, const SectorCheck &check,
+                        MemTag tag) const override;
+
+    /** Codeword index of the virtual tag symbol. */
+    static constexpr unsigned kTagPosition =
+        static_cast<unsigned>(kSectorBytes);
+
+  private:
+    ReedSolomon rs_;
+};
+
+} // namespace cachecraft::ecc
+
+#endif // CACHECRAFT_ECC_AFT_ECC_HPP

@@ -1,0 +1,66 @@
+#include "ecc/codec.hpp"
+
+#include "common/log.hpp"
+#include "ecc/aft_ecc.hpp"
+#include "ecc/reed_solomon.hpp"
+#include "ecc/sec_badaec.hpp"
+#include "ecc/secded.hpp"
+
+namespace cachecraft::ecc {
+
+const char *
+toString(DecodeStatus status)
+{
+    switch (status) {
+      case DecodeStatus::kClean:
+        return "clean";
+      case DecodeStatus::kCorrected:
+        return "corrected";
+      case DecodeStatus::kUncorrectable:
+        return "uncorrectable";
+      case DecodeStatus::kTagMismatch:
+        return "tag-mismatch";
+    }
+    return "unknown";
+}
+
+const char *
+toString(CodecKind kind)
+{
+    switch (kind) {
+      case CodecKind::kSecDed:
+        return "secded";
+      case CodecKind::kSecBadaec:
+        return "sec-badaec";
+      case CodecKind::kChipkill:
+        return "chipkill";
+      case CodecKind::kAftEcc:
+        return "aft-ecc";
+    }
+    return "unknown";
+}
+
+std::vector<CodecKind>
+allCodecs()
+{
+    return {CodecKind::kSecDed, CodecKind::kSecBadaec,
+            CodecKind::kChipkill, CodecKind::kAftEcc};
+}
+
+std::unique_ptr<SectorCodec>
+makeCodec(CodecKind kind)
+{
+    switch (kind) {
+      case CodecKind::kSecDed:
+        return std::make_unique<SecDedCodec>();
+      case CodecKind::kSecBadaec:
+        return std::make_unique<SecBadaecCodec>();
+      case CodecKind::kChipkill:
+        return std::make_unique<ChipkillCodec>();
+      case CodecKind::kAftEcc:
+        return std::make_unique<AftEccCodec>();
+    }
+    panic("unknown codec kind");
+}
+
+} // namespace cachecraft::ecc

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Common interface for the sector-granularity ECC codecs.
+ *
+ * Inline GPU memory protection dedicates a 12.5 % redundancy budget:
+ * each 32 B data sector is covered by 4 bytes of check data, and the
+ * eight sectors of a 256 B protection chunk share one 32 B ECC chunk.
+ * All codecs in this library fit that budget:
+ *
+ *  - SecDedCodec:       four interleaved Hsiao (72,64) words;
+ *  - ChipkillCodec:     RS(36,32) over GF(2^8), t = 2 symbols;
+ *  - AftEccCodec:       alias-free *tagged* RS code (Implicit Memory
+ *                       Tagging): one virtual tag symbol folded into
+ *                       the parity, zero extra storage.
+ */
+
+#ifndef CACHECRAFT_ECC_CODEC_HPP
+#define CACHECRAFT_ECC_CODEC_HPP
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cachecraft::ecc {
+
+/** Check bytes covering one 32 B data sector. */
+inline constexpr std::size_t kCheckBytesPerSector = 4;
+
+/** A 32 B sector payload. */
+using SectorData = std::array<std::uint8_t, kSectorBytes>;
+
+/** The 4 B of check data covering one sector. */
+using SectorCheck = std::array<std::uint8_t, kCheckBytesPerSector>;
+
+/** Memory tag carried by tagged codecs (lower bits used). */
+using MemTag = std::uint8_t;
+
+/** Outcome classification of a decode attempt. */
+enum class DecodeStatus : std::uint8_t
+{
+    /** Syndrome clean: data and tag verified unchanged. */
+    kClean,
+    /** Errors found and corrected; corrected data returned. */
+    kCorrected,
+    /** Errors detected but beyond correction capability (DUE). */
+    kUncorrectable,
+    /** No data error, but the stored tag differs from the expected
+     *  tag: a memory-safety violation (tagged codecs only). */
+    kTagMismatch,
+};
+
+/** Human-readable status name. */
+const char *toString(DecodeStatus status);
+
+/** Result of decoding one sector. */
+struct DecodeResult
+{
+    DecodeStatus status = DecodeStatus::kClean;
+    /** Data after correction (valid for kClean / kCorrected). */
+    SectorData data{};
+    /** Number of corrected bit or symbol errors. */
+    unsigned correctedUnits = 0;
+};
+
+/**
+ * Abstract sector codec. Implementations must be stateless and
+ * thread-compatible: all methods are const.
+ */
+class SectorCodec
+{
+  public:
+    virtual ~SectorCodec() = default;
+
+    /** Codec name for reports. */
+    virtual std::string name() const = 0;
+
+    /** True if the codec embeds a memory tag (IMT-style). */
+    virtual bool supportsTags() const = 0;
+
+    /** Bits of tag the codec can embed (0 for untagged codecs). */
+    virtual unsigned tagBits() const = 0;
+
+    /**
+     * Compute the check bytes for @p data under tag @p tag.
+     * Untagged codecs ignore the tag.
+     */
+    virtual SectorCheck encode(const SectorData &data, MemTag tag) const = 0;
+
+    /**
+     * Verify/correct @p data against @p check, expecting tag @p tag.
+     *
+     * @param data  possibly corrupted sector payload as read from DRAM
+     * @param check possibly corrupted check bytes as read from DRAM
+     * @param tag   the tag the *accessor* believes the location holds
+     */
+    virtual DecodeResult decode(const SectorData &data,
+                                const SectorCheck &check,
+                                MemTag tag) const = 0;
+};
+
+/** Which codec a configuration selects. */
+enum class CodecKind : std::uint8_t
+{
+    kSecDed,
+    kSecBadaec,
+    kChipkill,
+    kAftEcc,
+};
+
+/** All codec kinds in report order. */
+std::vector<CodecKind> allCodecs();
+
+/** Human-readable codec-kind name. */
+const char *toString(CodecKind kind);
+
+/** Factory: build the codec selected by @p kind. */
+std::unique_ptr<SectorCodec> makeCodec(CodecKind kind);
+
+} // namespace cachecraft::ecc
+
+#endif // CACHECRAFT_ECC_CODEC_HPP

@@ -1,0 +1,48 @@
+#include "ecc/crc32.hpp"
+
+#include <array>
+
+namespace cachecraft::ecc {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+buildTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    // Reflected Castagnoli polynomial.
+    constexpr std::uint32_t poly = 0x82F63B78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> &
+table()
+{
+    static const auto t = buildTable();
+    return t;
+}
+
+} // namespace
+
+std::uint32_t
+crc32cUpdate(std::uint32_t crc, std::span<const std::uint8_t> data)
+{
+    const auto &t = table();
+    for (std::uint8_t b : data)
+        crc = (crc >> 8) ^ t[(crc ^ b) & 0xFF];
+    return crc;
+}
+
+std::uint32_t
+crc32c(std::span<const std::uint8_t> data)
+{
+    return crc32cUpdate(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+} // namespace cachecraft::ecc

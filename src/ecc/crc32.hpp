@@ -1,0 +1,25 @@
+/**
+ * @file
+ * CRC-32C (Castagnoli) checksum, used by the simulator for end-to-end
+ * integrity auditing of DRAM storage contents and by tests as an
+ * independent witness that reconstruction is lossless.
+ */
+
+#ifndef CACHECRAFT_ECC_CRC32_HPP
+#define CACHECRAFT_ECC_CRC32_HPP
+
+#include <cstdint>
+#include <span>
+
+namespace cachecraft::ecc {
+
+/** Compute CRC-32C over @p data (init 0xFFFFFFFF, final XOR). */
+std::uint32_t crc32c(std::span<const std::uint8_t> data);
+
+/** Incremental CRC-32C: fold @p data into running value @p crc. */
+std::uint32_t crc32cUpdate(std::uint32_t crc,
+                           std::span<const std::uint8_t> data);
+
+} // namespace cachecraft::ecc
+
+#endif // CACHECRAFT_ECC_CRC32_HPP

@@ -1,0 +1,26 @@
+#include "ecc/gf256.hpp"
+
+namespace cachecraft::ecc {
+
+const Gf256::Tables &
+Gf256::tables()
+{
+    static const Tables t = [] {
+        Tables built;
+        unsigned x = 1;
+        for (unsigned i = 0; i < 255; ++i) {
+            built.exp[i] = static_cast<GfElem>(x);
+            built.log[x] = static_cast<std::uint16_t>(i);
+            x <<= 1;
+            if (x & 0x100)
+                x ^= kPrimPoly;
+        }
+        for (unsigned i = 255; i < 512; ++i)
+            built.exp[i] = built.exp[i - 255];
+        built.log[0] = 0; // never consulted for zero operands
+        return built;
+    }();
+    return t;
+}
+
+} // namespace cachecraft::ecc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Arithmetic over GF(2^8), the symbol field used by the
+ * Reed-Solomon-style chipkill code and the alias-free tagged ECC.
+ *
+ * The field is constructed with the primitive polynomial
+ * x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the conventional choice for
+ * byte-oriented RS codes. Multiplication/division/inversion go through
+ * log/antilog tables built once at startup.
+ */
+
+#ifndef CACHECRAFT_ECC_GF256_HPP
+#define CACHECRAFT_ECC_GF256_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace cachecraft::ecc {
+
+/** A GF(2^8) element is stored in one byte. */
+using GfElem = std::uint8_t;
+
+/** Singleton table holder for GF(2^8) arithmetic. */
+class Gf256
+{
+  public:
+    /** The primitive polynomial (without the x^8 term bit implied). */
+    static constexpr unsigned kPrimPoly = 0x11D;
+
+    /** Addition = subtraction = XOR. */
+    static GfElem add(GfElem a, GfElem b) { return a ^ b; }
+
+    /** Multiply two field elements. */
+    static GfElem
+    mul(GfElem a, GfElem b)
+    {
+        if (a == 0 || b == 0)
+            return 0;
+        const Tables &t = tables();
+        return t.exp[t.log[a] + t.log[b]];
+    }
+
+    /** Divide @p a by @p b; @p b must be nonzero. */
+    static GfElem
+    div(GfElem a, GfElem b)
+    {
+        const Tables &t = tables();
+        if (a == 0)
+            return 0;
+        return t.exp[t.log[a] + 255 - t.log[b]];
+    }
+
+    /** Multiplicative inverse; @p a must be nonzero. */
+    static GfElem
+    inv(GfElem a)
+    {
+        const Tables &t = tables();
+        return t.exp[255 - t.log[a]];
+    }
+
+    /** alpha^power for the primitive element alpha. */
+    static GfElem
+    pow(GfElem a, unsigned power)
+    {
+        if (a == 0)
+            return power == 0 ? 1 : 0;
+        const Tables &t = tables();
+        return t.exp[(static_cast<unsigned>(t.log[a]) * power) % 255];
+    }
+
+    /** alpha^i (i may exceed 255). */
+    static GfElem
+    alphaPow(unsigned i)
+    {
+        return tables().exp[i % 255];
+    }
+
+    /** Discrete log base alpha; @p a must be nonzero. */
+    static unsigned
+    logOf(GfElem a)
+    {
+        return tables().log[a];
+    }
+
+  private:
+    struct Tables
+    {
+        // exp has 512 entries so mul can skip the mod-255 reduction.
+        std::array<GfElem, 512> exp{};
+        std::array<std::uint16_t, 256> log{};
+    };
+
+    static const Tables &tables();
+};
+
+} // namespace cachecraft::ecc
+
+#endif // CACHECRAFT_ECC_GF256_HPP

@@ -1,0 +1,255 @@
+#include "ecc/reed_solomon.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace cachecraft::ecc {
+
+ReedSolomon::ReedSolomon(unsigned n, unsigned k) : n_(n), k_(k)
+{
+    if (n > 255 || k >= n || k == 0)
+        panic("invalid RS(n,k) parameters");
+    // g(x) = prod_{i=0}^{np-1} (x - alpha^i), built up iteratively.
+    genPoly_ = {1};
+    for (unsigned i = 0; i < numParity(); ++i) {
+        const GfElem root = Gf256::alphaPow(i);
+        std::vector<GfElem> next(genPoly_.size() + 1, 0);
+        for (std::size_t j = 0; j < genPoly_.size(); ++j) {
+            // Multiply by (x + root): shift for the x term, scale for
+            // the constant term (addition == subtraction in GF(2^8)).
+            next[j] = Gf256::add(next[j], genPoly_[j]);
+            next[j + 1] = Gf256::add(next[j + 1],
+                                     Gf256::mul(genPoly_[j], root));
+        }
+        genPoly_ = std::move(next);
+    }
+}
+
+std::vector<GfElem>
+ReedSolomon::encodeParity(std::span<const GfElem> message) const
+{
+    if (message.size() != k_)
+        panic("RS encode: message size mismatch");
+    // Polynomial long division of m(x) * x^np by g(x); the running
+    // remainder lives in `parity` (index 0 = highest degree).
+    const unsigned np = numParity();
+    std::vector<GfElem> parity(np, 0);
+    for (unsigned i = 0; i < k_; ++i) {
+        const GfElem coef = Gf256::add(message[i], parity[0]);
+        // Shift the remainder left by one symbol.
+        for (unsigned j = 0; j + 1 < np; ++j)
+            parity[j] = parity[j + 1];
+        parity[np - 1] = 0;
+        if (coef != 0) {
+            for (unsigned j = 0; j < np; ++j) {
+                parity[j] = Gf256::add(
+                    parity[j], Gf256::mul(coef, genPoly_[j + 1]));
+            }
+        }
+    }
+    return parity;
+}
+
+std::vector<GfElem>
+ReedSolomon::syndromes(std::span<const GfElem> received) const
+{
+    const unsigned np = numParity();
+    std::vector<GfElem> synd(np, 0);
+    for (unsigned j = 0; j < np; ++j) {
+        // Horner evaluation of R(x) at alpha^j.
+        const GfElem x = Gf256::alphaPow(j);
+        GfElem acc = 0;
+        for (unsigned i = 0; i < n_; ++i)
+            acc = Gf256::add(Gf256::mul(acc, x), received[i]);
+        synd[j] = acc;
+    }
+    return synd;
+}
+
+ReedSolomon::Result
+ReedSolomon::decode(std::span<const GfElem> received) const
+{
+    if (received.size() != n_)
+        panic("RS decode: received size mismatch");
+
+    Result res;
+    res.corrected.assign(received.begin(), received.end());
+
+    const auto synd = syndromes(received);
+    const bool any = std::any_of(synd.begin(), synd.end(),
+                                 [](GfElem s) { return s != 0; });
+    if (!any)
+        return res;
+
+    res.clean = false;
+
+    // --- Berlekamp-Massey: find the minimal error locator sigma(x),
+    // stored with sigma[0] = 1 (lowest degree first).
+    const unsigned np = numParity();
+    std::vector<GfElem> sigma = {1};
+    std::vector<GfElem> prev_sigma = {1};
+    GfElem prev_discrepancy = 1;
+    unsigned L = 0;
+    unsigned m = 1;
+
+    for (unsigned step = 0; step < np; ++step) {
+        // Discrepancy d = S[step] + sum_{i=1..L} sigma[i]*S[step-i].
+        GfElem d = synd[step];
+        for (unsigned i = 1; i <= L && i < sigma.size(); ++i) {
+            if (step >= i)
+                d = Gf256::add(d, Gf256::mul(sigma[i], synd[step - i]));
+        }
+        if (d == 0) {
+            ++m;
+            continue;
+        }
+        if (2 * L <= step) {
+            const std::vector<GfElem> tmp = sigma;
+            // sigma' = sigma - (d / prev_d) * x^m * prev_sigma
+            const GfElem scale = Gf256::div(d, prev_discrepancy);
+            if (sigma.size() < prev_sigma.size() + m)
+                sigma.resize(prev_sigma.size() + m, 0);
+            for (std::size_t i = 0; i < prev_sigma.size(); ++i) {
+                sigma[i + m] = Gf256::add(
+                    sigma[i + m], Gf256::mul(scale, prev_sigma[i]));
+            }
+            L = step + 1 - L;
+            prev_sigma = tmp;
+            prev_discrepancy = d;
+            m = 1;
+        } else {
+            const GfElem scale = Gf256::div(d, prev_discrepancy);
+            if (sigma.size() < prev_sigma.size() + m)
+                sigma.resize(prev_sigma.size() + m, 0);
+            for (std::size_t i = 0; i < prev_sigma.size(); ++i) {
+                sigma[i + m] = Gf256::add(
+                    sigma[i + m], Gf256::mul(scale, prev_sigma[i]));
+            }
+            ++m;
+        }
+    }
+
+    // Trim trailing zero coefficients.
+    while (sigma.size() > 1 && sigma.back() == 0)
+        sigma.pop_back();
+    const unsigned deg_sigma = static_cast<unsigned>(sigma.size()) - 1;
+    if (deg_sigma == 0 || deg_sigma > t()) {
+        res.ok = false;
+        return res;
+    }
+
+    // --- Chien search: position i (codeword index) has locator
+    // X_i = alpha^(n-1-i); it is an error position iff
+    // sigma(X_i^{-1}) == 0.
+    std::vector<unsigned> positions;
+    std::vector<GfElem> locators;
+    for (unsigned i = 0; i < n_; ++i) {
+        const unsigned exp_x = (n_ - 1 - i) % 255;
+        const GfElem x_inv = Gf256::alphaPow(255 - exp_x);
+        GfElem acc = 0;
+        GfElem xp = 1;
+        for (std::size_t j = 0; j < sigma.size(); ++j) {
+            acc = Gf256::add(acc, Gf256::mul(sigma[j], xp));
+            xp = Gf256::mul(xp, x_inv);
+        }
+        if (acc == 0) {
+            positions.push_back(i);
+            locators.push_back(Gf256::alphaPow(exp_x));
+        }
+    }
+    if (positions.size() != deg_sigma) {
+        res.ok = false;
+        return res;
+    }
+
+    // --- Forney: omega(x) = S(x) * sigma(x) mod x^np, with
+    // S(x) = sum synd[j] x^j. Error magnitude at locator X is
+    // e = X * omega(X^{-1}) / sigma'(X^{-1}) for fcr = 0.
+    std::vector<GfElem> omega(np, 0);
+    for (unsigned i = 0; i < np; ++i) {
+        GfElem acc = 0;
+        for (std::size_t j = 0; j <= i && j < sigma.size(); ++j)
+            acc = Gf256::add(acc, Gf256::mul(sigma[j], synd[i - j]));
+        omega[i] = acc;
+    }
+
+    for (std::size_t e = 0; e < positions.size(); ++e) {
+        const GfElem x = locators[e];
+        const GfElem x_inv = Gf256::inv(x);
+        // omega(X^{-1})
+        GfElem om = 0;
+        GfElem xp = 1;
+        for (unsigned j = 0; j < np; ++j) {
+            om = Gf256::add(om, Gf256::mul(omega[j], xp));
+            xp = Gf256::mul(xp, x_inv);
+        }
+        // Formal derivative sigma'(X^{-1}): odd-degree terms only.
+        GfElem dsig = 0;
+        for (std::size_t j = 1; j < sigma.size(); j += 2)
+            dsig = Gf256::add(dsig, Gf256::mul(sigma[j],
+                                               Gf256::pow(x_inv, static_cast<unsigned>(j - 1))));
+        if (dsig == 0) {
+            res.ok = false;
+            return res;
+        }
+        const GfElem magnitude = Gf256::mul(x, Gf256::div(om, dsig));
+        res.corrected[positions[e]] =
+            Gf256::add(res.corrected[positions[e]], magnitude);
+    }
+
+    // Post-check: re-verify the corrected word really is a codeword;
+    // otherwise the error pattern exceeded the code's capability.
+    const auto post = syndromes(res.corrected);
+    if (std::any_of(post.begin(), post.end(),
+                    [](GfElem s) { return s != 0; })) {
+        res.ok = false;
+        return res;
+    }
+
+    res.numErrors = static_cast<unsigned>(positions.size());
+    res.positions = std::move(positions);
+    return res;
+}
+
+ChipkillCodec::ChipkillCodec()
+    : rs_(static_cast<unsigned>(kSectorBytes + kCheckBytesPerSector),
+          static_cast<unsigned>(kSectorBytes))
+{
+}
+
+SectorCheck
+ChipkillCodec::encode(const SectorData &data, MemTag /* tag */) const
+{
+    const auto parity = rs_.encodeParity(
+        std::span<const GfElem>(data.data(), data.size()));
+    SectorCheck check{};
+    std::copy(parity.begin(), parity.end(), check.begin());
+    return check;
+}
+
+DecodeResult
+ChipkillCodec::decode(const SectorData &data, const SectorCheck &check,
+                      MemTag /* tag */) const
+{
+    std::vector<GfElem> received(rs_.n());
+    std::copy(data.begin(), data.end(), received.begin());
+    std::copy(check.begin(), check.end(), received.begin() + data.size());
+
+    const auto rr = rs_.decode(received);
+    DecodeResult res;
+    if (!rr.ok) {
+        res.data = data;
+        res.status = DecodeStatus::kUncorrectable;
+        return res;
+    }
+    std::copy(rr.corrected.begin(), rr.corrected.begin() + kSectorBytes,
+              res.data.begin());
+    if (!rr.clean) {
+        res.status = DecodeStatus::kCorrected;
+        res.correctedUnits = rr.numErrors;
+    }
+    return res;
+}
+
+} // namespace cachecraft::ecc

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * General Reed-Solomon codes over GF(2^8), plus the two sector codecs
+ * built on them:
+ *
+ *  - ChipkillCodec — RS(36,32), t = 2: corrects any two corrupted
+ *    byte symbols per 32 B sector, the symbol-based organization the
+ *    GPU-DRAM reliability literature recommends against multi-bit and
+ *    chip-granularity faults.
+ *
+ * The decoder is the textbook pipeline: Horner syndromes,
+ * Berlekamp-Massey error locator, Chien search, Forney magnitudes,
+ * with a post-correction syndrome re-check so that patterns beyond
+ * the correction capability are reported uncorrectable rather than
+ * silently miscorrected (when detectable).
+ */
+
+#ifndef CACHECRAFT_ECC_REED_SOLOMON_HPP
+#define CACHECRAFT_ECC_REED_SOLOMON_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecc/codec.hpp"
+#include "ecc/gf256.hpp"
+
+namespace cachecraft::ecc {
+
+/**
+ * A systematic RS(n, k) code over GF(2^8) with first consecutive
+ * root alpha^0. Codeword layout: [message symbols | parity symbols],
+ * with index 0 holding the highest-degree coefficient.
+ */
+class ReedSolomon
+{
+  public:
+    /** Outcome of a codeword decode. */
+    struct Result
+    {
+        /** True unless the pattern was uncorrectable. */
+        bool ok = true;
+        /** True if the received word was already a codeword. */
+        bool clean = true;
+        /** Number of symbol errors corrected. */
+        unsigned numErrors = 0;
+        /** Positions (codeword indices) of corrected symbols. */
+        std::vector<unsigned> positions;
+        /** The corrected codeword (valid when ok). */
+        std::vector<GfElem> corrected;
+    };
+
+    /**
+     * @param n codeword length in symbols (n <= 255)
+     * @param k message length in symbols (k < n)
+     */
+    ReedSolomon(unsigned n, unsigned k);
+
+    unsigned n() const { return n_; }
+    unsigned k() const { return k_; }
+    /** Number of parity symbols (n - k). */
+    unsigned numParity() const { return n_ - k_; }
+    /** Symbol-correction capability t = floor((n-k)/2). */
+    unsigned t() const { return (n_ - k_) / 2; }
+
+    /**
+     * Systematic encode: returns the n - k parity symbols for
+     * @p message (message.size() must equal k).
+     */
+    std::vector<GfElem> encodeParity(std::span<const GfElem> message) const;
+
+    /**
+     * Decode a received word of n symbols, correcting up to t symbol
+     * errors in place of the returned copy.
+     */
+    Result decode(std::span<const GfElem> received) const;
+
+    /** Compute the numParity() syndromes of @p received. */
+    std::vector<GfElem> syndromes(std::span<const GfElem> received) const;
+
+  private:
+    unsigned n_;
+    unsigned k_;
+    /** Generator polynomial, genPoly_[0] = highest-degree coeff = 1. */
+    std::vector<GfElem> genPoly_;
+};
+
+/** Sector codec: RS(36,32), two-symbol correction ("chipkill"). */
+class ChipkillCodec : public SectorCodec
+{
+  public:
+    ChipkillCodec();
+
+    std::string name() const override { return "chipkill-rs-36-32"; }
+    bool supportsTags() const override { return false; }
+    unsigned tagBits() const override { return 0; }
+
+    SectorCheck encode(const SectorData &data, MemTag tag) const override;
+    DecodeResult decode(const SectorData &data, const SectorCheck &check,
+                        MemTag tag) const override;
+
+  private:
+    ReedSolomon rs_;
+};
+
+} // namespace cachecraft::ecc
+
+#endif // CACHECRAFT_ECC_REED_SOLOMON_HPP

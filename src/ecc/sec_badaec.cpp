@@ -1,0 +1,212 @@
+#include "ecc/sec_badaec.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace cachecraft::ecc {
+
+namespace {
+
+/** What a nonzero syndrome decodes to. */
+enum class Action : std::uint8_t
+{
+    kNone,        //!< unused syndrome: detected-uncorrectable
+    kDataSingle,  //!< flip data bit `index`
+    kCheckSingle, //!< flip check bit `index`
+    kDataPair,    //!< flip data bits `index` and `index`+1
+    kCheckPair,   //!< flip check bits `index` and `index`+1
+};
+
+struct Entry
+{
+    Action action = Action::kNone;
+    std::uint8_t index = 0;
+};
+
+} // namespace
+
+/**
+ * Code tables: 64 data columns constructed so that all single-bit
+ * syndromes and all byte-aligned double-adjacent syndromes are
+ * mutually distinct, plus the 256-entry syndrome decode map.
+ */
+struct SecBadaec7264::Tables
+{
+    std::array<std::uint8_t, 64> column{};
+    std::array<Entry, 256> decodeMap{};
+};
+
+const SecBadaec7264::Tables &
+SecBadaec7264::tables()
+{
+    static const Tables t = [] {
+        // Randomized greedy construction with deterministic restarts.
+        for (std::uint64_t seed = 1;; ++seed) {
+            Tables built;
+            std::array<bool, 256> used{};
+            used[0] = true;
+            // Check-bit singles (identity columns) and the 7
+            // byte-aligned adjacent pairs within the check byte are
+            // fixed by the systematic form.
+            for (unsigned j = 0; j < 8; ++j) {
+                used[1u << j] = true;
+                built.decodeMap[1u << j] = {Action::kCheckSingle,
+                                            static_cast<std::uint8_t>(j)};
+            }
+            for (unsigned j = 0; j < 7; ++j) {
+                const std::uint8_t s =
+                    static_cast<std::uint8_t>(0x3u << j);
+                used[s] = true;
+                built.decodeMap[s] = {Action::kCheckPair,
+                                      static_cast<std::uint8_t>(j)};
+            }
+
+            Xoshiro256 rng(seed);
+            std::array<std::uint8_t, 254> candidates;
+            for (unsigned v = 2; v < 256; ++v)
+                candidates[v - 2] = static_cast<std::uint8_t>(v);
+
+            bool ok = true;
+            for (unsigned i = 0; i < 64 && ok; ++i) {
+                // Shuffle candidate order per bit (deterministic).
+                for (std::size_t k = candidates.size() - 1; k > 0; --k)
+                    std::swap(candidates[k],
+                              candidates[rng.below(k + 1)]);
+                bool placed = false;
+                for (std::uint8_t c : candidates) {
+                    if (used[c])
+                        continue;
+                    const bool same_byte = (i % 8) != 0;
+                    std::uint8_t pair = 0;
+                    if (same_byte) {
+                        pair = static_cast<std::uint8_t>(
+                            c ^ built.column[i - 1]);
+                        if (pair == 0 || used[pair] || pair == c)
+                            continue;
+                    }
+                    built.column[i] = c;
+                    used[c] = true;
+                    built.decodeMap[c] = {Action::kDataSingle,
+                                          static_cast<std::uint8_t>(i)};
+                    if (same_byte) {
+                        used[pair] = true;
+                        built.decodeMap[pair] = {
+                            Action::kDataPair,
+                            static_cast<std::uint8_t>(i - 1)};
+                    }
+                    placed = true;
+                    break;
+                }
+                ok = placed;
+            }
+            if (ok)
+                return built;
+            if (seed > 1000)
+                panic("SEC-BADAEC construction failed");
+        }
+    }();
+    return t;
+}
+
+std::uint8_t
+SecBadaec7264::dataColumn(unsigned i)
+{
+    return tables().column[i];
+}
+
+std::uint8_t
+SecBadaec7264::encode(std::uint64_t data)
+{
+    const Tables &t = tables();
+    std::uint8_t check = 0;
+    while (data != 0) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(data));
+        check ^= t.column[i];
+        data &= data - 1;
+    }
+    return check;
+}
+
+SecBadaec7264::WordResult
+SecBadaec7264::decode(std::uint64_t data, std::uint8_t check)
+{
+    const Tables &t = tables();
+    WordResult res;
+    res.data = data;
+    res.check = check;
+
+    const std::uint8_t syndrome = encode(data) ^ check;
+    if (syndrome == 0)
+        return res;
+
+    const Entry entry = t.decodeMap[syndrome];
+    switch (entry.action) {
+      case Action::kNone:
+        res.status = DecodeStatus::kUncorrectable;
+        return res;
+      case Action::kDataSingle:
+        res.data ^= std::uint64_t{1} << entry.index;
+        res.correctedBits = 1;
+        break;
+      case Action::kCheckSingle:
+        res.check ^= static_cast<std::uint8_t>(1u << entry.index);
+        res.correctedBits = 1;
+        break;
+      case Action::kDataPair:
+        res.data ^= std::uint64_t{3} << entry.index;
+        res.correctedBits = 2;
+        break;
+      case Action::kCheckPair:
+        res.check ^= static_cast<std::uint8_t>(3u << entry.index);
+        res.correctedBits = 2;
+        break;
+    }
+    res.status = DecodeStatus::kCorrected;
+    return res;
+}
+
+SectorCheck
+SecBadaecCodec::encode(const SectorData &data, MemTag /* tag */) const
+{
+    SectorCheck check{};
+    for (std::size_t w = 0; w < kCheckBytesPerSector; ++w) {
+        const std::uint64_t word =
+            loadLe64(std::span<const std::uint8_t>(data), w * 8);
+        check[w] = SecBadaec7264::encode(word);
+    }
+    return check;
+}
+
+DecodeResult
+SecBadaecCodec::decode(const SectorData &data, const SectorCheck &check,
+                       MemTag /* tag */) const
+{
+    DecodeResult res;
+    res.data = data;
+    for (std::size_t w = 0; w < kCheckBytesPerSector; ++w) {
+        const std::uint64_t word =
+            loadLe64(std::span<const std::uint8_t>(data), w * 8);
+        const auto wr = SecBadaec7264::decode(word, check[w]);
+        switch (wr.status) {
+          case DecodeStatus::kClean:
+            break;
+          case DecodeStatus::kCorrected:
+            res.correctedUnits += wr.correctedBits;
+            if (res.status == DecodeStatus::kClean)
+                res.status = DecodeStatus::kCorrected;
+            storeLe64(std::span<std::uint8_t>(res.data), w * 8, wr.data);
+            break;
+          case DecodeStatus::kUncorrectable:
+          case DecodeStatus::kTagMismatch:
+            res.status = DecodeStatus::kUncorrectable;
+            return res;
+        }
+    }
+    return res;
+}
+
+} // namespace cachecraft::ecc

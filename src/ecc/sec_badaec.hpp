@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SEC-BADAEC: Single Error Correction + Byte-Aligned Double-Adjacent
+ * Error Correction, after "SEC-BADAEC: An Efficient ECC With No
+ * Vacancy for Strong Memory Protection" (Song, Park, Sullivan, Kim —
+ * IEEE Access 2022), the same group's strengthened drop-in
+ * replacement for SEC-DED on-die/inline codes.
+ *
+ * Same redundancy as Hsiao (72,64) — 8 check bits per 64 data bits —
+ * but the parity-check matrix is *constructed* (randomized greedy
+ * search with a deterministic seed) so that, in addition to all
+ * single-bit errors, every double-adjacent error that does not cross
+ * an aligned byte boundary has a unique, decodable syndrome. That
+ * covers the dominant multi-bit DRAM failure mode the group's beam
+ * studies observed (adjacent cells in one device byte lane).
+ */
+
+#ifndef CACHECRAFT_ECC_SEC_BADAEC_HPP
+#define CACHECRAFT_ECC_SEC_BADAEC_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "ecc/codec.hpp"
+
+namespace cachecraft::ecc {
+
+/** One (72,64) SEC-BADAEC codeword. */
+class SecBadaec7264
+{
+  public:
+    /** Outcome of decoding a single word. */
+    struct WordResult
+    {
+        DecodeStatus status = DecodeStatus::kClean;
+        std::uint64_t data = 0;
+        std::uint8_t check = 0;
+        unsigned correctedBits = 0;
+    };
+
+    /** Compute the 8 check bits for @p data. */
+    static std::uint8_t encode(std::uint64_t data);
+
+    /** Verify/correct a received (data, check) pair. */
+    static WordResult decode(std::uint64_t data, std::uint8_t check);
+
+    /** Parity-check column for data bit @p i. */
+    static std::uint8_t dataColumn(unsigned i);
+
+  private:
+    struct Tables;
+    static const Tables &tables();
+};
+
+/** Sector codec: 4 x SEC-BADAEC (72,64) words. */
+class SecBadaecCodec : public SectorCodec
+{
+  public:
+    std::string name() const override { return "sec-badaec-72-64"; }
+    bool supportsTags() const override { return false; }
+    unsigned tagBits() const override { return 0; }
+
+    SectorCheck encode(const SectorData &data, MemTag tag) const override;
+    DecodeResult decode(const SectorData &data, const SectorCheck &check,
+                        MemTag tag) const override;
+};
+
+} // namespace cachecraft::ecc
+
+#endif // CACHECRAFT_ECC_SEC_BADAEC_HPP

@@ -1,0 +1,138 @@
+#include "ecc/secded.hpp"
+
+#include <bit>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace cachecraft::ecc {
+
+/**
+ * Static code tables: the 64 odd-weight parity-check columns (all 56
+ * weight-3 columns plus 8 weight-5 columns) and the syndrome reverse
+ * map.
+ *
+ * Reverse-map encoding: 0..63 = data bit position, 64..71 = check bit
+ * position, 0xFF = not a column (uncorrectable pattern).
+ */
+struct Hsiao7264::Tables
+{
+    std::array<std::uint8_t, 64> column{};
+    std::array<std::uint8_t, 256> reverse{};
+};
+
+const Hsiao7264::Tables &
+Hsiao7264::tables()
+{
+    static const Tables t = [] {
+        Tables built;
+        built.reverse.fill(0xFF);
+        unsigned idx = 0;
+        // All weight-3 columns first (56 of them), then weight-5
+        // columns until we have 64 data columns total.
+        for (int weight : {3, 5}) {
+            for (unsigned c = 1; c < 256 && idx < 64; ++c) {
+                if (std::popcount(c) == weight) {
+                    built.column[idx] = static_cast<std::uint8_t>(c);
+                    built.reverse[c] = static_cast<std::uint8_t>(idx);
+                    ++idx;
+                }
+            }
+        }
+        if (idx != 64)
+            panic("Hsiao(72,64) column construction failed");
+        // Weight-1 syndromes point at the check bits themselves.
+        for (unsigned j = 0; j < 8; ++j)
+            built.reverse[1u << j] = static_cast<std::uint8_t>(64 + j);
+        return built;
+    }();
+    return t;
+}
+
+std::uint8_t
+Hsiao7264::dataColumn(unsigned i)
+{
+    return tables().column[i];
+}
+
+std::uint8_t
+Hsiao7264::encode(std::uint64_t data)
+{
+    const Tables &t = tables();
+    std::uint8_t check = 0;
+    while (data != 0) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(data));
+        check ^= t.column[i];
+        data &= data - 1;
+    }
+    return check;
+}
+
+Hsiao7264::WordResult
+Hsiao7264::decode(std::uint64_t data, std::uint8_t check)
+{
+    const Tables &t = tables();
+    WordResult res;
+    res.data = data;
+    res.check = check;
+
+    const std::uint8_t syndrome = encode(data) ^ check;
+    if (syndrome == 0)
+        return res;
+
+    const std::uint8_t pos = t.reverse[syndrome];
+    if (pos == 0xFF) {
+        // Even-weight or unmatched odd-weight syndrome: >= 2 errors.
+        res.status = DecodeStatus::kUncorrectable;
+        return res;
+    }
+    res.status = DecodeStatus::kCorrected;
+    res.correctedBits = 1;
+    if (pos < 64)
+        res.data ^= std::uint64_t{1} << pos;
+    else
+        res.check ^= static_cast<std::uint8_t>(1u << (pos - 64));
+    return res;
+}
+
+SectorCheck
+SecDedCodec::encode(const SectorData &data, MemTag /* tag */) const
+{
+    SectorCheck check{};
+    for (std::size_t w = 0; w < kCheckBytesPerSector; ++w) {
+        const std::uint64_t word =
+            loadLe64(std::span<const std::uint8_t>(data), w * 8);
+        check[w] = Hsiao7264::encode(word);
+    }
+    return check;
+}
+
+DecodeResult
+SecDedCodec::decode(const SectorData &data, const SectorCheck &check,
+                    MemTag /* tag */) const
+{
+    DecodeResult res;
+    res.data = data;
+    for (std::size_t w = 0; w < kCheckBytesPerSector; ++w) {
+        const std::uint64_t word =
+            loadLe64(std::span<const std::uint8_t>(data), w * 8);
+        const auto wr = Hsiao7264::decode(word, check[w]);
+        switch (wr.status) {
+          case DecodeStatus::kClean:
+            break;
+          case DecodeStatus::kCorrected:
+            res.correctedUnits += wr.correctedBits;
+            if (res.status == DecodeStatus::kClean)
+                res.status = DecodeStatus::kCorrected;
+            storeLe64(std::span<std::uint8_t>(res.data), w * 8, wr.data);
+            break;
+          case DecodeStatus::kUncorrectable:
+          case DecodeStatus::kTagMismatch:
+            res.status = DecodeStatus::kUncorrectable;
+            return res;
+        }
+    }
+    return res;
+}
+
+} // namespace cachecraft::ecc

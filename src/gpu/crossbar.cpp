@@ -1,0 +1,30 @@
+#include "gpu/crossbar.hpp"
+
+#include <algorithm>
+
+namespace cachecraft {
+
+Crossbar::Crossbar(std::string name, unsigned num_ports, Cycle latency,
+                   EventQueue &events, StatRegistry *stats)
+    : name_(std::move(name)), latency_(latency), events_(events),
+      portFreeAt_(num_ports, 0)
+{
+    if (stats) {
+        stats->registerCounter(name_ + ".flits", &statFlits);
+        stats->registerCounter(name_ + ".contention_cycles",
+                               &statContentionCycles);
+    }
+}
+
+void
+Crossbar::send(unsigned port, std::function<void()> fn)
+{
+    statFlits.inc();
+    const Cycle now = events_.now();
+    const Cycle accept_at = std::max(now, portFreeAt_[port]);
+    statContentionCycles.inc(accept_at - now);
+    portFreeAt_[port] = accept_at + 1;
+    events_.schedule(accept_at + latency_, std::move(fn));
+}
+
+} // namespace cachecraft

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The SM <-> L2-slice interconnect, modeled as a pipelined crossbar:
+ * fixed traversal latency plus one-flit-per-cycle serialization at
+ * each destination port. That captures the two effects that matter
+ * here — added miss latency and per-slice bandwidth limits — without
+ * a full NoC model.
+ */
+
+#ifndef CACHECRAFT_GPU_CROSSBAR_HPP
+#define CACHECRAFT_GPU_CROSSBAR_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpu/event_queue.hpp"
+#include "stats/stats.hpp"
+
+namespace cachecraft {
+
+/** One direction of the interconnect (requests or responses). */
+class Crossbar
+{
+  public:
+    /**
+     * @param name     stat prefix
+     * @param num_ports destination port count
+     * @param latency  pipelined traversal latency in cycles
+     */
+    Crossbar(std::string name, unsigned num_ports, Cycle latency,
+             EventQueue &events, StatRegistry *stats);
+
+    /**
+     * Deliver @p fn at destination @p port after traversal latency,
+     * respecting the port's one-per-cycle acceptance rate.
+     */
+    void send(unsigned port, std::function<void()> fn);
+
+    Counter statFlits;
+    Counter statContentionCycles;
+
+  private:
+    std::string name_;
+    Cycle latency_;
+    EventQueue &events_;
+    std::vector<Cycle> portFreeAt_;
+};
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_GPU_CROSSBAR_HPP

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The discrete-event engine driving the whole simulator.
+ *
+ * Components schedule closures at absolute cycles; the queue executes
+ * them in (cycle, insertion-order) order. Determinism matters: ties
+ * are broken by a monotone sequence number, never by heap internals.
+ */
+
+#ifndef CACHECRAFT_GPU_EVENT_QUEUE_HPP
+#define CACHECRAFT_GPU_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace cachecraft {
+
+/** Discrete-event queue with deterministic tie-breaking. */
+class EventQueue
+{
+  public:
+    /** Current simulated cycle. */
+    Cycle now() const { return now_; }
+
+    /** Schedule @p fn to run at absolute cycle @p when (>= now). */
+    void
+    schedule(Cycle when, std::function<void()> fn)
+    {
+        if (when < now_)
+            panic("event scheduled in the past");
+        heap_.push(Event{when, seq_++, std::move(fn)});
+    }
+
+    /** Schedule @p fn @p delta cycles from now. */
+    void
+    scheduleAfter(Cycle delta, std::function<void()> fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /** True if no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /**
+     * Run events until the queue drains.
+     * @param max_events safety valve against livelock bugs.
+     * @return true if drained; false if the valve tripped.
+     */
+    bool
+    run(std::uint64_t max_events = 2'000'000'000ull)
+    {
+        std::uint64_t executed = 0;
+        while (!heap_.empty()) {
+            if (executed++ >= max_events)
+                return false;
+            // Moving the closure out before pop keeps re-entrant
+            // scheduling from invalidating the top element.
+            Event ev = std::move(const_cast<Event &>(heap_.top()));
+            heap_.pop();
+            now_ = ev.when;
+            ev.fn();
+        }
+        return true;
+    }
+
+    /** Total events executed so far (for perf accounting). */
+    std::uint64_t executedEvents() const { return seq_; }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    Cycle now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+};
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_GPU_EVENT_QUEUE_HPP

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The workload interface: a kernel is a per-warp stream of
+ * instructions (compute delays + SIMT memory operations) plus the
+ * tagged memory regions it touches.
+ *
+ * This is the substitution for SASS traces feeding Accel-Sim: the
+ * protection mechanisms under study live entirely below the L1, so
+ * what matters is the sector-level access stream each warp emits —
+ * its coalescing behaviour, reuse distances, read/write mix, and
+ * spatial locality — all of which the synthetic generators in
+ * src/workloads control explicitly.
+ */
+
+#ifndef CACHECRAFT_GPU_KERNEL_TRACE_HPP
+#define CACHECRAFT_GPU_KERNEL_TRACE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "ecc/codec.hpp"
+
+namespace cachecraft {
+
+/** One warp-level instruction. */
+struct WarpInst
+{
+    /** ALU/issue work preceding this instruction, in cycles. */
+    Cycle computeCycles = 0;
+    /** True if this instruction accesses memory. */
+    bool isMem = false;
+    /** For memory instructions: store (true) or load (false). */
+    bool isWrite = false;
+    /**
+     * Byte addresses of the active lanes (up to kWarpLanes).
+     * Inactive lanes are simply absent.
+     */
+    std::vector<Addr> lanes;
+    /**
+     * Expected-tag override for memory-safety experiments: -1 uses
+     * the region's correct tag; 0..255 forces that tag (modeling a
+     * stale/corrupted pointer whose tag bits disagree with memory).
+     */
+    std::int16_t tagOverride = -1;
+};
+
+/** A memory region the kernel touches, with its memory tag. */
+struct TaggedRegion
+{
+    Addr base = 0;
+    std::size_t size = 0;
+    ecc::MemTag tag = 0;
+};
+
+/** A complete kernel: instruction streams for every warp. */
+struct KernelTrace
+{
+    std::string name;
+    /** warps[w] is the in-order instruction stream of warp w. */
+    std::vector<std::vector<WarpInst>> warps;
+    /** Regions to initialize (must cover every accessed address). */
+    std::vector<TaggedRegion> regions;
+
+    /** Total warp instructions across all warps. */
+    std::uint64_t
+    totalInsts() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &w : warps)
+            n += w.size();
+        return n;
+    }
+
+    /** Total dynamic memory instructions. */
+    std::uint64_t
+    totalMemInsts() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &w : warps)
+            for (const auto &inst : w)
+                n += inst.isMem ? 1 : 0;
+        return n;
+    }
+};
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_GPU_KERNEL_TRACE_HPP

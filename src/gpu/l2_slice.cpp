@@ -1,0 +1,186 @@
+#include "gpu/l2_slice.hpp"
+
+#include "common/log.hpp"
+
+namespace cachecraft {
+
+L2Slice::L2Slice(std::string name, SliceId id, const L2SliceParams &params,
+                 EventQueue &events,
+                 std::unique_ptr<ProtectionScheme> scheme,
+                 ArchReadFn arch_read, TagFn tag_of, StatRegistry *stats)
+    : name_(std::move(name)), id_(id), params_(params), events_(events),
+      scheme_(std::move(scheme)), archRead_(std::move(arch_read)),
+      tagOf_(std::move(tag_of)),
+      cache_(name_ + ".cache", params.cache, stats),
+      mshrs_(name_ + ".mshr", params.mshrEntries, stats)
+{
+    if (stats) {
+        stats->registerCounter(name_ + ".reads", &statReads);
+        stats->registerCounter(name_ + ".writes", &statWrites);
+        stats->registerCounter(name_ + ".mshr_stall_retries",
+                               &statMshrStallRetries);
+        stats->registerCounter(name_ + ".prefetch_fetches",
+                               &statPrefetchFetches);
+    }
+}
+
+Cycle
+L2Slice::serviceSlot()
+{
+    const Cycle now = events_.now();
+    const Cycle slot = std::max(now, nextServiceAt_);
+    nextServiceAt_ = slot + 1;
+    return slot;
+}
+
+void
+L2Slice::handleEviction(const std::optional<Eviction> &ev)
+{
+    if (!ev || !ev->dirtyMask)
+        return;
+    // Write back every dirty sector of the victim line through the
+    // protection scheme (posted).
+    for (std::size_t s = 0; s < kSectorsPerLine; ++s) {
+        if (!(ev->dirtyMask & (1u << s)))
+            continue;
+        const Addr sector = ev->lineAddr + s * kSectorBytes;
+        scheme_->writeSector(sector, archRead_(sector), tagOf_(sector));
+    }
+}
+
+void
+L2Slice::read(Addr sector_addr, ecc::MemTag expected_tag,
+              std::function<void()> done)
+{
+    statReads.inc();
+    const Cycle slot = serviceSlot();
+    events_.schedule(slot, [this, sector_addr, expected_tag,
+                            done = std::move(done)]() mutable {
+        const auto result = cache_.access(sector_addr,
+                                          /* is_write= */ false);
+        if (result.sectorHit) {
+            events_.scheduleAfter(params_.hitLatency, std::move(done));
+            return;
+        }
+        handleReadMiss(sector_addr, expected_tag, std::move(done));
+    });
+}
+
+void
+L2Slice::handleReadMiss(Addr sector_addr, ecc::MemTag tag,
+                        std::function<void()> done)
+{
+    using Outcome = MshrFile::AllocOutcome;
+    const Outcome outcome = mshrs_.allocate(sector_addr, 1, 0);
+    switch (outcome) {
+      case Outcome::kMergedExisting:
+      case Outcome::kMergedNewSector:
+        waiting_[sector_addr].push_back(std::move(done));
+        return;
+      case Outcome::kFull:
+        // Structural stall: park the request; it is retried when an
+        // MSHR frees up (no polling).
+        statMshrStallRetries.inc();
+        blocked_.push_back(
+            BlockedRead{sector_addr, tag, std::move(done)});
+        return;
+      case Outcome::kNewEntry:
+        break;
+    }
+
+    waiting_[sector_addr].push_back(std::move(done));
+    issueFetch(sector_addr, tag);
+    if (params_.fetchWholeLine)
+        prefetchSiblings(sector_addr, tag);
+}
+
+void
+L2Slice::issueFetch(Addr sector_addr, ecc::MemTag tag)
+{
+    scheme_->readSector(
+        sector_addr, tag,
+        [this, sector_addr](const SectorFetchResult & /* result */) {
+            // The sector arrives verified (reconstructed); install it.
+            const SectorMask bit = static_cast<SectorMask>(
+                1u << sectorInLine(sector_addr));
+            handleEviction(cache_.fill(sector_addr, bit, 0));
+            mshrs_.release(sector_addr);
+            auto node = waiting_.extract(sector_addr);
+            if (!node.empty()) {
+                for (auto &waiter : node.mapped())
+                    waiter();
+            }
+            // An MSHR just freed: admit one parked request.
+            if (!blocked_.empty()) {
+                BlockedRead blocked = std::move(blocked_.front());
+                blocked_.pop_front();
+                handleReadMiss(blocked.sectorAddr, blocked.tag,
+                               std::move(blocked.done));
+            }
+        });
+}
+
+void
+L2Slice::prefetchSiblings(Addr sector_addr, ecc::MemTag tag)
+{
+    const Addr line = alignDown(sector_addr, kLineBytes);
+    const SectorMask present = cache_.presentSectors(line);
+    for (std::size_t s = 0; s < kSectorsPerLine; ++s) {
+        const Addr sibling = line + s * kSectorBytes;
+        if (sibling == sector_addr)
+            continue;
+        if (present & (1u << s))
+            continue;
+        if (mshrs_.contains(sibling))
+            continue;
+        // Best-effort: never let prefetch exhaust the MSHR file.
+        if (mshrs_.size() + 1 >= mshrs_.capacity())
+            return;
+        if (mshrs_.allocate(sibling, 1, 0) !=
+            MshrFile::AllocOutcome::kNewEntry)
+            continue;
+        statPrefetchFetches.inc();
+        issueFetch(sibling, tag);
+    }
+}
+
+void
+L2Slice::write(Addr sector_addr, ecc::MemTag /* expected_tag */)
+{
+    statWrites.inc();
+    const Cycle slot = serviceSlot();
+    events_.schedule(slot, [this, sector_addr] {
+        const auto result = cache_.access(sector_addr,
+                                          /* is_write= */ true);
+        if (result.sectorHit)
+            return; // dirty bit set by access()
+        // Full-sector store: write-allocate without fetch.
+        const SectorMask bit = static_cast<SectorMask>(
+            1u << sectorInLine(sector_addr));
+        handleEviction(cache_.fill(sector_addr, bit, bit));
+    });
+}
+
+void
+L2Slice::flushAll()
+{
+    std::vector<std::pair<Addr, SectorMask>> dirty;
+    cache_.forEachLine([&dirty](Addr line, SectorMask /* valid */,
+                                SectorMask dirty_mask) {
+        if (dirty_mask)
+            dirty.emplace_back(line, dirty_mask);
+    });
+    for (const auto &[line, mask] : dirty) {
+        for (std::size_t s = 0; s < kSectorsPerLine; ++s) {
+            if (!(mask & (1u << s)))
+                continue;
+            const Addr sector = line + s * kSectorBytes;
+            scheme_->writeSector(sector, archRead_(sector),
+                                 tagOf_(sector));
+        }
+        cache_.cleanSectors(line, mask);
+    }
+    scheme_->flush();
+}
+
+} // namespace cachecraft

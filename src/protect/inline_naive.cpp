@@ -1,0 +1,46 @@
+#include "protect/inline_naive.hpp"
+
+#include <memory>
+
+namespace cachecraft {
+
+void
+InlineNaiveScheme::readSector(Addr logical, ecc::MemTag tag,
+                              FetchCallback done)
+{
+    // Both the data sector and its ECC chunk must arrive before the
+    // sector can be verified and delivered.
+    auto remaining = std::make_shared<int>(2);
+    auto finish = [this, logical, tag, remaining,
+                   done = std::move(done)]() {
+        if (--*remaining > 0)
+            return;
+        done(decodeSector(logical, tag, /* check_from_shadow= */ false));
+    };
+    issueDataTxn(logical, /* is_write= */ false, finish);
+    issueEccTxn(logical, /* is_write= */ false, finish);
+}
+
+void
+InlineNaiveScheme::writeSector(Addr logical, const ecc::SectorData &data,
+                               ecc::MemTag tag)
+{
+    // Functional state updates immediately; transactions model cost.
+    ctx_.dram->writeBytes(ctx_.channel, dataPhys(logical),
+                          std::span<const std::uint8_t>(data));
+    const ecc::SectorCheck check = ctx_.codec->encode(data, tag);
+    writeShadowCheck(logical, check);
+    ctx_.dram->writeBytes(ctx_.channel,
+                          eccPhys(logical) + checkOffset(logical),
+                          std::span<const std::uint8_t>(check));
+
+    issueDataTxn(logical, /* is_write= */ true, nullptr);
+    // ECC read-modify-write: the chunk write may only issue after the
+    // chunk read returns.
+    stats.eccRmwReads.inc();
+    issueEccTxn(logical, /* is_write= */ false, [this, logical] {
+        issueEccTxn(logical, /* is_write= */ true, nullptr);
+    });
+}
+
+} // namespace cachecraft

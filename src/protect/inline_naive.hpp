@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Conventional inline ECC with no metadata caching: the cost model
+ * the paper's introduction motivates against.
+ *
+ * Every data-sector read also reads the covering ECC chunk (+100 %
+ * transactions on the metadata path per miss, +12.5 % bytes), and
+ * every dirty-sector writeback performs a read-modify-write of the
+ * ECC chunk (2 extra transactions), because a 4 B check-field update
+ * cannot be expressed as a masked DRAM write when ECC is enabled.
+ */
+
+#ifndef CACHECRAFT_PROTECT_INLINE_NAIVE_HPP
+#define CACHECRAFT_PROTECT_INLINE_NAIVE_HPP
+
+#include "protect/scheme.hpp"
+
+namespace cachecraft {
+
+/** Inline ECC without any metadata caching. */
+class InlineNaiveScheme : public ProtectionScheme
+{
+  public:
+    explicit InlineNaiveScheme(const SchemeContext &ctx)
+        : ProtectionScheme(ctx)
+    {
+    }
+
+    std::string name() const override { return "inline-naive"; }
+
+    void readSector(Addr logical, ecc::MemTag tag,
+                    FetchCallback done) override;
+    void writeSector(Addr logical, const ecc::SectorData &data,
+                     ecc::MemTag tag) override;
+};
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_PROTECT_INLINE_NAIVE_HPP

@@ -1,0 +1,28 @@
+#include "protect/none_scheme.hpp"
+
+namespace cachecraft {
+
+void
+NoneScheme::readSector(Addr logical, ecc::MemTag /* tag */,
+                       FetchCallback done)
+{
+    issueDataTxn(logical, /* is_write= */ false,
+                 [this, logical, done = std::move(done)] {
+                     SectorFetchResult res;
+                     res.status = ecc::DecodeStatus::kClean;
+                     res.data = readStoredData(logical);
+                     stats.decodeClean.inc();
+                     done(res);
+                 });
+}
+
+void
+NoneScheme::writeSector(Addr logical, const ecc::SectorData &data,
+                        ecc::MemTag /* tag */)
+{
+    ctx_.dram->writeBytes(ctx_.channel, dataPhys(logical),
+                          std::span<const std::uint8_t>(data));
+    issueDataTxn(logical, /* is_write= */ true, nullptr);
+}
+
+} // namespace cachecraft

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The unprotected baseline: no ECC storage, no metadata traffic.
+ * Establishes the performance upper bound every protected scheme is
+ * normalized against.
+ */
+
+#ifndef CACHECRAFT_PROTECT_NONE_SCHEME_HPP
+#define CACHECRAFT_PROTECT_NONE_SCHEME_HPP
+
+#include "protect/scheme.hpp"
+
+namespace cachecraft {
+
+/** ECC-off scheme: one DRAM transaction per sector access. */
+class NoneScheme : public ProtectionScheme
+{
+  public:
+    explicit NoneScheme(const SchemeContext &ctx) : ProtectionScheme(ctx) {}
+
+    std::string name() const override { return "no-ecc"; }
+
+    void readSector(Addr logical, ecc::MemTag tag,
+                    FetchCallback done) override;
+    void writeSector(Addr logical, const ecc::SectorData &data,
+                     ecc::MemTag tag) override;
+};
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_PROTECT_NONE_SCHEME_HPP

@@ -1,0 +1,82 @@
+#include "stats/energy.hpp"
+
+namespace cachecraft {
+
+namespace {
+
+/** Sum all stats whose name ends with @p suffix. */
+double
+sumSuffix(const std::map<std::string, double> &all,
+          const std::string &suffix)
+{
+    double sum = 0.0;
+    for (const auto &[name, value] : all) {
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            sum += value;
+    }
+    return sum;
+}
+
+/** Sum all stats whose name contains @p part and ends with @p suffix. */
+double
+sumContaining(const std::map<std::string, double> &all,
+              const std::string &part, const std::string &suffix)
+{
+    double sum = 0.0;
+    for (const auto &[name, value] : all) {
+        if (name.find(part) == std::string::npos)
+            continue;
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            sum += value;
+    }
+    return sum;
+}
+
+} // namespace
+
+EnergyBreakdown
+computeEnergy(const std::map<std::string, double> &all,
+              const EnergyParams &params)
+{
+    EnergyBreakdown out;
+    constexpr double pj_to_nj = 1e-3;
+
+    // DRAM: every closed-bank miss costs an activate; every conflict
+    // costs a precharge + activate (charged as one activate pair).
+    const double activates =
+        sumContaining(all, "dram.", ".row_misses_closed") +
+        sumContaining(all, "dram.", ".row_conflicts");
+    const double reads = sumContaining(all, "dram.", ".reads");
+    const double writes = sumContaining(all, "dram.", ".writes");
+    out.dramActivateNj = activates * params.dramActivatePj * pj_to_nj;
+    out.dramReadNj = reads * params.dramReadBurstPj * pj_to_nj;
+    out.dramWriteNj = writes * params.dramWriteBurstPj * pj_to_nj;
+
+    // SRAM structures, by access counts.
+    out.l1Nj = sumContaining(all, ".l1.", ".accesses") *
+               params.l1AccessPj * pj_to_nj;
+    out.l2Nj = sumContaining(all, "l2.", ".cache.accesses") *
+               params.l2AccessPj * pj_to_nj;
+    out.mrcNj = (sumContaining(all, ".mrc.", ".accesses") +
+                 sumContaining(all, ".mrc.", ".fills")) *
+                params.mrcAccessPj * pj_to_nj;
+
+    // Codec work: one op per decode outcome plus one per data write
+    // (encode). Decode outcomes are mutually exclusive counters.
+    const double decodes = sumSuffix(all, ".decode_clean") +
+                           sumSuffix(all, ".decode_corrected") +
+                           sumSuffix(all, ".decode_uncorrectable") +
+                           sumSuffix(all, ".decode_tag_mismatch");
+    const double encodes = sumSuffix(all, ".data_writes");
+    out.codecNj = (decodes + encodes) * params.codecOpPj * pj_to_nj;
+
+    out.xbarNj = sumContaining(all, "xbar.", ".flits") *
+                 params.xbarFlitPj * pj_to_nj;
+    return out;
+}
+
+} // namespace cachecraft

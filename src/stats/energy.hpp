@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Post-run energy accounting.
+ *
+ * The GPU-memory-protection literature reports DRAM/memory-system
+ * energy alongside performance, because inline ECC's extra
+ * transactions cost energy even when latency is hidden. This model
+ * charges published per-event energies (GDDR6-class, 45 nm-scaled
+ * SRAM) against the simulator's event counters — an analytic model in
+ * the style of the DRAMPower/CACTI usage in the source papers, not a
+ * circuit simulation. Absolute joules are indicative; *relative*
+ * energy across schemes (same counters, same coefficients) is the
+ * result.
+ */
+
+#ifndef CACHECRAFT_STATS_ENERGY_HPP
+#define CACHECRAFT_STATS_ENERGY_HPP
+
+#include <map>
+#include <string>
+
+namespace cachecraft {
+
+struct RunStats;
+
+/** Per-event energies in picojoules. */
+struct EnergyParams
+{
+    /** One DRAM row activation + precharge pair. */
+    double dramActivatePj = 909.0;
+    /** One 32 B read burst (I/O + array). */
+    double dramReadBurstPj = 1200.0;
+    /** One 32 B write burst. */
+    double dramWriteBurstPj = 1300.0;
+    /** One L1 tag+data access (64 KiB SRAM). */
+    double l1AccessPj = 20.0;
+    /** One L2 slice access (512 KiB SRAM). */
+    double l2AccessPj = 65.0;
+    /** One MRC access (16 KiB SRAM). */
+    double mrcAccessPj = 8.0;
+    /** One sector decode/encode through the codec logic. */
+    double codecOpPj = 4.0;
+    /** One crossbar flit traversal. */
+    double xbarFlitPj = 10.0;
+};
+
+/** Energy totals per component, in nanojoules. */
+struct EnergyBreakdown
+{
+    double dramActivateNj = 0.0;
+    double dramReadNj = 0.0;
+    double dramWriteNj = 0.0;
+    double l1Nj = 0.0;
+    double l2Nj = 0.0;
+    double mrcNj = 0.0;
+    double codecNj = 0.0;
+    double xbarNj = 0.0;
+
+    double
+    dramNj() const
+    {
+        return dramActivateNj + dramReadNj + dramWriteNj;
+    }
+
+    double
+    totalNj() const
+    {
+        return dramNj() + l1Nj + l2Nj + mrcNj + codecNj + xbarNj;
+    }
+};
+
+/**
+ * Compute the energy breakdown from a run's flattened statistics
+ * (RunStats::all) under @p params.
+ */
+EnergyBreakdown computeEnergy(const std::map<std::string, double> &all,
+                              const EnergyParams &params = {});
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_STATS_ENERGY_HPP

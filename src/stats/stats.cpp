@@ -1,0 +1,154 @@
+#include "stats/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace cachecraft {
+
+void
+HistogramStat::sample(std::uint64_t v)
+{
+    const std::size_t idx = std::min<std::size_t>(
+        static_cast<std::size_t>(v / bucketWidth_), buckets_.size() - 1);
+    buckets_[idx]++;
+    count_++;
+    sum_ += static_cast<double>(v);
+    if (count_ == 1) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+}
+
+void
+HistogramStat::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0;
+    max_ = 0;
+}
+
+double
+HistogramStat::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double target = q * static_cast<double>(count_);
+    double running = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        running += static_cast<double>(buckets_[i]);
+        if (running >= target) {
+            // Bucket midpoint; the overflow bucket reports its lower edge.
+            const double lo = static_cast<double>(i * bucketWidth_);
+            if (i + 1 == buckets_.size())
+                return lo;
+            return lo + static_cast<double>(bucketWidth_) / 2.0;
+        }
+    }
+    return static_cast<double>(max_);
+}
+
+void
+StatRegistry::registerCounter(const std::string &name, Counter *c)
+{
+    if (!counters_.emplace(name, c).second)
+        panic("duplicate counter registration: " + name);
+}
+
+void
+StatRegistry::registerScalar(const std::string &name, ScalarStat *s)
+{
+    if (!scalars_.emplace(name, s).second)
+        panic("duplicate scalar registration: " + name);
+}
+
+void
+StatRegistry::registerHistogram(const std::string &name, HistogramStat *h)
+{
+    if (!histograms_.emplace(name, h).second)
+        panic("duplicate histogram registration: " + name);
+}
+
+const Counter *
+StatRegistry::counter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second;
+}
+
+const ScalarStat *
+StatRegistry::scalar(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? nullptr : it->second;
+}
+
+const HistogramStat *
+StatRegistry::histogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, s] : scalars_)
+        s->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+std::vector<std::pair<std::string, double>>
+StatRegistry::flatten() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(counters_.size() + scalars_.size());
+    for (const auto &[name, c] : counters_)
+        out.emplace_back(name, static_cast<double>(c->value()));
+    for (const auto &[name, s] : scalars_)
+        out.emplace_back(name, s->value());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+StatRegistry::renderText() const
+{
+    std::ostringstream os;
+    std::size_t width = 0;
+    const auto flat = flatten();
+    for (const auto &[name, v] : flat)
+        width = std::max(width, name.size());
+    for (const auto &[name, v] : flat) {
+        os << name;
+        for (std::size_t i = name.size(); i < width + 2; ++i)
+            os << ' ';
+        os << v << '\n';
+    }
+    for (const auto &[name, h] : histograms_) {
+        os << name << ".count  " << h->count() << '\n';
+        os << name << ".mean   " << h->mean() << '\n';
+        os << name << ".max    " << h->maxValue() << '\n';
+    }
+    return os.str();
+}
+
+std::string
+StatRegistry::renderCsv() const
+{
+    std::ostringstream os;
+    os << "stat,value\n";
+    for (const auto &[name, v] : flatten())
+        os << name << ',' << v << '\n';
+    return os.str();
+}
+
+} // namespace cachecraft

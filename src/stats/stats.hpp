@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Statistics collection for the simulator.
+ *
+ * Hardware models own Counter / ScalarStat / HistogramStat objects and
+ * register them with a StatRegistry under hierarchical dotted names
+ * ("l2.slice0.misses"). The registry can enumerate, reset, and render
+ * everything as text, CSV, or markdown.
+ */
+
+#ifndef CACHECRAFT_STATS_STATS_HPP
+#define CACHECRAFT_STATS_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cachecraft {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A floating-point scalar statistic (set, not accumulated). */
+class ScalarStat
+{
+  public:
+    ScalarStat() = default;
+
+    void set(double v) { value_ = v; }
+    void add(double v) { value_ += v; }
+    void reset() { value_ = 0.0; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * A fixed-bucket histogram over [0, bucket_width * num_buckets), with
+ * an overflow bucket. Tracks count/sum/min/max for mean and extrema.
+ */
+class HistogramStat
+{
+  public:
+    HistogramStat(std::uint64_t bucket_width, std::size_t num_buckets)
+        : bucketWidth_(bucket_width), buckets_(num_buckets + 1, 0)
+    {
+    }
+
+    /** Record one sample. */
+    void sample(std::uint64_t v);
+
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    std::uint64_t minValue() const { return count_ ? min_ : 0; }
+    std::uint64_t maxValue() const { return max_; }
+    std::uint64_t bucketWidth() const { return bucketWidth_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /** Approximate p-quantile (0 <= q <= 1) from bucket midpoints. */
+    double quantile(double q) const;
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Registry of named statistics. Does not own the stats; hardware
+ * models register members for the lifetime of a run.
+ */
+class StatRegistry
+{
+  public:
+    void registerCounter(const std::string &name, Counter *c);
+    void registerScalar(const std::string &name, ScalarStat *s);
+    void registerHistogram(const std::string &name, HistogramStat *h);
+
+    /** Look up a counter by exact name; nullptr if absent. */
+    const Counter *counter(const std::string &name) const;
+    const ScalarStat *scalar(const std::string &name) const;
+    const HistogramStat *histogram(const std::string &name) const;
+
+    /** Reset every registered statistic to zero. */
+    void resetAll();
+
+    /** All (name, value) pairs, counters and scalars, sorted by name. */
+    std::vector<std::pair<std::string, double>> flatten() const;
+
+    /** Render all stats as aligned "name value" text. */
+    std::string renderText() const;
+
+    /** Render all stats as "name,value" CSV with a header row. */
+    std::string renderCsv() const;
+
+  private:
+    std::map<std::string, Counter *> counters_;
+    std::map<std::string, ScalarStat *> scalars_;
+    std::map<std::string, HistogramStat *> histograms_;
+};
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_STATS_STATS_HPP

@@ -1,0 +1,117 @@
+#include "stats/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace cachecraft {
+
+void
+ResultTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+ResultTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        panic("ResultTable row width mismatch in table: " + title_);
+    rows_.push_back(std::move(row));
+}
+
+std::string
+ResultTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+ResultTable::renderText() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &row) {
+        os << "| ";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            for (std::size_t i = row[c].size(); i < widths[c]; ++i)
+                os << ' ';
+            os << " | ";
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    emit_row(os, header_);
+    std::size_t total = 2;
+    for (auto w : widths)
+        total += w + 3;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(os, row);
+    return os.str();
+}
+
+std::string
+ResultTable::renderCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+ResultTable::renderMarkdown() const
+{
+    std::ostringstream os;
+    os << "### " << title_ << "\n\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        os << "| ";
+        for (const auto &cell : row)
+            os << cell << " | ";
+        os << '\n';
+    };
+    emit(header_);
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        os << "---|";
+    os << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace cachecraft

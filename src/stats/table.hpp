@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Result-table rendering for the experiment harnesses.
+ *
+ * Every bench binary builds one of these per figure/table and prints
+ * it in a paper-style aligned format plus CSV, so results can be
+ * eyeballed and post-processed alike.
+ */
+
+#ifndef CACHECRAFT_STATS_TABLE_HPP
+#define CACHECRAFT_STATS_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace cachecraft {
+
+/**
+ * A simple column-oriented results table. Cells are strings; numeric
+ * convenience setters format with fixed precision.
+ */
+class ResultTable
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit ResultTable(std::string title) : title_(std::move(title)) {}
+
+    /** Define the column headers (must precede addRow). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a fully formed row; size must match the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 3);
+
+    /** Render as an aligned, boxed text table. */
+    std::string renderText() const;
+
+    /** Render as CSV (header + rows). */
+    std::string renderCsv() const;
+
+    /** Render as a GitHub-markdown table. */
+    std::string renderMarkdown() const;
+
+    const std::string &title() const { return title_; }
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Geometric mean of @p values (values must be positive). */
+double geomean(const std::vector<double> &values);
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_STATS_TABLE_HPP

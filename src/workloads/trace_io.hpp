@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Kernel-trace serialization: a simple line-oriented text format so
+ * users can feed their own access traces (e.g. distilled from real
+ * profiler output) into the simulator, and so generated workloads can
+ * be archived and diffed.
+ *
+ * Format (one directive per line, '#' comments):
+ *
+ *   trace v1
+ *   name <string>
+ *   region <base-hex> <size> <tag>
+ *   warp
+ *   c <computeCycles>
+ *   ld <computeCycles> <tagOverride|-> <addr-hex>...
+ *   st <computeCycles> <tagOverride|-> <addr-hex>...
+ *   end
+ */
+
+#ifndef CACHECRAFT_WORKLOADS_TRACE_IO_HPP
+#define CACHECRAFT_WORKLOADS_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "gpu/kernel_trace.hpp"
+
+namespace cachecraft {
+
+/** Serialize @p trace to @p out. */
+void saveTrace(const KernelTrace &trace, std::ostream &out);
+
+/**
+ * Parse a trace from @p in.
+ * @param error set to a message on parse failure (return value is
+ *        then an empty trace).
+ * @return the parsed trace; check error to distinguish failure.
+ */
+KernelTrace loadTrace(std::istream &in, std::string *error);
+
+/** Convenience: save to a file path. @return false on I/O failure. */
+bool saveTraceFile(const KernelTrace &trace, const std::string &path);
+
+/** Convenience: load from a file path. */
+KernelTrace loadTraceFile(const std::string &path, std::string *error);
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_WORKLOADS_TRACE_IO_HPP

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared single-channel test harness for protection schemes and the
+ * L2 slice: one DRAM channel, one scheme instance, synchronous
+ * event-queue draining after every operation.
+ */
+
+#ifndef CACHECRAFT_TESTS_SCHEME_HARNESS_HPP
+#define CACHECRAFT_TESTS_SCHEME_HARNESS_HPP
+
+#include "dram/dram_model.hpp"
+#include "gpu/event_queue.hpp"
+#include "protect/scheme.hpp"
+
+namespace cachecraft {
+
+/** One-channel scheme test rig. */
+struct SchemeHarness
+{
+    DramGeometry geom;
+    DramTiming timing;
+    EventQueue events;
+    StatRegistry stats;
+    AddressMap map;
+    DramSystem dram;
+    std::unique_ptr<ecc::SectorCodec> codec;
+    SparseMemory shadow;
+    std::unique_ptr<ProtectionScheme> scheme;
+
+    explicit SchemeHarness(SchemeKind kind,
+                           EccLayout layout = EccLayout::kSegregated,
+                           ecc::CodecKind codec_kind =
+                               ecc::CodecKind::kSecDed,
+                           MrcOptions mrc = MrcOptions{})
+        : geom(makeGeom()), map(geom, layout),
+          dram(map, timing, events, &stats),
+          codec(ecc::makeCodec(codec_kind))
+    {
+        SchemeContext ctx;
+        ctx.channel = 0;
+        ctx.map = &map;
+        ctx.dram = &dram;
+        ctx.events = &events;
+        ctx.codec = codec.get();
+        ctx.metaShadow = &shadow;
+        ctx.stats = &stats;
+        ctx.name = "protect";
+        scheme = makeScheme(kind, ctx, mrc);
+    }
+
+    static DramGeometry
+    makeGeom()
+    {
+        DramGeometry g;
+        g.numChannels = 1;
+        g.numBanks = 4;
+        g.rowBytes = 2048;
+        g.channelCapacity = 16 * 1024 * 1024;
+        return g;
+    }
+
+    /** Deterministic sector payload. */
+    static ecc::SectorData
+    payload(Addr addr, std::uint8_t salt = 0)
+    {
+        ecc::SectorData data{};
+        for (std::size_t i = 0; i < data.size(); ++i)
+            data[i] = static_cast<std::uint8_t>(
+                (addr >> (i % 8)) ^ i ^ salt);
+        return data;
+    }
+
+    /** Initialize @p count sectors starting at @p base with tag. */
+    void
+    initRange(Addr base, std::size_t count, ecc::MemTag tag = 0)
+    {
+        for (std::size_t i = 0; i < count; ++i) {
+            const Addr addr = base + i * kSectorBytes;
+            scheme->initializeSector(addr, payload(addr), tag);
+        }
+    }
+
+    /** Synchronous verified read. */
+    SectorFetchResult
+    read(Addr addr, ecc::MemTag tag = 0)
+    {
+        SectorFetchResult out;
+        bool done = false;
+        scheme->readSector(addr, tag,
+                           [&](const SectorFetchResult &res) {
+                               out = res;
+                               done = true;
+                           });
+        events.run();
+        EXPECT_TRUE(done) << "read did not complete";
+        return out;
+    }
+
+    /** Synchronous (posted) write; drains timing events. */
+    void
+    write(Addr addr, const ecc::SectorData &data, ecc::MemTag tag = 0)
+    {
+        scheme->writeSector(addr, data, tag);
+        events.run();
+    }
+
+    std::uint64_t dataReads() const {
+        return scheme->stats.dataReads.value();
+    }
+    std::uint64_t dataWrites() const {
+        return scheme->stats.dataWrites.value();
+    }
+    std::uint64_t eccReads() const {
+        return scheme->stats.eccReads.value();
+    }
+    std::uint64_t eccWrites() const {
+        return scheme->stats.eccWrites.value();
+    }
+};
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_TESTS_SCHEME_HARNESS_HPP

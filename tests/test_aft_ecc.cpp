@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the Alias-Free Tagged ECC codec — the Implicit Memory
+ * Tagging contract: tag mismatches are always unambiguously
+ * identified in the absence of data errors, and ECC efficacy is
+ * preserved when data errors are present.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ecc/aft_ecc.hpp"
+
+namespace cachecraft::ecc {
+namespace {
+
+SectorData
+randomSector(Xoshiro256 &rng)
+{
+    SectorData data;
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    return data;
+}
+
+TEST(AftEcc, AdvertisesTagSupport)
+{
+    AftEccCodec codec;
+    EXPECT_TRUE(codec.supportsTags());
+    EXPECT_EQ(codec.tagBits(), 8u);
+}
+
+TEST(AftEcc, CleanWithMatchingTag)
+{
+    AftEccCodec codec;
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const SectorData data = randomSector(rng);
+        const auto tag = static_cast<MemTag>(rng.next());
+        const SectorCheck check = codec.encode(data, tag);
+        const auto res = codec.decode(data, check, tag);
+        ASSERT_EQ(res.status, DecodeStatus::kClean);
+        ASSERT_EQ(res.data, data);
+    }
+}
+
+/** Alias-freeness: sweep every wrong tag against every stored tag
+ *  class — a pure mismatch must always be reported as a tag
+ *  mismatch, never as clean, never as a data correction. */
+class AftAliasFree : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AftAliasFree, WrongTagAlwaysIdentified)
+{
+    const auto stored_tag = static_cast<MemTag>(GetParam());
+    AftEccCodec codec;
+    Xoshiro256 rng(GetParam() + 50);
+    const SectorData data = randomSector(rng);
+    const SectorCheck check = codec.encode(data, stored_tag);
+    for (unsigned wrong = 0; wrong < 256; ++wrong) {
+        if (wrong == stored_tag)
+            continue;
+        const auto res =
+            codec.decode(data, check, static_cast<MemTag>(wrong));
+        ASSERT_EQ(res.status, DecodeStatus::kTagMismatch)
+            << "stored=" << unsigned(stored_tag) << " wrong=" << wrong;
+        // The delivered data must still be the true data.
+        ASSERT_EQ(res.data, data);
+        EXPECT_EQ(res.correctedUnits, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(StoredTags, AftAliasFree,
+                         ::testing::Values(0u, 1u, 0x5Au, 0x80u, 0xFFu));
+
+TEST(AftEcc, CorrectsDataErrorsWithMatchingTag)
+{
+    AftEccCodec codec;
+    Xoshiro256 rng(3);
+    for (int trial = 0; trial < 500; ++trial) {
+        const SectorData data = randomSector(rng);
+        const auto tag = static_cast<MemTag>(rng.next());
+        const SectorCheck check = codec.encode(data, tag);
+        SectorData corrupt = data;
+        // Up to t=2 symbol errors.
+        const unsigned b0 = static_cast<unsigned>(rng.below(32));
+        unsigned b1 = b0;
+        while (b1 == b0)
+            b1 = static_cast<unsigned>(rng.below(32));
+        corrupt[b0] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        corrupt[b1] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        const auto res = codec.decode(corrupt, check, tag);
+        ASSERT_EQ(res.status, DecodeStatus::kCorrected);
+        ASSERT_EQ(res.data, data);
+        EXPECT_EQ(res.correctedUnits, 2u);
+    }
+}
+
+TEST(AftEcc, DataErrorPlusTagMismatchBothIdentified)
+{
+    // t = 2 budget: one data symbol error + the tag "error" at the
+    // virtual position are simultaneously locatable.
+    AftEccCodec codec;
+    Xoshiro256 rng(4);
+    for (int trial = 0; trial < 500; ++trial) {
+        const SectorData data = randomSector(rng);
+        const SectorCheck check = codec.encode(data, 0x77);
+        SectorData corrupt = data;
+        corrupt[rng.below(32)] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+        const auto res = codec.decode(corrupt, check, 0x13);
+        ASSERT_EQ(res.status, DecodeStatus::kTagMismatch);
+        ASSERT_EQ(res.data, data) << "data error not corrected";
+        EXPECT_EQ(res.correctedUnits, 1u);
+    }
+}
+
+TEST(AftEcc, TwoDataErrorsPlusTagMismatchUncorrectable)
+{
+    // Three total symbol errors exceed t = 2: must be flagged (or at
+    // the very least never silently pass as clean/corrected-to-wrong).
+    AftEccCodec codec;
+    Xoshiro256 rng(5);
+    int due = 0;
+    int other = 0;
+    constexpr int trials = 500;
+    for (int trial = 0; trial < trials; ++trial) {
+        const SectorData data = randomSector(rng);
+        const SectorCheck check = codec.encode(data, 0xAA);
+        SectorData corrupt = data;
+        corrupt[3] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        corrupt[19] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        const auto res = codec.decode(corrupt, check, 0xAB);
+        if (res.status == DecodeStatus::kUncorrectable)
+            ++due;
+        else
+            ++other;
+    }
+    EXPECT_GT(due, trials * 8 / 10);
+    (void)other;
+}
+
+TEST(AftEcc, CheckBytesDependOnTag)
+{
+    AftEccCodec codec;
+    SectorData data{};
+    const SectorCheck c0 = codec.encode(data, 0x00);
+    const SectorCheck c1 = codec.encode(data, 0x01);
+    EXPECT_NE(c0, c1);
+}
+
+TEST(AftEcc, ZeroStorageOverheadVsUntagged)
+{
+    // The whole point of IMT: the tag costs no storage — the check
+    // footprint is identical to the untagged codecs'.
+    AftEccCodec codec;
+    EXPECT_EQ(sizeof(SectorCheck), kCheckBytesPerSector);
+}
+
+TEST(AftEcc, EccChunkFaultWithMatchingTagCorrected)
+{
+    AftEccCodec codec;
+    Xoshiro256 rng(6);
+    const SectorData data = randomSector(rng);
+    SectorCheck check = codec.encode(data, 0x42);
+    check[2] ^= 0x08;
+    const auto res = codec.decode(data, check, 0x42);
+    EXPECT_EQ(res.status, DecodeStatus::kCorrected);
+    EXPECT_EQ(res.data, data);
+}
+
+} // namespace
+} // namespace cachecraft::ecc

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers and geometry constants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace cachecraft {
+namespace {
+
+TEST(Bits, Popcount)
+{
+    EXPECT_EQ(popcount64(0), 0);
+    EXPECT_EQ(popcount64(1), 1);
+    EXPECT_EQ(popcount64(0xFFFFFFFFFFFFFFFFull), 64);
+    EXPECT_EQ(popcount64(0x8000000000000001ull), 2);
+}
+
+TEST(Bits, Parity)
+{
+    EXPECT_EQ(parity64(0), 0);
+    EXPECT_EQ(parity64(1), 1);
+    EXPECT_EQ(parity64(0b11), 0);
+    EXPECT_EQ(parity64(0b111), 1);
+}
+
+TEST(Bits, GetSetBit)
+{
+    std::uint64_t v = 0;
+    v = setBit(v, 5, 1);
+    EXPECT_EQ(getBit(v, 5), 1u);
+    EXPECT_EQ(getBit(v, 4), 0u);
+    v = setBit(v, 5, 0);
+    EXPECT_EQ(v, 0u);
+    v = setBit(v, 63, 1);
+    EXPECT_EQ(v, 0x8000000000000000ull);
+}
+
+TEST(Bits, BitField)
+{
+    const std::uint64_t v = 0xABCD1234u;
+    EXPECT_EQ(bitField(v, 0, 4), 0x4u);
+    EXPECT_EQ(bitField(v, 4, 8), 0x23u);
+    EXPECT_EQ(bitField(v, 16, 16), 0xABCDu);
+    EXPECT_EQ(bitField(v, 0, 64), v);
+}
+
+TEST(Bits, InsertField)
+{
+    std::uint64_t v = 0;
+    v = insertField(v, 8, 8, 0xAB);
+    EXPECT_EQ(v, 0xAB00u);
+    v = insertField(v, 8, 8, 0xCD);
+    EXPECT_EQ(v, 0xCD00u);
+    v = insertField(v, 0, 4, 0xFF); // masked to 4 bits
+    EXPECT_EQ(v, 0xCD0Fu);
+}
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(Bits, Log2)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(1024), 10u);
+    EXPECT_EQ(log2Ceil(1025), 11u);
+}
+
+TEST(Bits, BufferBitOps)
+{
+    std::array<std::uint8_t, 4> buf{};
+    bufSetBit(buf, 0, 1);
+    EXPECT_EQ(buf[0], 1);
+    bufSetBit(buf, 9, 1);
+    EXPECT_EQ(buf[1], 2);
+    EXPECT_EQ(bufGetBit(buf, 9), 1);
+    bufFlipBit(buf, 9);
+    EXPECT_EQ(bufGetBit(buf, 9), 0);
+    bufSetBit(buf, 31, 1);
+    EXPECT_EQ(buf[3], 0x80);
+}
+
+TEST(Bits, BufXorAndParity)
+{
+    std::array<std::uint8_t, 4> a{0xFF, 0x00, 0xAA, 0x55};
+    std::array<std::uint8_t, 4> b{0xFF, 0x00, 0xAA, 0x55};
+    bufXor(a, b);
+    for (auto byte : a)
+        EXPECT_EQ(byte, 0);
+    EXPECT_EQ(bufParity(b), 0); // 8 + 0 + 4 + 4 = 16 ones -> even
+    b[0] = 0x01;
+    EXPECT_EQ(bufParity(b), 1); // 9 ones
+}
+
+TEST(Bits, LoadStoreLe64)
+{
+    std::array<std::uint8_t, 16> buf{};
+    storeLe64(buf, 4, 0x0123456789ABCDEFull);
+    EXPECT_EQ(buf[4], 0xEF);
+    EXPECT_EQ(buf[11], 0x01);
+    EXPECT_EQ(loadLe64(buf, 4), 0x0123456789ABCDEFull);
+}
+
+TEST(Geometry, Alignment)
+{
+    EXPECT_EQ(alignDown(0x12345, 32), 0x12340u);
+    EXPECT_EQ(alignUp(0x12341, 32), 0x12360u);
+    EXPECT_EQ(alignUp(0x12340, 32), 0x12340u);
+    EXPECT_EQ(offsetIn(0x12345, 32), 5u);
+}
+
+TEST(Geometry, SectorLineChunkRelations)
+{
+    static_assert(kSectorsPerLine == 4);
+    static_assert(kSectorsPerChunk == 8);
+    static_assert(kLinesPerChunk == 2);
+    static_assert(kChunkBytes / kEccChunkBytes == 8);
+
+    const Addr addr = 0x1234567;
+    EXPECT_EQ(sectorBase(addr) % kSectorBytes, 0u);
+    EXPECT_EQ(lineBase(addr) % kLineBytes, 0u);
+    EXPECT_EQ(chunkBase(addr) % kChunkBytes, 0u);
+    EXPECT_LE(lineBase(addr), addr);
+    EXPECT_LT(addr, lineBase(addr) + kLineBytes);
+    EXPECT_LT(sectorInLine(addr), kSectorsPerLine);
+    EXPECT_LT(sectorInChunk(addr), kSectorsPerChunk);
+}
+
+class GeometrySweep : public ::testing::TestWithParam<Addr>
+{
+};
+
+TEST_P(GeometrySweep, SectorIndicesConsistent)
+{
+    const Addr addr = GetParam();
+    // The sector's index within its chunk decomposes into line index
+    // within the chunk and sector index within the line.
+    const std::size_t in_chunk = sectorInChunk(addr);
+    const std::size_t line_in_chunk =
+        offsetIn(lineBase(addr), kChunkBytes) / kLineBytes;
+    EXPECT_EQ(in_chunk, line_in_chunk * kSectorsPerLine +
+                            sectorInLine(addr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Addresses, GeometrySweep,
+                         ::testing::Values(0, 31, 32, 127, 128, 255, 256,
+                                           1000, 4095, 4096, 0xDEADBEEF,
+                                           0x123456789ABCull));
+
+} // namespace
+} // namespace cachecraft

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tests for CRC-32C (Castagnoli) against published vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "ecc/crc32.hpp"
+
+namespace cachecraft::ecc {
+namespace {
+
+std::uint32_t
+crcOfString(const std::string &s)
+{
+    return crc32c(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t *>(s.data()), s.size()));
+}
+
+TEST(Crc32c, KnownVectors)
+{
+    // RFC 3720 / published CRC-32C test vectors.
+    EXPECT_EQ(crcOfString(""), 0x00000000u);
+    EXPECT_EQ(crcOfString("123456789"), 0xE3069283u);
+    EXPECT_EQ(crcOfString("a"), 0xC1D04330u);
+    EXPECT_EQ(crcOfString("abc"), 0x364B3FB7u);
+}
+
+TEST(Crc32c, AllZeros32Bytes)
+{
+    std::array<std::uint8_t, 32> zeros{};
+    EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot)
+{
+    const std::string s = "the quick brown fox jumps over the lazy dog";
+    const auto *bytes = reinterpret_cast<const std::uint8_t *>(s.data());
+    std::uint32_t crc = 0xFFFFFFFFu;
+    crc = crc32cUpdate(crc, std::span(bytes, 10));
+    crc = crc32cUpdate(crc, std::span(bytes + 10, s.size() - 10));
+    crc ^= 0xFFFFFFFFu;
+    EXPECT_EQ(crc, crcOfString(s));
+}
+
+TEST(Crc32c, SensitiveToSingleBit)
+{
+    std::array<std::uint8_t, 64> buf{};
+    const std::uint32_t base = crc32c(buf);
+    for (unsigned bit = 0; bit < 64 * 8; bit += 37) {
+        auto copy = buf;
+        copy[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_NE(crc32c(copy), base) << "bit " << bit;
+    }
+}
+
+} // namespace
+} // namespace cachecraft::ecc

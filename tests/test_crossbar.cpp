@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the crossbar interconnect model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/crossbar.hpp"
+
+namespace cachecraft {
+namespace {
+
+TEST(Crossbar, AddsTraversalLatency)
+{
+    EventQueue events;
+    Crossbar xbar("x", 2, 10, events, nullptr);
+    Cycle delivered = 0;
+    events.schedule(5, [&] {
+        xbar.send(0, [&] { delivered = events.now(); });
+    });
+    events.run();
+    EXPECT_EQ(delivered, 15u);
+}
+
+TEST(Crossbar, SerializesPerPort)
+{
+    EventQueue events;
+    Crossbar xbar("x", 2, 10, events, nullptr);
+    std::vector<Cycle> times;
+    events.schedule(0, [&] {
+        for (int i = 0; i < 4; ++i)
+            xbar.send(0, [&] { times.push_back(events.now()); });
+    });
+    events.run();
+    ASSERT_EQ(times.size(), 4u);
+    // One flit per cycle at the port: arrivals at 10, 11, 12, 13.
+    EXPECT_EQ(times[0], 10u);
+    EXPECT_EQ(times[1], 11u);
+    EXPECT_EQ(times[2], 12u);
+    EXPECT_EQ(times[3], 13u);
+}
+
+TEST(Crossbar, PortsIndependent)
+{
+    EventQueue events;
+    Crossbar xbar("x", 2, 10, events, nullptr);
+    std::vector<Cycle> times;
+    events.schedule(0, [&] {
+        xbar.send(0, [&] { times.push_back(events.now()); });
+        xbar.send(1, [&] { times.push_back(events.now()); });
+    });
+    events.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], 10u);
+    EXPECT_EQ(times[1], 10u); // no cross-port contention
+}
+
+TEST(Crossbar, StatsCount)
+{
+    EventQueue events;
+    StatRegistry reg;
+    Crossbar xbar("xbar", 1, 1, events, &reg);
+    events.schedule(0, [&] {
+        xbar.send(0, [] {});
+        xbar.send(0, [] {});
+    });
+    events.run();
+    EXPECT_EQ(reg.counter("xbar.flits")->value(), 2u);
+    EXPECT_EQ(reg.counter("xbar.contention_cycles")->value(), 1u);
+}
+
+} // namespace
+} // namespace cachecraft

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the post-run energy model: coefficient plumbing, counter
+ * attribution, and the system-level invariant that protection schemes
+ * order by energy the same way they order by metadata traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cachecraft.hpp"
+#include "stats/energy.hpp"
+
+namespace cachecraft {
+namespace {
+
+TEST(Energy, ZeroStatsZeroEnergy)
+{
+    const EnergyBreakdown e = computeEnergy({});
+    EXPECT_DOUBLE_EQ(e.totalNj(), 0.0);
+}
+
+TEST(Energy, DramCountersAttributed)
+{
+    std::map<std::string, double> all;
+    all["dram.ch0.reads"] = 100;
+    all["dram.ch1.reads"] = 50;
+    all["dram.ch0.writes"] = 10;
+    all["dram.ch0.row_misses_closed"] = 20;
+    all["dram.ch0.row_conflicts"] = 5;
+    EnergyParams p;
+    const EnergyBreakdown e = computeEnergy(all, p);
+    EXPECT_NEAR(e.dramReadNj, 150 * p.dramReadBurstPj * 1e-3, 1e-9);
+    EXPECT_NEAR(e.dramWriteNj, 10 * p.dramWriteBurstPj * 1e-3, 1e-9);
+    EXPECT_NEAR(e.dramActivateNj, 25 * p.dramActivatePj * 1e-3, 1e-9);
+    EXPECT_DOUBLE_EQ(e.l1Nj, 0.0);
+}
+
+TEST(Energy, SramCountersAttributed)
+{
+    std::map<std::string, double> all;
+    all["sm0.l1.accesses"] = 1000;
+    all["l2.slice0.cache.accesses"] = 500;
+    all["protect.slice0.mrc.accesses"] = 200;
+    all["protect.slice0.mrc.fills"] = 50;
+    all["xbar.req.flits"] = 300;
+    EnergyParams p;
+    const EnergyBreakdown e = computeEnergy(all, p);
+    EXPECT_NEAR(e.l1Nj, 1000 * p.l1AccessPj * 1e-3, 1e-9);
+    EXPECT_NEAR(e.l2Nj, 500 * p.l2AccessPj * 1e-3, 1e-9);
+    EXPECT_NEAR(e.mrcNj, 250 * p.mrcAccessPj * 1e-3, 1e-9);
+    EXPECT_NEAR(e.xbarNj, 300 * p.xbarFlitPj * 1e-3, 1e-9);
+}
+
+TEST(Energy, CodecOpsFromDecodeAndEncodeCounters)
+{
+    std::map<std::string, double> all;
+    all["protect.slice0.decode_clean"] = 90;
+    all["protect.slice0.decode_corrected"] = 10;
+    all["protect.slice0.data_writes"] = 40;
+    EnergyParams p;
+    const EnergyBreakdown e = computeEnergy(all, p);
+    EXPECT_NEAR(e.codecNj, 140 * p.codecOpPj * 1e-3, 1e-9);
+}
+
+TEST(Energy, SchemeOrderingOnRealRun)
+{
+    WorkloadParams wp;
+    wp.footprintBytes = 512 * 1024;
+    wp.numWarps = 16;
+    SystemConfig base;
+    base.numSms = 4;
+    base.dram.numChannels = 4;
+    base.l2.cache.sizeBytes = 64 * 1024;
+    const auto trace = makeWorkload(WorkloadKind::kStreaming, wp);
+
+    std::map<SchemeKind, double> dram_energy;
+    for (auto scheme :
+         {SchemeKind::kNone, SchemeKind::kInlineNaive,
+          SchemeKind::kCacheCraft}) {
+        SystemConfig cfg = base;
+        cfg.scheme = scheme;
+        GpuSystem gpu(cfg);
+        const RunStats rs = gpu.run(trace);
+        dram_energy[scheme] = computeEnergy(rs.all).dramNj();
+    }
+    EXPECT_LT(dram_energy[SchemeKind::kNone],
+              dram_energy[SchemeKind::kCacheCraft]);
+    EXPECT_LT(dram_energy[SchemeKind::kCacheCraft],
+              dram_energy[SchemeKind::kInlineNaive]);
+}
+
+TEST(Energy, CustomCoefficientsScaleLinearly)
+{
+    std::map<std::string, double> all;
+    all["dram.ch0.reads"] = 100;
+    EnergyParams p1;
+    EnergyParams p2 = p1;
+    p2.dramReadBurstPj *= 2.0;
+    EXPECT_NEAR(computeEnergy(all, p2).dramReadNj,
+                2.0 * computeEnergy(all, p1).dramReadNj, 1e-9);
+}
+
+} // namespace
+} // namespace cachecraft

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the discrete-event engine: ordering, deterministic
+ * tie-breaking, re-entrant scheduling, and the livelock valve.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpu/event_queue.hpp"
+
+namespace cachecraft {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ReentrantScheduling)
+{
+    EventQueue q;
+    std::vector<Cycle> times;
+    q.schedule(1, [&] {
+        times.push_back(q.now());
+        q.schedule(5, [&] {
+            times.push_back(q.now());
+            q.scheduleAfter(2, [&] { times.push_back(q.now()); });
+        });
+    });
+    q.run();
+    EXPECT_EQ(times, (std::vector<Cycle>{1, 5, 7}));
+}
+
+TEST(EventQueue, ScheduleAtNowRunsSameCycle)
+{
+    EventQueue q;
+    bool inner = false;
+    q.schedule(4, [&] { q.schedule(4, [&] { inner = true; }); });
+    q.run();
+    EXPECT_TRUE(inner);
+    EXPECT_EQ(q.now(), 4u);
+}
+
+TEST(EventQueue, LivelockValveTrips)
+{
+    EventQueue q;
+    std::function<void()> loop = [&] { q.scheduleAfter(1, loop); };
+    q.schedule(0, loop);
+    EXPECT_FALSE(q.run(1000));
+}
+
+TEST(EventQueue, EmptyAndSize)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    q.schedule(1, [] {});
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_FALSE(q.empty());
+    q.run();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueDeathTest, PastSchedulingPanics)
+{
+    EventQueue q;
+    q.schedule(10, [&q] {
+        // now() == 10; scheduling at 5 is a bug.
+        q.schedule(5, [] {});
+    });
+    EXPECT_DEATH(q.run(), "past");
+}
+
+} // namespace
+} // namespace cachecraft

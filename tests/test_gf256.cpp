@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Property tests for GF(2^8) arithmetic — the foundation the RS and
+ * AFT-ECC codecs stand on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ecc/gf256.hpp"
+
+namespace cachecraft::ecc {
+namespace {
+
+TEST(Gf256, AddIsXor)
+{
+    EXPECT_EQ(Gf256::add(0x55, 0xAA), 0xFF);
+    EXPECT_EQ(Gf256::add(0x12, 0x12), 0x00);
+}
+
+TEST(Gf256, MulIdentityAndZero)
+{
+    for (unsigned a = 0; a < 256; ++a) {
+        EXPECT_EQ(Gf256::mul(static_cast<GfElem>(a), 1),
+                  static_cast<GfElem>(a));
+        EXPECT_EQ(Gf256::mul(static_cast<GfElem>(a), 0), 0);
+        EXPECT_EQ(Gf256::mul(0, static_cast<GfElem>(a)), 0);
+    }
+}
+
+TEST(Gf256, MulCommutative)
+{
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<GfElem>(rng.next());
+        const auto b = static_cast<GfElem>(rng.next());
+        EXPECT_EQ(Gf256::mul(a, b), Gf256::mul(b, a));
+    }
+}
+
+TEST(Gf256, MulAssociative)
+{
+    Xoshiro256 rng(2);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<GfElem>(rng.next());
+        const auto b = static_cast<GfElem>(rng.next());
+        const auto c = static_cast<GfElem>(rng.next());
+        EXPECT_EQ(Gf256::mul(Gf256::mul(a, b), c),
+                  Gf256::mul(a, Gf256::mul(b, c)));
+    }
+}
+
+TEST(Gf256, Distributive)
+{
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<GfElem>(rng.next());
+        const auto b = static_cast<GfElem>(rng.next());
+        const auto c = static_cast<GfElem>(rng.next());
+        EXPECT_EQ(Gf256::mul(a, Gf256::add(b, c)),
+                  Gf256::add(Gf256::mul(a, b), Gf256::mul(a, c)));
+    }
+}
+
+TEST(Gf256, InverseExhaustive)
+{
+    for (unsigned a = 1; a < 256; ++a) {
+        const GfElem inv = Gf256::inv(static_cast<GfElem>(a));
+        EXPECT_EQ(Gf256::mul(static_cast<GfElem>(a), inv), 1)
+            << "a=" << a;
+    }
+}
+
+TEST(Gf256, DivisionMatchesInverse)
+{
+    Xoshiro256 rng(4);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<GfElem>(rng.next());
+        auto b = static_cast<GfElem>(rng.next());
+        if (b == 0)
+            b = 1;
+        EXPECT_EQ(Gf256::div(a, b), Gf256::mul(a, Gf256::inv(b)));
+    }
+}
+
+TEST(Gf256, AlphaPowersCycleAt255)
+{
+    // alpha is primitive: powers 0..254 enumerate all nonzero elems.
+    std::array<bool, 256> seen{};
+    for (unsigned i = 0; i < 255; ++i) {
+        const GfElem x = Gf256::alphaPow(i);
+        EXPECT_NE(x, 0);
+        EXPECT_FALSE(seen[x]) << "alpha^" << i << " repeats";
+        seen[x] = true;
+    }
+    EXPECT_EQ(Gf256::alphaPow(255), Gf256::alphaPow(0));
+}
+
+TEST(Gf256, LogExpRoundTrip)
+{
+    for (unsigned a = 1; a < 256; ++a) {
+        EXPECT_EQ(Gf256::alphaPow(Gf256::logOf(static_cast<GfElem>(a))),
+                  static_cast<GfElem>(a));
+    }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul)
+{
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 300; ++i) {
+        const auto a = static_cast<GfElem>(rng.next() | 1);
+        const unsigned e = static_cast<unsigned>(rng.below(16));
+        GfElem expect = 1;
+        for (unsigned j = 0; j < e; ++j)
+            expect = Gf256::mul(expect, a);
+        EXPECT_EQ(Gf256::pow(a, e), expect);
+    }
+}
+
+TEST(Gf256, PowOfZero)
+{
+    EXPECT_EQ(Gf256::pow(0, 0), 1);
+    EXPECT_EQ(Gf256::pow(0, 5), 0);
+}
+
+} // namespace
+} // namespace cachecraft::ecc

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the MRC schemes (prior-art ECC cache and CacheCraft):
+ * chunk-granularity reconstruction (R1), write-back coalescing (R2),
+ * fetch deduplication, eviction writeout, flush, and the exact
+ * transaction counts each policy implies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "protect/mrc_scheme.hpp"
+#include "scheme_harness.hpp"
+
+namespace cachecraft {
+namespace {
+
+TEST(MrcScheme, FirstReadFetchesChunkSecondReadHits)
+{
+    SchemeHarness h(SchemeKind::kCacheCraft, EccLayout::kCoLocated);
+    h.initRange(0, 8);
+    h.read(0);
+    EXPECT_EQ(h.eccReads(), 1u);
+    EXPECT_EQ(h.scheme->stats.mrcMisses.value(), 1u);
+    // Any other sector of the same 256 B chunk: metadata resident.
+    h.read(32);
+    h.read(224);
+    EXPECT_EQ(h.eccReads(), 1u); // no further fetches
+    EXPECT_EQ(h.scheme->stats.mrcHits.value(), 2u);
+}
+
+TEST(MrcScheme, R1OffRetainsOnlyOwnField)
+{
+    MrcOptions opts;
+    opts.chunkGranularity = false;
+    SchemeHarness h(SchemeKind::kCacheCraft, EccLayout::kCoLocated,
+                    ecc::CodecKind::kSecDed, opts);
+    h.initRange(0, 8);
+    h.read(0);
+    // A different sector of the same chunk must fetch again.
+    h.read(32);
+    EXPECT_EQ(h.eccReads(), 2u);
+    // But re-reading the same sector hits.
+    h.read(0);
+    EXPECT_EQ(h.eccReads(), 2u);
+    EXPECT_EQ(h.scheme->stats.mrcHits.value(), 1u);
+}
+
+TEST(MrcScheme, WritebackCoalescesWholeChunk)
+{
+    SchemeHarness h(SchemeKind::kCacheCraft, EccLayout::kCoLocated);
+    h.initRange(0, 16);
+    // Warm the chunk so the write path finds it resident.
+    h.read(0);
+    const auto base_reads = h.eccReads();
+    // Write all 8 sectors of chunk 0: zero metadata transactions now.
+    for (std::size_t s = 0; s < kSectorsPerChunk; ++s)
+        h.write(s * kSectorBytes,
+                SchemeHarness::payload(s * kSectorBytes, 7));
+    EXPECT_EQ(h.eccWrites(), 0u);
+    EXPECT_EQ(h.eccReads(), base_reads);
+    // Flush drains exactly one full-chunk write, no RMW read.
+    h.scheme->flush();
+    h.events.run();
+    EXPECT_EQ(h.eccWrites(), 1u);
+    EXPECT_EQ(h.scheme->stats.eccRmwReads.value(), 0u);
+}
+
+TEST(MrcScheme, FlushedStateDecodesCleanly)
+{
+    SchemeHarness h(SchemeKind::kCacheCraft, EccLayout::kCoLocated);
+    h.initRange(0, 8);
+    const auto fresh = SchemeHarness::payload(96, 3);
+    h.write(96, fresh);
+    h.scheme->flush();
+    h.events.run();
+    // Audit straight from storage: stored data + stored check must
+    // decode clean and match.
+    ecc::SectorData stored{};
+    h.dram.readBytes(0, h.map.dataPhys(96),
+                     std::span<std::uint8_t>(stored));
+    ecc::SectorCheck check{};
+    h.dram.readBytes(0,
+                     h.map.eccChunkPhys(chunkBase(96)) +
+                         sectorInChunk(96) * ecc::kCheckBytesPerSector,
+                     std::span<std::uint8_t>(check));
+    const auto decoded = h.codec->decode(stored, check, 0);
+    EXPECT_EQ(decoded.status, ecc::DecodeStatus::kClean);
+    EXPECT_EQ(decoded.data, fresh);
+}
+
+TEST(MrcScheme, WriteThroughIssuesEccWritePerWrite)
+{
+    // The prior-art ECC-cache policy (R2 off).
+    SchemeHarness h(SchemeKind::kEccCache);
+    h.initRange(0, 8);
+    h.read(0); // warm: chunk resident
+    const auto base = h.eccWrites();
+    h.write(0, SchemeHarness::payload(0, 1));
+    h.write(32, SchemeHarness::payload(32, 1));
+    EXPECT_EQ(h.eccWrites(), base + 2); // one ECC write per writeback
+    // Resident chunk: no RMW reads were needed.
+    EXPECT_EQ(h.scheme->stats.eccRmwReads.value(), 0u);
+}
+
+TEST(MrcScheme, WriteThroughMissPaysRmwRead)
+{
+    SchemeHarness h(SchemeKind::kEccCache);
+    h.initRange(0, 8);
+    // Cold write: the 4 B field update needs the rest of the chunk.
+    h.write(0, SchemeHarness::payload(0, 1));
+    EXPECT_EQ(h.scheme->stats.eccRmwReads.value(), 1u);
+    EXPECT_EQ(h.eccWrites(), 1u);
+}
+
+TEST(MrcScheme, ConcurrentReadsOfChunkShareOneFetch)
+{
+    SchemeHarness h(SchemeKind::kCacheCraft, EccLayout::kCoLocated);
+    h.initRange(0, 8);
+    // Issue all 8 sector reads before draining events: one metadata
+    // fetch total, others piggyback.
+    int completed = 0;
+    for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+        h.scheme->readSector(s * kSectorBytes, 0,
+                             [&](const SectorFetchResult &res) {
+                                 EXPECT_EQ(res.status,
+                                           ecc::DecodeStatus::kClean);
+                                 ++completed;
+                             });
+    }
+    h.events.run();
+    EXPECT_EQ(completed, 8);
+    EXPECT_EQ(h.eccReads(), 1u);
+    EXPECT_EQ(h.scheme->stats.mrcFetchMerges.value(), 7u);
+}
+
+TEST(MrcScheme, PartialDirtyEvictionPaysDeferredRmw)
+{
+    MrcOptions opts;
+    opts.sizeBytes = 512; // 16 lines: tiny, to force evictions
+    opts.assoc = 2;
+    opts.fetchOnWriteMiss = false; // isolate the RMW path
+    SchemeHarness h(SchemeKind::kCacheCraft, EccLayout::kCoLocated,
+                    ecc::CodecKind::kSecDed, opts);
+    const std::size_t chunks = 64;
+    h.initRange(0, chunks * kSectorsPerChunk);
+    // Dirty one field in many distinct chunks to force dirty
+    // evictions of partially-valid chunks.
+    for (std::size_t c = 0; c < chunks; ++c)
+        h.write(c * kChunkBytes,
+                SchemeHarness::payload(c * kChunkBytes, 5));
+    EXPECT_GT(h.scheme->stats.mrcDirtyEvictions.value(), 0u);
+    EXPECT_GT(h.scheme->stats.eccRmwReads.value(), 0u);
+}
+
+TEST(MrcScheme, FetchOnWriteMissAvoidsEvictionRmw)
+{
+    MrcOptions opts;
+    opts.sizeBytes = 512;
+    opts.assoc = 2;
+    opts.fetchOnWriteMiss = true;
+    SchemeHarness h(SchemeKind::kCacheCraft, EccLayout::kCoLocated,
+                    ecc::CodecKind::kSecDed, opts);
+    const std::size_t chunks = 64;
+    h.initRange(0, chunks * kSectorsPerChunk);
+    for (std::size_t c = 0; c < chunks; ++c)
+        h.write(c * kChunkBytes,
+                SchemeHarness::payload(c * kChunkBytes, 5));
+    // Chunks were reconstructed at write time: dirty evictions write
+    // full chunks without an RMW read.
+    EXPECT_GT(h.scheme->stats.mrcDirtyEvictions.value(), 0u);
+    EXPECT_EQ(h.scheme->stats.eccRmwReads.value(), 0u);
+}
+
+TEST(MrcScheme, EagerWriteoutFlushesFullDirtyChunk)
+{
+    MrcOptions opts;
+    opts.eagerWriteout = true;
+    SchemeHarness h(SchemeKind::kCacheCraft, EccLayout::kCoLocated,
+                    ecc::CodecKind::kSecDed, opts);
+    h.initRange(0, 8);
+    h.read(0); // chunk resident and fully valid
+    for (std::size_t s = 0; s < kSectorsPerChunk; ++s)
+        h.write(s * kSectorBytes,
+                SchemeHarness::payload(s * kSectorBytes, 7));
+    // The 8th write completed the chunk: one eager writeout fired.
+    EXPECT_EQ(h.scheme->stats.mrcEagerWriteouts.value(), 1u);
+    EXPECT_EQ(h.eccWrites(), 1u);
+    // Nothing left dirty for the flush.
+    const auto before = h.eccWrites();
+    h.scheme->flush();
+    h.events.run();
+    EXPECT_EQ(h.eccWrites(), before);
+}
+
+TEST(MrcScheme, ResidentChunkServesFromOnChipCopyAfterWrite)
+{
+    // After a write, the on-chip (shadow) copy is newer than DRAM's
+    // ECC bytes; a read hitting the MRC must verify against the
+    // on-chip copy and come back clean.
+    SchemeHarness h(SchemeKind::kCacheCraft, EccLayout::kCoLocated);
+    h.initRange(0, 8);
+    h.read(0);
+    const auto fresh = SchemeHarness::payload(0, 99);
+    h.write(0, fresh);
+    const auto res = h.read(0);
+    EXPECT_EQ(res.status, ecc::DecodeStatus::kClean);
+    EXPECT_EQ(res.data, fresh);
+}
+
+TEST(MrcScheme, DramFaultInEccRegionSeenOnlyAfterEviction)
+{
+    // Faults land in DRAM; an MRC-resident chunk is SRAM and immune.
+    SchemeHarness h(SchemeKind::kCacheCraft, EccLayout::kCoLocated);
+    h.initRange(0, 8);
+    h.read(0); // chunk now resident
+    h.dram.flipBit(0, h.map.eccChunkPhys(0), 1);
+    const auto res = h.read(32); // MRC hit: uses on-chip copy
+    EXPECT_EQ(res.status, ecc::DecodeStatus::kClean);
+}
+
+TEST(MrcScheme, MrcAddressingDenseAcrossChunks)
+{
+    // Regression test for the set-aliasing bug: consecutive chunks of
+    // this channel must map to consecutive MRC lines (dense sets).
+    MrcOptions opts;
+    opts.sizeBytes = 1024; // 32 lines, 8-way -> 4 sets
+    SchemeHarness h(SchemeKind::kCacheCraft, EccLayout::kCoLocated,
+                    ecc::CodecKind::kSecDed, opts);
+    const std::size_t chunks = 32; // exactly capacity
+    h.initRange(0, chunks * kSectorsPerChunk);
+    for (std::size_t c = 0; c < chunks; ++c)
+        h.read(c * kChunkBytes);
+    // With dense indexing all 32 chunks fit: zero capacity evictions.
+    EXPECT_EQ(h.scheme->stats.mrcEvictions.value(), 0u);
+    // And they all still hit.
+    const auto misses = h.scheme->stats.mrcMisses.value();
+    for (std::size_t c = 0; c < chunks; ++c)
+        h.read(c * kChunkBytes + 32);
+    EXPECT_EQ(h.scheme->stats.mrcMisses.value(), misses);
+}
+
+} // namespace
+} // namespace cachecraft

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the MSHR file: allocation, merging, capacity stalls, and
+ * release semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hpp"
+
+namespace cachecraft {
+namespace {
+
+using Outcome = MshrFile::AllocOutcome;
+
+TEST(Mshr, NewEntryThenMerge)
+{
+    MshrFile mshr("m", 4, nullptr);
+    EXPECT_EQ(mshr.allocate(0x100, 0x1, 1), Outcome::kNewEntry);
+    EXPECT_EQ(mshr.allocate(0x100, 0x1, 2), Outcome::kMergedExisting);
+    EXPECT_EQ(mshr.allocate(0x100, 0x2, 3), Outcome::kMergedNewSector);
+    EXPECT_EQ(mshr.size(), 1u);
+    EXPECT_EQ(mshr.requestedSectors(0x100), 0x3);
+}
+
+TEST(Mshr, CapacityStall)
+{
+    MshrFile mshr("m", 2, nullptr);
+    EXPECT_EQ(mshr.allocate(0x100, 1, 0), Outcome::kNewEntry);
+    EXPECT_EQ(mshr.allocate(0x200, 1, 0), Outcome::kNewEntry);
+    EXPECT_TRUE(mshr.full());
+    EXPECT_EQ(mshr.allocate(0x300, 1, 0), Outcome::kFull);
+    // Merging into an existing entry still works when full.
+    EXPECT_EQ(mshr.allocate(0x100, 1, 0), Outcome::kMergedExisting);
+    EXPECT_EQ(mshr.statStalls.value(), 1u);
+}
+
+TEST(Mshr, ReleaseReturnsWaiters)
+{
+    MshrFile mshr("m", 4, nullptr);
+    mshr.allocate(0x100, 1, 11);
+    mshr.allocate(0x100, 1, 22);
+    mshr.allocate(0x100, 1, 33);
+    const auto waiters = mshr.release(0x100);
+    ASSERT_EQ(waiters.size(), 3u);
+    EXPECT_EQ(waiters[0], 11u);
+    EXPECT_EQ(waiters[2], 33u);
+    EXPECT_FALSE(mshr.contains(0x100));
+    EXPECT_EQ(mshr.size(), 0u);
+}
+
+TEST(Mshr, ReleaseUnknownIsEmpty)
+{
+    MshrFile mshr("m", 4, nullptr);
+    EXPECT_TRUE(mshr.release(0xDEAD).empty());
+}
+
+TEST(Mshr, ReuseAfterRelease)
+{
+    MshrFile mshr("m", 1, nullptr);
+    EXPECT_EQ(mshr.allocate(0x100, 1, 0), Outcome::kNewEntry);
+    EXPECT_EQ(mshr.allocate(0x200, 1, 0), Outcome::kFull);
+    mshr.release(0x100);
+    EXPECT_EQ(mshr.allocate(0x200, 1, 0), Outcome::kNewEntry);
+}
+
+TEST(Mshr, StatsCounted)
+{
+    StatRegistry reg;
+    MshrFile mshr("l1mshr", 2, &reg);
+    mshr.allocate(0x100, 1, 0);
+    mshr.allocate(0x100, 1, 0);
+    EXPECT_EQ(reg.counter("l1mshr.allocations")->value(), 1u);
+    EXPECT_EQ(reg.counter("l1mshr.merges")->value(), 1u);
+}
+
+} // namespace
+} // namespace cachecraft

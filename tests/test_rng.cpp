@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the deterministic random number generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace cachecraft {
+namespace {
+
+TEST(SplitMix64, DeterministicAcrossInstances)
+{
+    SplitMix64 a(123);
+    SplitMix64 b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer)
+{
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next()) ? 1 : 0;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, KnownReference)
+{
+    // Reference values for seed 0 from the published SplitMix64.
+    SplitMix64 rng(0);
+    EXPECT_EQ(rng.next(), 0xE220A8397B1DCDAFull);
+    EXPECT_EQ(rng.next(), 0x6E789E6AA1B965F4ull);
+    EXPECT_EQ(rng.next(), 0x06C45D188009454Full);
+}
+
+TEST(Xoshiro256, Deterministic)
+{
+    Xoshiro256 a(42);
+    Xoshiro256 b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BelowRespectsBound)
+{
+    Xoshiro256 rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull,
+                                (1ull << 40)}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Xoshiro256, BelowOneAlwaysZero)
+{
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval)
+{
+    Xoshiro256 rng(99);
+    double sum = 0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of U(0,1) is 0.5; stderr ~ 0.29/sqrt(n) ~ 0.002.
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, BelowRoughlyUniform)
+{
+    Xoshiro256 rng(5);
+    constexpr std::uint64_t buckets = 16;
+    std::array<int, buckets> hist{};
+    constexpr int n = 32000;
+    for (int i = 0; i < n; ++i)
+        hist[rng.below(buckets)]++;
+    for (int count : hist) {
+        EXPECT_GT(count, n / buckets * 0.8);
+        EXPECT_LT(count, n / buckets * 1.2);
+    }
+}
+
+TEST(Xoshiro256, ChanceExtremes)
+{
+    Xoshiro256 rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Xoshiro256, NoShortCycle)
+{
+    Xoshiro256 rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i)
+        seen.insert(rng.next());
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+} // namespace
+} // namespace cachecraft

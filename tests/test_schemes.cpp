@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the None and InlineNaive protection schemes: transaction
+ * counts per operation (the schemes' defining cost models) and
+ * functional verification through the real codecs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scheme_harness.hpp"
+
+namespace cachecraft {
+namespace {
+
+TEST(NoneScheme, ReadIsOneTransaction)
+{
+    SchemeHarness h(SchemeKind::kNone, EccLayout::kNone);
+    h.initRange(0, 8);
+    const auto res = h.read(0);
+    EXPECT_EQ(res.status, ecc::DecodeStatus::kClean);
+    EXPECT_EQ(res.data, SchemeHarness::payload(0));
+    EXPECT_EQ(h.dataReads(), 1u);
+    EXPECT_EQ(h.eccReads(), 0u);
+    EXPECT_EQ(h.dram.totalTransactions(), 1u);
+}
+
+TEST(NoneScheme, WriteIsOneTransaction)
+{
+    SchemeHarness h(SchemeKind::kNone, EccLayout::kNone);
+    h.initRange(0, 8);
+    h.write(32, SchemeHarness::payload(32, 9));
+    EXPECT_EQ(h.dataWrites(), 1u);
+    EXPECT_EQ(h.eccWrites(), 0u);
+    EXPECT_EQ(h.dram.totalTransactions(), 1u);
+    // The write is functionally visible.
+    const auto res = h.read(32);
+    EXPECT_EQ(res.data, SchemeHarness::payload(32, 9));
+}
+
+TEST(InlineNaive, ReadIsTwoTransactions)
+{
+    SchemeHarness h(SchemeKind::kInlineNaive);
+    h.initRange(0, 8);
+    const auto res = h.read(0);
+    EXPECT_EQ(res.status, ecc::DecodeStatus::kClean);
+    EXPECT_EQ(res.data, SchemeHarness::payload(0));
+    EXPECT_EQ(h.dataReads(), 1u);
+    EXPECT_EQ(h.eccReads(), 1u);
+    EXPECT_EQ(h.dram.totalTransactions(), 2u);
+}
+
+TEST(InlineNaive, EveryReadRepaysTheEccFetch)
+{
+    SchemeHarness h(SchemeKind::kInlineNaive);
+    h.initRange(0, 8);
+    // No metadata caching: N reads of the same chunk = N ECC reads.
+    for (int i = 0; i < 5; ++i)
+        h.read(static_cast<Addr>(i) * kSectorBytes);
+    EXPECT_EQ(h.eccReads(), 5u);
+}
+
+TEST(InlineNaive, WriteIsThreeTransactions)
+{
+    SchemeHarness h(SchemeKind::kInlineNaive);
+    h.initRange(0, 8);
+    h.write(0, SchemeHarness::payload(0, 1));
+    // Data write + ECC RMW (read then write).
+    EXPECT_EQ(h.dataWrites(), 1u);
+    EXPECT_EQ(h.eccReads(), 1u);
+    EXPECT_EQ(h.eccWrites(), 1u);
+    EXPECT_EQ(h.scheme->stats.eccRmwReads.value(), 1u);
+    EXPECT_EQ(h.dram.totalTransactions(), 3u);
+}
+
+TEST(InlineNaive, WriteThenReadVerifies)
+{
+    SchemeHarness h(SchemeKind::kInlineNaive);
+    h.initRange(0, 8);
+    const auto fresh = SchemeHarness::payload(64, 42);
+    h.write(64, fresh);
+    const auto res = h.read(64);
+    EXPECT_EQ(res.status, ecc::DecodeStatus::kClean);
+    EXPECT_EQ(res.data, fresh);
+}
+
+TEST(InlineNaive, DetectsInjectedSingleBitFault)
+{
+    SchemeHarness h(SchemeKind::kInlineNaive);
+    h.initRange(0, 8);
+    // Flip one stored data bit; SEC-DED must correct it.
+    h.dram.flipBit(0, h.map.dataPhys(0) + 3, 5);
+    const auto res = h.read(0);
+    EXPECT_EQ(res.status, ecc::DecodeStatus::kCorrected);
+    EXPECT_EQ(res.data, SchemeHarness::payload(0));
+    EXPECT_EQ(h.scheme->stats.decodeCorrected.value(), 1u);
+}
+
+TEST(InlineNaive, FlagsDoubleBitFaultUncorrectable)
+{
+    SchemeHarness h(SchemeKind::kInlineNaive);
+    h.initRange(0, 8);
+    h.dram.flipBit(0, h.map.dataPhys(0), 0);
+    h.dram.flipBit(0, h.map.dataPhys(0), 1);
+    const auto res = h.read(0);
+    EXPECT_EQ(res.status, ecc::DecodeStatus::kUncorrectable);
+    EXPECT_EQ(h.scheme->stats.decodeUncorrectable.value(), 1u);
+}
+
+TEST(InlineNaive, EccRegionFaultCorrected)
+{
+    SchemeHarness h(SchemeKind::kInlineNaive);
+    h.initRange(0, 8);
+    h.dram.flipBit(0, h.map.eccChunkPhys(0), 2);
+    const auto res = h.read(0);
+    EXPECT_EQ(res.status, ecc::DecodeStatus::kCorrected);
+    EXPECT_EQ(res.data, SchemeHarness::payload(0));
+}
+
+TEST(InlineNaive, TagMismatchDetectedWithAftEcc)
+{
+    SchemeHarness h(SchemeKind::kInlineNaive, EccLayout::kSegregated,
+                    ecc::CodecKind::kAftEcc);
+    h.initRange(0, 8, /* tag= */ 0x21);
+    const auto good = h.read(0, 0x21);
+    EXPECT_EQ(good.status, ecc::DecodeStatus::kClean);
+    const auto bad = h.read(0, 0x22);
+    EXPECT_EQ(bad.status, ecc::DecodeStatus::kTagMismatch);
+    EXPECT_EQ(h.scheme->stats.decodeTagMismatch.value(), 1u);
+}
+
+TEST(SchemeNames, Strings)
+{
+    EXPECT_STREQ(toString(SchemeKind::kNone), "no-ecc");
+    EXPECT_STREQ(toString(SchemeKind::kInlineNaive), "inline-naive");
+    EXPECT_STREQ(toString(SchemeKind::kEccCache), "ecc-cache");
+    EXPECT_STREQ(toString(SchemeKind::kCacheCraft), "cachecraft");
+    SchemeHarness none(SchemeKind::kNone, EccLayout::kNone);
+    EXPECT_EQ(none.scheme->name(), "no-ecc");
+    SchemeHarness naive(SchemeKind::kInlineNaive);
+    EXPECT_EQ(naive.scheme->name(), "inline-naive");
+    SchemeHarness cache(SchemeKind::kEccCache);
+    EXPECT_EQ(cache.scheme->name(), "ecc-cache");
+    SchemeHarness craft(SchemeKind::kCacheCraft, EccLayout::kCoLocated);
+    EXPECT_EQ(craft.scheme->name(), "cachecraft");
+}
+
+} // namespace
+} // namespace cachecraft

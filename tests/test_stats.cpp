@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the statistics registry, counters, and histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hpp"
+
+namespace cachecraft {
+namespace {
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ScalarStat, SetAddReset)
+{
+    ScalarStat s;
+    s.set(1.5);
+    EXPECT_DOUBLE_EQ(s.value(), 1.5);
+    s.add(0.5);
+    EXPECT_DOUBLE_EQ(s.value(), 2.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(HistogramStat, BasicMoments)
+{
+    HistogramStat h(10, 10);
+    h.sample(5);
+    h.sample(15);
+    h.sample(25);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+    EXPECT_EQ(h.minValue(), 5u);
+    EXPECT_EQ(h.maxValue(), 25u);
+}
+
+TEST(HistogramStat, OverflowBucket)
+{
+    HistogramStat h(10, 4); // covers [0, 40) + overflow
+    h.sample(1000);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.maxValue(), 1000u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(HistogramStat, QuantileMonotone)
+{
+    HistogramStat h(1, 100);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    const double q25 = h.quantile(0.25);
+    const double q50 = h.quantile(0.50);
+    const double q90 = h.quantile(0.90);
+    EXPECT_LE(q25, q50);
+    EXPECT_LE(q50, q90);
+    EXPECT_NEAR(q50, 50.0, 2.0);
+}
+
+TEST(HistogramStat, Reset)
+{
+    HistogramStat h(10, 10);
+    h.sample(42);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.maxValue(), 0u);
+}
+
+TEST(StatRegistry, RegisterAndLookup)
+{
+    StatRegistry reg;
+    Counter c;
+    ScalarStat s;
+    reg.registerCounter("module.count", &c);
+    reg.registerScalar("module.scalar", &s);
+    c.inc(3);
+    s.set(2.5);
+    ASSERT_NE(reg.counter("module.count"), nullptr);
+    EXPECT_EQ(reg.counter("module.count")->value(), 3u);
+    ASSERT_NE(reg.scalar("module.scalar"), nullptr);
+    EXPECT_DOUBLE_EQ(reg.scalar("module.scalar")->value(), 2.5);
+    EXPECT_EQ(reg.counter("missing"), nullptr);
+    EXPECT_EQ(reg.scalar("missing"), nullptr);
+}
+
+TEST(StatRegistry, FlattenSorted)
+{
+    StatRegistry reg;
+    Counter a, b;
+    reg.registerCounter("z.last", &a);
+    reg.registerCounter("a.first", &b);
+    a.inc(1);
+    b.inc(2);
+    const auto flat = reg.flatten();
+    ASSERT_EQ(flat.size(), 2u);
+    EXPECT_EQ(flat[0].first, "a.first");
+    EXPECT_EQ(flat[1].first, "z.last");
+}
+
+TEST(StatRegistry, ResetAll)
+{
+    StatRegistry reg;
+    Counter c;
+    HistogramStat h(1, 4);
+    reg.registerCounter("c", &c);
+    reg.registerHistogram("h", &h);
+    c.inc(10);
+    h.sample(2);
+    reg.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(StatRegistry, CsvRender)
+{
+    StatRegistry reg;
+    Counter c;
+    reg.registerCounter("x.y", &c);
+    c.inc(7);
+    const std::string csv = reg.renderCsv();
+    EXPECT_NE(csv.find("stat,value"), std::string::npos);
+    EXPECT_NE(csv.find("x.y,7"), std::string::npos);
+}
+
+TEST(StatRegistryDeathTest, DuplicateRegistrationPanics)
+{
+    StatRegistry reg;
+    Counter c1, c2;
+    reg.registerCounter("dup", &c1);
+    EXPECT_DEATH(reg.registerCounter("dup", &c2), "duplicate");
+}
+
+} // namespace
+} // namespace cachecraft

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the sparse DRAM backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/storage.hpp"
+
+namespace cachecraft {
+namespace {
+
+TEST(SparseMemory, UntouchedReadsFill)
+{
+    SparseMemory mem(0xCC);
+    std::array<std::uint8_t, 16> buf{};
+    mem.read(0x123456, buf);
+    for (auto b : buf)
+        EXPECT_EQ(b, 0xCC);
+    EXPECT_EQ(mem.numPages(), 0u);
+}
+
+TEST(SparseMemory, WriteReadRoundTrip)
+{
+    SparseMemory mem;
+    std::array<std::uint8_t, 8> in{1, 2, 3, 4, 5, 6, 7, 8};
+    mem.write(0x1000, in);
+    std::array<std::uint8_t, 8> out{};
+    mem.read(0x1000, out);
+    EXPECT_EQ(in, out);
+}
+
+TEST(SparseMemory, CrossPageAccess)
+{
+    SparseMemory mem;
+    // Straddle a 4 KiB page boundary.
+    const Addr addr = SparseMemory::kPageBytes - 4;
+    std::array<std::uint8_t, 8> in{9, 8, 7, 6, 5, 4, 3, 2};
+    mem.write(addr, in);
+    std::array<std::uint8_t, 8> out{};
+    mem.read(addr, out);
+    EXPECT_EQ(in, out);
+    EXPECT_EQ(mem.numPages(), 2u);
+}
+
+TEST(SparseMemory, PartialPageReadMixesFillAndData)
+{
+    SparseMemory mem(0xAA);
+    std::array<std::uint8_t, 2> in{0x11, 0x22};
+    mem.write(SparseMemory::kPageBytes, in); // second page start
+    std::array<std::uint8_t, 4> out{};
+    mem.read(SparseMemory::kPageBytes - 2, out);
+    EXPECT_EQ(out[0], 0xAA);
+    EXPECT_EQ(out[1], 0xAA);
+    EXPECT_EQ(out[2], 0x11);
+    EXPECT_EQ(out[3], 0x22);
+}
+
+TEST(SparseMemory, FlipBit)
+{
+    SparseMemory mem;
+    std::array<std::uint8_t, 1> in{0x00};
+    mem.write(0x200, in);
+    mem.flipBit(0x200, 3);
+    std::array<std::uint8_t, 1> out{};
+    mem.read(0x200, out);
+    EXPECT_EQ(out[0], 0x08);
+    mem.flipBit(0x200, 3);
+    mem.read(0x200, out);
+    EXPECT_EQ(out[0], 0x00);
+}
+
+TEST(SparseMemory, FlipBitOnUntouchedPageMaterializes)
+{
+    SparseMemory mem(0xFF);
+    mem.flipBit(0x5000, 0);
+    std::array<std::uint8_t, 1> out{};
+    mem.read(0x5000, out);
+    EXPECT_EQ(out[0], 0xFE);
+}
+
+TEST(SparseMemory, OverwriteUpdates)
+{
+    SparseMemory mem;
+    std::array<std::uint8_t, 4> a{1, 1, 1, 1};
+    std::array<std::uint8_t, 4> b{2, 2, 2, 2};
+    mem.write(0x300, a);
+    mem.write(0x300, b);
+    std::array<std::uint8_t, 4> out{};
+    mem.read(0x300, out);
+    EXPECT_EQ(out, b);
+}
+
+TEST(SparseMemory, LargeSparseFootprintCheap)
+{
+    SparseMemory mem;
+    // Touch 100 pages scattered over a 1 TiB range.
+    for (Addr i = 0; i < 100; ++i) {
+        std::array<std::uint8_t, 1> b{static_cast<std::uint8_t>(i)};
+        mem.write(i * (1ull << 34), b);
+    }
+    EXPECT_EQ(mem.numPages(), 100u);
+}
+
+} // namespace
+} // namespace cachecraft

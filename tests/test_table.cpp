@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the result-table renderer and numeric helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/table.hpp"
+
+namespace cachecraft {
+namespace {
+
+TEST(ResultTable, RendersAllCells)
+{
+    ResultTable t("My Table");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "2"});
+    const std::string text = t.renderText();
+    EXPECT_NE(text.find("My Table"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("beta"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(ResultTable, CsvFormat)
+{
+    ResultTable t("t");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(ResultTable, MarkdownHasSeparator)
+{
+    ResultTable t("md");
+    t.setHeader({"x"});
+    t.addRow({"1"});
+    const std::string md = t.renderMarkdown();
+    EXPECT_NE(md.find("|---|"), std::string::npos);
+    EXPECT_NE(md.find("### md"), std::string::npos);
+}
+
+TEST(ResultTable, NumFormatting)
+{
+    EXPECT_EQ(ResultTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(ResultTable::num(1.0, 0), "1");
+    EXPECT_EQ(ResultTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(ResultTableDeathTest, RowWidthMismatchPanics)
+{
+    ResultTable t("bad");
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "width mismatch");
+}
+
+TEST(Geomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, InvariantToOrder)
+{
+    EXPECT_NEAR(geomean({1.5, 2.5, 9.0}), geomean({9.0, 1.5, 2.5}),
+                1e-12);
+}
+
+} // namespace
+} // namespace cachecraft

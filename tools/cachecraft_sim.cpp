@@ -1,0 +1,257 @@
+/**
+ * @file
+ * cachecraft_sim — the command-line simulator.
+ *
+ * Runs one workload (built-in kernel or a trace file) on one
+ * configuration and prints the run report; optionally dumps the
+ * generated trace, the full statistics as CSV, and the energy model.
+ *
+ *   cachecraft_sim --workload random --scheme cachecraft --energy
+ *   cachecraft_sim --trace my.trace --scheme inline-naive
+ *   cachecraft_sim --workload gemm --dump-trace gemm.trace
+ *
+ * Run with --help for the full flag list.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "core/cachecraft.hpp"
+#include "stats/energy.hpp"
+#include "workloads/trace_io.hpp"
+
+using namespace cachecraft;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "cachecraft_sim — GPU memory-protection simulator\n"
+        "\n"
+        "workload selection (one of):\n"
+        "  --workload NAME     built-in kernel: streaming strided\n"
+        "                      stencil2d gemm transpose reduction\n"
+        "                      histogram random spmv\n"
+        "  --trace FILE        load a trace file (see trace_io.hpp)\n"
+        "\n"
+        "workload sizing (built-in kernels):\n"
+        "  --footprint-mib N   array footprint (default 8)\n"
+        "  --warps N           total warps (default 256)\n"
+        "  --mem-insts N       mem insts/warp, irregular kernels (48)\n"
+        "  --seed N            workload seed (default 7)\n"
+        "\n"
+        "system configuration:\n"
+        "  --scheme S          no-ecc | inline-naive | ecc-cache |\n"
+        "                      cachecraft (default cachecraft)\n"
+        "  --codec C           secded | sec-badaec | chipkill |\n"
+        "                      aft-ecc (default secded)\n"
+        "  --sms N             SM count (default 16)\n"
+        "  --l2-kib N          L2 KiB per slice (default 512)\n"
+        "  --mrc-kib N         MRC KiB per slice (default 16)\n"
+        "  --no-r1 --no-r2 --no-r3   disable CacheCraft mechanisms\n"
+        "  --gto               greedy-then-oldest warp scheduling\n"
+        "  --l2-whole-line     fetch whole 128 B line on L2 miss\n"
+        "\n"
+        "output:\n"
+        "  --dump-trace FILE   write the workload trace and exit\n"
+        "  --stats-csv FILE    write every statistic as CSV\n"
+        "  --energy            print the energy model breakdown\n"
+        "  --quiet             suppress the configuration block\n");
+}
+
+std::optional<SchemeKind>
+parseScheme(const std::string &s)
+{
+    for (auto kind : {SchemeKind::kNone, SchemeKind::kInlineNaive,
+                      SchemeKind::kEccCache, SchemeKind::kCacheCraft}) {
+        if (s == toString(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+std::optional<ecc::CodecKind>
+parseCodec(const std::string &s)
+{
+    for (auto kind : ecc::allCodecs()) {
+        if (s == toString(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+std::optional<WorkloadKind>
+parseWorkload(const std::string &s)
+{
+    for (auto kind : allWorkloads()) {
+        if (s == toString(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    WorkloadParams wparams;
+    wparams.footprintBytes = 8 * 1024 * 1024;
+    wparams.numWarps = 256;
+    wparams.memInstsPerWarp = 48;
+
+    SystemConfig config;
+    std::optional<WorkloadKind> workload;
+    std::string trace_path;
+    std::string dump_path;
+    std::string csv_path;
+    bool want_energy = false;
+    bool quiet = false;
+
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal(strCat("flag ", argv[i], " needs a value"));
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--help" || flag == "-h") {
+            usage();
+            return 0;
+        } else if (flag == "--workload") {
+            workload = parseWorkload(need_value(i));
+            if (!workload)
+                fatal("unknown workload");
+        } else if (flag == "--trace") {
+            trace_path = need_value(i);
+        } else if (flag == "--footprint-mib") {
+            wparams.footprintBytes =
+                std::stoull(need_value(i)) * 1024 * 1024;
+        } else if (flag == "--warps") {
+            wparams.numWarps =
+                static_cast<unsigned>(std::stoul(need_value(i)));
+        } else if (flag == "--mem-insts") {
+            wparams.memInstsPerWarp =
+                static_cast<unsigned>(std::stoul(need_value(i)));
+        } else if (flag == "--seed") {
+            wparams.seed = std::stoull(need_value(i));
+        } else if (flag == "--scheme") {
+            const auto scheme = parseScheme(need_value(i));
+            if (!scheme)
+                fatal("unknown scheme");
+            config.scheme = *scheme;
+        } else if (flag == "--codec") {
+            const auto codec = parseCodec(need_value(i));
+            if (!codec)
+                fatal("unknown codec");
+            config.codec = *codec;
+        } else if (flag == "--sms") {
+            config.numSms =
+                static_cast<unsigned>(std::stoul(need_value(i)));
+        } else if (flag == "--l2-kib") {
+            config.l2.cache.sizeBytes =
+                std::stoull(need_value(i)) * 1024;
+        } else if (flag == "--mrc-kib") {
+            config.mrc.sizeBytes = std::stoull(need_value(i)) * 1024;
+        } else if (flag == "--no-r1") {
+            config.mrc.chunkGranularity = false;
+        } else if (flag == "--no-r2") {
+            config.mrc.writebackMrc = false;
+        } else if (flag == "--no-r3") {
+            config.coLocatedLayout = false;
+        } else if (flag == "--gto") {
+            config.sm.scheduler = WarpSched::kGto;
+        } else if (flag == "--l2-whole-line") {
+            config.l2.fetchWholeLine = true;
+        } else if (flag == "--dump-trace") {
+            dump_path = need_value(i);
+        } else if (flag == "--stats-csv") {
+            csv_path = need_value(i);
+        } else if (flag == "--energy") {
+            want_energy = true;
+        } else if (flag == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown flag %s (see --help)\n",
+                         flag.c_str());
+            return 1;
+        }
+    }
+
+    // Build the trace.
+    KernelTrace trace;
+    if (!trace_path.empty()) {
+        std::string error;
+        trace = loadTraceFile(trace_path, &error);
+        if (!error.empty())
+            fatal(error);
+    } else {
+        trace = makeWorkload(workload.value_or(WorkloadKind::kStreaming),
+                             wparams);
+    }
+
+    if (!dump_path.empty()) {
+        if (!saveTraceFile(trace, dump_path))
+            fatal("cannot write " + dump_path);
+        std::printf("wrote %s (%llu insts)\n", dump_path.c_str(),
+                    static_cast<unsigned long long>(trace.totalInsts()));
+        return 0;
+    }
+
+    if (!quiet)
+        std::printf("--- configuration ---\n%s\n",
+                    config.describe().c_str());
+
+    GpuSystem gpu(config);
+    const RunStats rs = gpu.run(trace);
+
+    std::printf("--- %s on %s ---\n", config.summary().c_str(),
+                trace.name.c_str());
+    std::printf("cycles            %llu\n",
+                static_cast<unsigned long long>(rs.cycles));
+    std::printf("IPC               %.4f\n", rs.ipc);
+    std::printf("DRAM txns         %llu (data %llu/%llu, ecc %llu/%llu)\n",
+                static_cast<unsigned long long>(rs.dramTotalTxns),
+                static_cast<unsigned long long>(rs.dramDataReads),
+                static_cast<unsigned long long>(rs.dramDataWrites),
+                static_cast<unsigned long long>(rs.dramEccReads),
+                static_cast<unsigned long long>(rs.dramEccWrites));
+    std::printf("row-buffer hits   %.1f%%\n", 100.0 * rs.rowHitRate);
+    std::printf("MRC coverage      %.1f%%\n", 100.0 * rs.mrcCoverage());
+    std::printf("decodes           clean %llu, corrected %llu, DUE %llu,"
+                " tag-mismatch %llu\n",
+                static_cast<unsigned long long>(rs.decodeClean),
+                static_cast<unsigned long long>(rs.decodeCorrected),
+                static_cast<unsigned long long>(rs.decodeUncorrectable),
+                static_cast<unsigned long long>(rs.decodeTagMismatch));
+
+    if (want_energy) {
+        const EnergyBreakdown e = computeEnergy(rs.all);
+        std::printf("energy            %.1f uJ total "
+                    "(dram %.1f, sram %.1f, codec %.1f)\n",
+                    e.totalNj() / 1000.0, e.dramNj() / 1000.0,
+                    (e.l1Nj + e.l2Nj + e.mrcNj) / 1000.0,
+                    e.codecNj / 1000.0);
+    }
+
+    const AuditResult audit = gpu.auditMemory();
+    std::printf("memory audit      %llu sectors, %llu SDC, %llu DUE\n",
+                static_cast<unsigned long long>(audit.sectors),
+                static_cast<unsigned long long>(audit.silentCorruptions),
+                static_cast<unsigned long long>(audit.uncorrectable));
+
+    if (!csv_path.empty()) {
+        std::ofstream csv(csv_path);
+        csv << "stat,value\n";
+        for (const auto &[name, value] : rs.all)
+            csv << name << ',' << value << '\n';
+        std::printf("wrote %s\n", csv_path.c_str());
+    }
+    return 0;
+}
