@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_codecs.dir/bm_codecs.cpp.o"
+  "CMakeFiles/bm_codecs.dir/bm_codecs.cpp.o.d"
+  "bm_codecs"
+  "bm_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

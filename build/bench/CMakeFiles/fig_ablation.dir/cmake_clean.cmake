@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_ablation.dir/fig_ablation.cpp.o"
+  "CMakeFiles/fig_ablation.dir/fig_ablation.cpp.o.d"
+  "fig_ablation"
+  "fig_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_energy.dir/fig_energy.cpp.o"
+  "CMakeFiles/fig_energy.dir/fig_energy.cpp.o.d"
+  "fig_energy"
+  "fig_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_headline_speedup.dir/fig_headline_speedup.cpp.o"
+  "CMakeFiles/fig_headline_speedup.dir/fig_headline_speedup.cpp.o.d"
+  "fig_headline_speedup"
+  "fig_headline_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_headline_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_mrc_hitrate.dir/fig_mrc_hitrate.cpp.o"
+  "CMakeFiles/fig_mrc_hitrate.dir/fig_mrc_hitrate.cpp.o.d"
+  "fig_mrc_hitrate"
+  "fig_mrc_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_mrc_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_row_locality.dir/fig_row_locality.cpp.o"
+  "CMakeFiles/fig_row_locality.dir/fig_row_locality.cpp.o.d"
+  "fig_row_locality"
+  "fig_row_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_row_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_row_locality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_sensitivity.dir/fig_sensitivity.cpp.o"
+  "CMakeFiles/fig_sensitivity.dir/fig_sensitivity.cpp.o.d"
+  "fig_sensitivity"
+  "fig_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

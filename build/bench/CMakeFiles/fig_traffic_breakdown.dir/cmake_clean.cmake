@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_traffic_breakdown.dir/fig_traffic_breakdown.cpp.o"
+  "CMakeFiles/fig_traffic_breakdown.dir/fig_traffic_breakdown.cpp.o.d"
+  "fig_traffic_breakdown"
+  "fig_traffic_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_traffic_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

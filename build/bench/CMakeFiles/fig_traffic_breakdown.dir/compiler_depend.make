@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_traffic_breakdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_config.dir/table_config.cpp.o"
+  "CMakeFiles/table_config.dir/table_config.cpp.o.d"
+  "table_config"
+  "table_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

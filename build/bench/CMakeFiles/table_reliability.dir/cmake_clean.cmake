@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_reliability.dir/table_reliability.cpp.o"
+  "CMakeFiles/table_reliability.dir/table_reliability.cpp.o.d"
+  "table_reliability"
+  "table_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

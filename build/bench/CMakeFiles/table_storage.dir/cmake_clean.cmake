@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_storage.dir/table_storage.cpp.o"
+  "CMakeFiles/table_storage.dir/table_storage.cpp.o.d"
+  "table_storage"
+  "table_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

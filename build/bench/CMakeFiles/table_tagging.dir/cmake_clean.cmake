@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_tagging.dir/table_tagging.cpp.o"
+  "CMakeFiles/table_tagging.dir/table_tagging.cpp.o.d"
+  "table_tagging"
+  "table_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

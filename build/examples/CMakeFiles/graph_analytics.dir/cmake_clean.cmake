@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_analytics.dir/graph_analytics.cpp.o"
+  "CMakeFiles/graph_analytics.dir/graph_analytics.cpp.o.d"
+  "graph_analytics"
+  "graph_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

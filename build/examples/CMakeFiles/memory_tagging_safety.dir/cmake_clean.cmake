@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_tagging_safety.dir/memory_tagging_safety.cpp.o"
+  "CMakeFiles/memory_tagging_safety.dir/memory_tagging_safety.cpp.o.d"
+  "memory_tagging_safety"
+  "memory_tagging_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_tagging_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for memory_tagging_safety.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_gemm.dir/secure_gemm.cpp.o"
+  "CMakeFiles/secure_gemm.dir/secure_gemm.cpp.o.d"
+  "secure_gemm"
+  "secure_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

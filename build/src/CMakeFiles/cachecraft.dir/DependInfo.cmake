@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/mshr.cpp" "src/CMakeFiles/cachecraft.dir/cache/mshr.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/cache/mshr.cpp.o.d"
+  "/root/repo/src/cache/replacement.cpp" "src/CMakeFiles/cachecraft.dir/cache/replacement.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/cache/replacement.cpp.o.d"
+  "/root/repo/src/cache/sectored_cache.cpp" "src/CMakeFiles/cachecraft.dir/cache/sectored_cache.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/cache/sectored_cache.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/cachecraft.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/common/log.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/cachecraft.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/gpu_system.cpp" "src/CMakeFiles/cachecraft.dir/core/gpu_system.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/core/gpu_system.cpp.o.d"
+  "/root/repo/src/dram/address_map.cpp" "src/CMakeFiles/cachecraft.dir/dram/address_map.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/dram/address_map.cpp.o.d"
+  "/root/repo/src/dram/dram_model.cpp" "src/CMakeFiles/cachecraft.dir/dram/dram_model.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/dram/dram_model.cpp.o.d"
+  "/root/repo/src/dram/storage.cpp" "src/CMakeFiles/cachecraft.dir/dram/storage.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/dram/storage.cpp.o.d"
+  "/root/repo/src/ecc/aft_ecc.cpp" "src/CMakeFiles/cachecraft.dir/ecc/aft_ecc.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/ecc/aft_ecc.cpp.o.d"
+  "/root/repo/src/ecc/codec.cpp" "src/CMakeFiles/cachecraft.dir/ecc/codec.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/ecc/codec.cpp.o.d"
+  "/root/repo/src/ecc/crc32.cpp" "src/CMakeFiles/cachecraft.dir/ecc/crc32.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/ecc/crc32.cpp.o.d"
+  "/root/repo/src/ecc/gf256.cpp" "src/CMakeFiles/cachecraft.dir/ecc/gf256.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/ecc/gf256.cpp.o.d"
+  "/root/repo/src/ecc/reed_solomon.cpp" "src/CMakeFiles/cachecraft.dir/ecc/reed_solomon.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/ecc/reed_solomon.cpp.o.d"
+  "/root/repo/src/ecc/sec_badaec.cpp" "src/CMakeFiles/cachecraft.dir/ecc/sec_badaec.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/ecc/sec_badaec.cpp.o.d"
+  "/root/repo/src/ecc/secded.cpp" "src/CMakeFiles/cachecraft.dir/ecc/secded.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/ecc/secded.cpp.o.d"
+  "/root/repo/src/faults/fault_injector.cpp" "src/CMakeFiles/cachecraft.dir/faults/fault_injector.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/faults/fault_injector.cpp.o.d"
+  "/root/repo/src/gpu/coalescer.cpp" "src/CMakeFiles/cachecraft.dir/gpu/coalescer.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/gpu/coalescer.cpp.o.d"
+  "/root/repo/src/gpu/crossbar.cpp" "src/CMakeFiles/cachecraft.dir/gpu/crossbar.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/gpu/crossbar.cpp.o.d"
+  "/root/repo/src/gpu/l2_slice.cpp" "src/CMakeFiles/cachecraft.dir/gpu/l2_slice.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/gpu/l2_slice.cpp.o.d"
+  "/root/repo/src/gpu/sm_core.cpp" "src/CMakeFiles/cachecraft.dir/gpu/sm_core.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/gpu/sm_core.cpp.o.d"
+  "/root/repo/src/protect/inline_naive.cpp" "src/CMakeFiles/cachecraft.dir/protect/inline_naive.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/protect/inline_naive.cpp.o.d"
+  "/root/repo/src/protect/mrc_scheme.cpp" "src/CMakeFiles/cachecraft.dir/protect/mrc_scheme.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/protect/mrc_scheme.cpp.o.d"
+  "/root/repo/src/protect/none_scheme.cpp" "src/CMakeFiles/cachecraft.dir/protect/none_scheme.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/protect/none_scheme.cpp.o.d"
+  "/root/repo/src/protect/scheme.cpp" "src/CMakeFiles/cachecraft.dir/protect/scheme.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/protect/scheme.cpp.o.d"
+  "/root/repo/src/stats/energy.cpp" "src/CMakeFiles/cachecraft.dir/stats/energy.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/stats/energy.cpp.o.d"
+  "/root/repo/src/stats/stats.cpp" "src/CMakeFiles/cachecraft.dir/stats/stats.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/stats/stats.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/cachecraft.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/stats/table.cpp.o.d"
+  "/root/repo/src/workloads/trace_io.cpp" "src/CMakeFiles/cachecraft.dir/workloads/trace_io.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/workloads/trace_io.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/cachecraft.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/cachecraft.dir/workloads/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_map.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_address_map.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_address_map.cpp.o.d"
+  "/root/repo/tests/test_aft_ecc.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_aft_ecc.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_aft_ecc.cpp.o.d"
+  "/root/repo/tests/test_bits.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_bits.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_bits.cpp.o.d"
+  "/root/repo/tests/test_coalescer.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_coalescer.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_coalescer.cpp.o.d"
+  "/root/repo/tests/test_codec_common.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_codec_common.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_codec_common.cpp.o.d"
+  "/root/repo/tests/test_crc32.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_crc32.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_crc32.cpp.o.d"
+  "/root/repo/tests/test_crossbar.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_crossbar.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_crossbar.cpp.o.d"
+  "/root/repo/tests/test_dram_model.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_dram_model.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_dram_model.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_faults.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_faults.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_faults.cpp.o.d"
+  "/root/repo/tests/test_gf256.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_gf256.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_gf256.cpp.o.d"
+  "/root/repo/tests/test_gpu_system.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_gpu_system.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_gpu_system.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_l2_slice.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_l2_slice.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_l2_slice.cpp.o.d"
+  "/root/repo/tests/test_mrc_scheme.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_mrc_scheme.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_mrc_scheme.cpp.o.d"
+  "/root/repo/tests/test_mshr.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_mshr.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_mshr.cpp.o.d"
+  "/root/repo/tests/test_reed_solomon.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_reed_solomon.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_reed_solomon.cpp.o.d"
+  "/root/repo/tests/test_replacement.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_replacement.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_replacement.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_schemes.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_schemes.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_schemes.cpp.o.d"
+  "/root/repo/tests/test_sec_badaec.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_sec_badaec.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_sec_badaec.cpp.o.d"
+  "/root/repo/tests/test_secded.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_secded.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_secded.cpp.o.d"
+  "/root/repo/tests/test_sectored_cache.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_sectored_cache.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_sectored_cache.cpp.o.d"
+  "/root/repo/tests/test_sm_core.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_sm_core.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_sm_core.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_storage.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_storage.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_storage.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/cachecraft_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/cachecraft_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cachecraft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

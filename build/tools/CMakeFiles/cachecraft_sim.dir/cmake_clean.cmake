@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachecraft_sim.dir/cachecraft_sim.cpp.o"
+  "CMakeFiles/cachecraft_sim.dir/cachecraft_sim.cpp.o.d"
+  "cachecraft_sim"
+  "cachecraft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachecraft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
