@@ -10,11 +10,15 @@
 #ifndef CACHECRAFT_BENCH_BENCH_COMMON_HPP
 #define CACHECRAFT_BENCH_BENCH_COMMON_HPP
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "core/cachecraft.hpp"
 
 namespace cachecraft::bench {
@@ -51,12 +55,46 @@ runPoint(const SystemConfig &cfg, WorkloadKind kind,
     return gpu.run(makeWorkload(kind, params));
 }
 
-/** Print a table in both text and CSV form. */
+/** Slug a table title into a filename stem: [a-z0-9_] only. */
+inline std::string
+artifactStem(const std::string &title)
+{
+    std::string stem;
+    for (char ch : title) {
+        if (std::isalnum(static_cast<unsigned char>(ch)))
+            stem += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(ch)));
+        else if (!stem.empty() && stem.back() != '_')
+            stem += '_';
+    }
+    while (!stem.empty() && stem.back() == '_')
+        stem.pop_back();
+    return stem.empty() ? std::string("table") : stem;
+}
+
+/**
+ * Print a table in both text and CSV form. When the environment
+ * variable CACHECRAFT_REPORT_DIR names a directory, also drop a
+ * machine-readable JSON artifact there (<slugged-title>.json) so CI
+ * and sweep scripts can collect results without scraping stdout.
+ */
 inline void
 emit(const ResultTable &table)
 {
     std::printf("%s\n", table.renderText().c_str());
     std::printf("--- CSV ---\n%s\n", table.renderCsv().c_str());
+
+    if (const char *dir = std::getenv("CACHECRAFT_REPORT_DIR")) {
+        const std::string path =
+            std::string(dir) + "/" + artifactStem(table.title()) + ".json";
+        std::ofstream out(path);
+        if (!out) {
+            warn(strCat("cannot write report artifact: ", path));
+            return;
+        }
+        out << table.renderJson() << '\n';
+        std::printf("[report] wrote %s\n", path.c_str());
+    }
 }
 
 /** The four schemes in report order. */

@@ -1,0 +1,392 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace cachecraft {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Integral values (the common case: counters) print exactly.
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+        return buf;
+    }
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return os.str();
+}
+
+void
+JsonWriter::sep()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return;
+    }
+    if (!needComma_.empty()) {
+        if (needComma_.back())
+            os_ << ',';
+        needComma_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    sep();
+    os_ << '{';
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    needComma_.pop_back();
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    sep();
+    os_ << '[';
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    needComma_.pop_back();
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    sep();
+    os_ << '"' << jsonEscape(k) << "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    sep();
+    os_ << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    sep();
+    os_ << jsonNumber(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    sep();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    sep();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    sep();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(std::string_view json)
+{
+    sep();
+    os_ << json;
+    return *this;
+}
+
+namespace {
+
+/** Recursive-descent JSON syntax checker (no value construction). */
+class Validator
+{
+  public:
+    explicit Validator(std::string_view text) : text_(text) {}
+
+    bool
+    run(std::string *error)
+    {
+        const bool ok = value(0) && (skipWs(), pos_ == text_.size());
+        if (!ok && error) {
+            *error = err_.empty()
+                         ? "trailing characters at offset " +
+                               std::to_string(pos_)
+                         : err_;
+        }
+        return ok;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 128;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err_.empty())
+            err_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) != lit)
+            return fail("invalid literal");
+        pos_ += lit.size();
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return fail("truncated escape");
+                const char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos_ + i >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i])))
+                            return fail("bad \\u escape");
+                    }
+                    pos_ += 4;
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape character");
+                }
+            }
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        std::size_t digits = 0;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+            ++digits;
+        }
+        if (digits == 0)
+            return fail("expected number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            digits = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++digits;
+            }
+            if (digits == 0)
+                return fail("expected fraction digits");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            digits = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++digits;
+            }
+            if (digits == 0)
+                return fail("expected exponent digits");
+        }
+        (void)start;
+        return true;
+    }
+
+    bool
+    value(int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': {
+            ++pos_;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                if (!string())
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':'");
+                ++pos_;
+                if (!value(depth + 1))
+                    return false;
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < text_.size() && text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            ++pos_;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                if (!value(depth + 1))
+                    return false;
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < text_.size() && text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string err_;
+};
+
+} // namespace
+
+bool
+jsonValidate(std::string_view text, std::string *error)
+{
+    return Validator(text).run(error);
+}
+
+} // namespace cachecraft

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal JSON utilities for the telemetry layer: string escaping, a
+ * streaming writer, and a syntax validator.
+ *
+ * The writer is deliberately dumb — it emits tokens in call order and
+ * only tracks where commas belong — so every consumer (stat reports,
+ * Chrome trace events, epoch series) produces byte-stable output
+ * without an intermediate DOM.
+ */
+
+#ifndef CACHECRAFT_COMMON_JSON_HPP
+#define CACHECRAFT_COMMON_JSON_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cachecraft {
+
+/** Escape @p s for inclusion inside a JSON string literal (no quotes
+ *  added). Control characters become \\u00XX. */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Format @p v as a JSON number token. Integral values print without a
+ * fractional part; NaN/inf (not representable in JSON) print as null.
+ */
+std::string jsonNumber(double v);
+
+/**
+ * Check that @p text is one syntactically valid JSON value.
+ * @param error receives a short diagnostic when invalid (may be null).
+ */
+bool jsonValidate(std::string_view text, std::string *error = nullptr);
+
+/** Streaming JSON writer; see file comment. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key (caller then emits its value). */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(bool v);
+
+    /** Splice a pre-rendered JSON value verbatim. */
+    JsonWriter &raw(std::string_view json);
+
+  private:
+    /** Emit the separating comma before a fresh value/key if needed. */
+    void sep();
+
+    std::ostream &os_;
+    std::vector<bool> needComma_;
+    bool afterKey_ = false;
+};
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_COMMON_JSON_HPP

@@ -29,6 +29,9 @@
 #include "gpu/kernel_trace.hpp"     // IWYU pragma: export
 #include "protect/scheme.hpp"       // IWYU pragma: export
 #include "stats/table.hpp"          // IWYU pragma: export
+#include "telemetry/report.hpp"     // IWYU pragma: export
+#include "telemetry/sampler.hpp"    // IWYU pragma: export
+#include "telemetry/telemetry.hpp"  // IWYU pragma: export
 #include "workloads/workloads.hpp"  // IWYU pragma: export
 
 #endif // CACHECRAFT_CORE_CACHECRAFT_HPP

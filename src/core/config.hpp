@@ -20,6 +20,7 @@
 #include "gpu/l2_slice.hpp"
 #include "gpu/sm_core.hpp"
 #include "protect/scheme.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cachecraft {
 
@@ -55,6 +56,9 @@ struct SystemConfig
 
     /** Master seed for all randomized structures. */
     std::uint64_t seed = 1;
+
+    /** Observability: epoch sampling + lifecycle tracing. */
+    telemetry::TelemetryOptions telemetry;
 
     /** Construct the defaults described in the file comment. */
     SystemConfig();

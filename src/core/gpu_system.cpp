@@ -5,6 +5,7 @@
 #include "common/bits.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "telemetry/sampler.hpp"
 
 namespace cachecraft {
 
@@ -12,10 +13,12 @@ GpuSystem::GpuSystem(const SystemConfig &config) : config_(config)
 {
     config_.validate();
 
+    telemetry_ = std::make_unique<telemetry::Telemetry>(
+        &stats_, config_.telemetry);
     map_ = std::make_unique<AddressMap>(config_.dram,
                                         config_.effectiveLayout());
     dram_ = std::make_unique<DramSystem>(*map_, config_.timing, events_,
-                                         &stats_);
+                                         &stats_, telemetry_.get());
     codec_ = ecc::makeCodec(config_.codec);
 
     const unsigned num_slices = config_.dram.numChannels;
@@ -39,6 +42,7 @@ GpuSystem::GpuSystem(const SystemConfig &config) : config_(config)
         ctx.codec = codec_.get();
         ctx.metaShadow = &metaShadow_;
         ctx.stats = &stats_;
+        ctx.telemetry = telemetry_.get();
         ctx.name = strCat("protect.slice", c);
         auto scheme = makeScheme(config_.scheme, ctx, config_.mrc);
 
@@ -46,7 +50,8 @@ GpuSystem::GpuSystem(const SystemConfig &config) : config_(config)
         slice_params.cache.seed = config_.seed + c;
         slices_.push_back(std::make_unique<L2Slice>(
             strCat("l2.slice", c), static_cast<SliceId>(c), slice_params,
-            events_, std::move(scheme), arch_read, tag_of, &stats_));
+            events_, std::move(scheme), arch_read, tag_of, &stats_,
+            telemetry_.get()));
     }
 
     sms_.reserve(config_.numSms);
@@ -76,7 +81,8 @@ GpuSystem::GpuSystem(const SystemConfig &config) : config_(config)
         sm_params.l1.seed = config_.seed + 1000 + s;
         sms_.push_back(std::make_unique<SmCore>(
             strCat("sm", s), static_cast<SmId>(s), sm_params, events_,
-            std::move(l2_read), std::move(l2_write), tag_of, &stats_));
+            std::move(l2_read), std::move(l2_write), tag_of, &stats_,
+            telemetry_.get()));
     }
 }
 
@@ -166,8 +172,27 @@ GpuSystem::run(const KernelTrace &trace)
     for (auto &sm : sms_)
         sm->start();
 
-    if (!events_.run())
-        panic("event budget exceeded: livelock in the simulator");
+    // Epoch-chunked execution: drain the queue in sampleInterval-sized
+    // slices so the sampler sees aligned boundaries. Without sampling
+    // this is a single plain run().
+    if (config_.telemetry.sampleInterval > 0)
+        sampler_ = std::make_unique<telemetry::StatSampler>(
+            &stats_, config_.telemetry.sampleInterval);
+    auto drain = [this](const char *what) {
+        if (!sampler_) {
+            if (!events_.run())
+                panic(what);
+            return;
+        }
+        while (!events_.empty()) {
+            if (!events_.runUntil(
+                    sampler_->nextBoundary(events_.now())))
+                panic(what);
+            sampler_->closeEpoch(events_.now());
+        }
+    };
+
+    drain("event budget exceeded: livelock in the simulator");
     for (const auto &sm : sms_) {
         if (!sm->done())
             panic("deadlock: SM finished with unretired warps");
@@ -211,11 +236,14 @@ GpuSystem::run(const KernelTrace &trace)
 
     // Drain dirty state so post-run audits see consistent memory.
     // (Deliberately after the stats snapshot: the paper-style traffic
-    // numbers exclude the artificial end-of-run flush.)
+    // numbers exclude the artificial end-of-run flush — but the epoch
+    // series keeps sampling through it, so summed deltas match the
+    // live registry that reports render.)
     for (auto &slice : slices_)
         slice->flushAll();
-    if (!events_.run())
-        panic("event budget exceeded during flush");
+    drain("event budget exceeded during flush");
+    if (sampler_)
+        sampler_->closeEpoch(events_.now());
 
     return rs;
 }

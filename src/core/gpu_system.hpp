@@ -26,8 +26,13 @@
 #include "gpu/kernel_trace.hpp"
 #include "gpu/l2_slice.hpp"
 #include "gpu/sm_core.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cachecraft {
+
+namespace telemetry {
+class StatSampler;
+} // namespace telemetry
 
 /** Results of one kernel run. */
 struct RunStats
@@ -152,6 +157,13 @@ class GpuSystem
     L2Slice &slice(std::size_t i) { return *slices_[i]; }
     std::size_t numSlices() const { return slices_.size(); }
     EventQueue &events() { return events_; }
+    /** The lifecycle-trace hub (always present; may be inactive). */
+    telemetry::Telemetry &telemetry() { return *telemetry_; }
+    const telemetry::Telemetry &telemetry() const { return *telemetry_; }
+    /** The epoch sampler; null until run() with sampling enabled. */
+    const telemetry::StatSampler *sampler() const {
+        return sampler_.get();
+    }
 
   private:
     /** Deterministic data pattern for (sector, generation). */
@@ -167,6 +179,8 @@ class GpuSystem
     SystemConfig config_;
     StatRegistry stats_;
     EventQueue events_;
+    std::unique_ptr<telemetry::Telemetry> telemetry_;
+    std::unique_ptr<telemetry::StatSampler> sampler_;
     std::unique_ptr<AddressMap> map_;
     std::unique_ptr<DramSystem> dram_;
     std::unique_ptr<ecc::SectorCodec> codec_;

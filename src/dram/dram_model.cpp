@@ -1,14 +1,17 @@
 #include "dram/dram_model.hpp"
 
 #include "common/log.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cachecraft {
 
 DramChannel::DramChannel(std::string name, ChannelId id,
                          const AddressMap &map, const DramTiming &timing,
-                         EventQueue &events, StatRegistry *stats)
+                         EventQueue &events, StatRegistry *stats,
+                         telemetry::Telemetry *telemetry)
     : name_(std::move(name)), id_(id), map_(map), timing_(timing),
-      events_(events), banks_(map.geometry().numBanks)
+      events_(events), telemetry_(telemetry),
+      banks_(map.geometry().numBanks)
 {
     if (stats) {
         stats->registerCounter(name_ + ".reads", &statReads);
@@ -78,14 +81,18 @@ DramChannel::tryIssue()
     BankState &bank = banks_[pending.coord.bank];
     const Cycle bank_ready = std::max(now, bank.readyAt);
     Cycle cas_at;
+    RowOutcome outcome;
     if (bank.open && bank.openRow == pending.coord.row) {
         statRowHits.inc();
+        outcome = RowOutcome::kHit;
         cas_at = bank_ready;
     } else if (!bank.open) {
         statRowMissesClosed.inc();
+        outcome = RowOutcome::kMissClosed;
         cas_at = bank_ready + timing_.tRcd;
     } else {
         statRowConflicts.inc();
+        outcome = RowOutcome::kConflict;
         cas_at = bank_ready + timing_.tRp + timing_.tRcd;
     }
     bank.open = true;
@@ -107,6 +114,14 @@ DramChannel::tryIssue()
     const Cycle complete_at = done_at + timing_.tController;
     statQueueLatency.sample(complete_at - pending.arrival);
 
+    // Queueing + service time as one span on the request's track, with
+    // the row outcome (0 hit / 1 miss-closed / 2 conflict) attached.
+    if (telemetry_ && telemetry_->tracing() && pending.req.traceId != 0)
+        telemetry_->span(telemetry::Stage::kDramService,
+                         pending.req.traceId, pending.arrival,
+                         complete_at, "row_outcome",
+                         static_cast<double>(outcome));
+
     if (pending.req.onComplete)
         events_.schedule(complete_at, std::move(pending.req.onComplete));
 
@@ -117,7 +132,8 @@ DramChannel::tryIssue()
 }
 
 DramSystem::DramSystem(const AddressMap &map, const DramTiming &timing,
-                       EventQueue &events, StatRegistry *stats)
+                       EventQueue &events, StatRegistry *stats,
+                       telemetry::Telemetry *telemetry)
     : map_(map)
 {
     const unsigned n = map.geometry().numChannels;
@@ -125,7 +141,7 @@ DramSystem::DramSystem(const AddressMap &map, const DramTiming &timing,
     for (unsigned c = 0; c < n; ++c) {
         channels_.push_back(std::make_unique<DramChannel>(
             strCat("dram.ch", c), static_cast<ChannelId>(c), map, timing,
-            events, stats));
+            events, stats, telemetry));
     }
 }
 

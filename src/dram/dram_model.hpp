@@ -31,6 +31,10 @@
 
 namespace cachecraft {
 
+namespace telemetry {
+class Telemetry;
+} // namespace telemetry
+
 /** DRAM timing parameters in memory-controller cycles. */
 struct DramTiming
 {
@@ -59,6 +63,8 @@ struct DramRequest
     bool isWrite = false;
     /** Completion callback (fired at data-available cycle). */
     std::function<void()> onComplete;
+    /** Lifecycle-trace track this transaction belongs to (0 = none). */
+    std::uint64_t traceId = 0;
 };
 
 /**
@@ -69,7 +75,8 @@ class DramChannel
   public:
     DramChannel(std::string name, ChannelId id, const AddressMap &map,
                 const DramTiming &timing, EventQueue &events,
-                StatRegistry *stats);
+                StatRegistry *stats,
+                telemetry::Telemetry *telemetry = nullptr);
 
     /** Enqueue a transaction at the current cycle. */
     void enqueue(DramRequest request);
@@ -117,6 +124,7 @@ class DramChannel
     const AddressMap &map_;
     DramTiming timing_;
     EventQueue &events_;
+    telemetry::Telemetry *telemetry_;
 
     std::deque<Pending> queue_;
     std::vector<BankState> banks_;
@@ -133,7 +141,8 @@ class DramSystem
 {
   public:
     DramSystem(const AddressMap &map, const DramTiming &timing,
-               EventQueue &events, StatRegistry *stats);
+               EventQueue &events, StatRegistry *stats,
+               telemetry::Telemetry *telemetry = nullptr);
 
     /** Issue a 32 B transaction on @p channel. */
     void

@@ -57,8 +57,23 @@ class EventQueue
     bool
     run(std::uint64_t max_events = 2'000'000'000ull)
     {
+        return runUntil(~Cycle{0}, max_events);
+    }
+
+    /**
+     * Run every event scheduled at or before cycle @p limit, then
+     * stop. If events remain beyond @p limit the clock advances to
+     * @p limit exactly (so a caller sampling at epoch boundaries sees
+     * aligned cycles); a drained queue leaves the clock at the last
+     * executed event.
+     * @return true if the bound was reached (or the queue drained);
+     *         false if the @p max_events valve tripped.
+     */
+    bool
+    runUntil(Cycle limit, std::uint64_t max_events = 2'000'000'000ull)
+    {
         std::uint64_t executed = 0;
-        while (!heap_.empty()) {
+        while (!heap_.empty() && heap_.top().when <= limit) {
             if (executed++ >= max_events)
                 return false;
             // Moving the closure out before pop keeps re-entrant
@@ -68,6 +83,8 @@ class EventQueue
             now_ = ev.when;
             ev.fn();
         }
+        if (!heap_.empty() && now_ < limit)
+            now_ = limit;
         return true;
     }
 

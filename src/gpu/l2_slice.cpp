@@ -1,16 +1,18 @@
 #include "gpu/l2_slice.hpp"
 
 #include "common/log.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cachecraft {
 
 L2Slice::L2Slice(std::string name, SliceId id, const L2SliceParams &params,
                  EventQueue &events,
                  std::unique_ptr<ProtectionScheme> scheme,
-                 ArchReadFn arch_read, TagFn tag_of, StatRegistry *stats)
+                 ArchReadFn arch_read, TagFn tag_of, StatRegistry *stats,
+                 telemetry::Telemetry *telemetry)
     : name_(std::move(name)), id_(id), params_(params), events_(events),
       scheme_(std::move(scheme)), archRead_(std::move(arch_read)),
-      tagOf_(std::move(tag_of)),
+      tagOf_(std::move(tag_of)), telemetry_(telemetry),
       cache_(name_ + ".cache", params.cache, stats),
       mshrs_(name_ + ".mshr", params.mshrEntries, stats)
 {
@@ -53,8 +55,20 @@ L2Slice::read(Addr sector_addr, ecc::MemTag expected_tag,
               std::function<void()> done)
 {
     statReads.inc();
+    // Each slice-level read starts one lifecycle track: the "l2.read"
+    // span envelopes every downstream span carrying the same id.
+    std::uint64_t trace_id = 0;
+    if (telemetry_ && telemetry_->tracing()) {
+        trace_id = telemetry_->newId();
+        const Cycle start = events_.now();
+        done = [this, trace_id, start, inner = std::move(done)]() {
+            telemetry_->span(telemetry::Stage::kL2Read, trace_id, start,
+                             events_.now());
+            inner();
+        };
+    }
     const Cycle slot = serviceSlot();
-    events_.schedule(slot, [this, sector_addr, expected_tag,
+    events_.schedule(slot, [this, sector_addr, expected_tag, trace_id,
                             done = std::move(done)]() mutable {
         const auto result = cache_.access(sector_addr,
                                           /* is_write= */ false);
@@ -62,13 +76,15 @@ L2Slice::read(Addr sector_addr, ecc::MemTag expected_tag,
             events_.scheduleAfter(params_.hitLatency, std::move(done));
             return;
         }
-        handleReadMiss(sector_addr, expected_tag, std::move(done));
+        handleReadMiss(sector_addr, expected_tag, std::move(done),
+                       trace_id);
     });
 }
 
 void
 L2Slice::handleReadMiss(Addr sector_addr, ecc::MemTag tag,
-                        std::function<void()> done)
+                        std::function<void()> done,
+                        std::uint64_t trace_id)
 {
     using Outcome = MshrFile::AllocOutcome;
     const Outcome outcome = mshrs_.allocate(sector_addr, 1, 0);
@@ -82,20 +98,21 @@ L2Slice::handleReadMiss(Addr sector_addr, ecc::MemTag tag,
         // MSHR frees up (no polling).
         statMshrStallRetries.inc();
         blocked_.push_back(
-            BlockedRead{sector_addr, tag, std::move(done)});
+            BlockedRead{sector_addr, tag, std::move(done), trace_id});
         return;
       case Outcome::kNewEntry:
         break;
     }
 
     waiting_[sector_addr].push_back(std::move(done));
-    issueFetch(sector_addr, tag);
+    issueFetch(sector_addr, tag, trace_id);
     if (params_.fetchWholeLine)
         prefetchSiblings(sector_addr, tag);
 }
 
 void
-L2Slice::issueFetch(Addr sector_addr, ecc::MemTag tag)
+L2Slice::issueFetch(Addr sector_addr, ecc::MemTag tag,
+                    std::uint64_t trace_id)
 {
     scheme_->readSector(
         sector_addr, tag,
@@ -115,9 +132,11 @@ L2Slice::issueFetch(Addr sector_addr, ecc::MemTag tag)
                 BlockedRead blocked = std::move(blocked_.front());
                 blocked_.pop_front();
                 handleReadMiss(blocked.sectorAddr, blocked.tag,
-                               std::move(blocked.done));
+                               std::move(blocked.done),
+                               blocked.traceId);
             }
-        });
+        },
+        trace_id);
 }
 
 void
@@ -140,7 +159,11 @@ L2Slice::prefetchSiblings(Addr sector_addr, ecc::MemTag tag)
             MshrFile::AllocOutcome::kNewEntry)
             continue;
         statPrefetchFetches.inc();
-        issueFetch(sibling, tag);
+        // Prefetches get their own lifecycle track (fresh id).
+        issueFetch(sibling, tag,
+                   telemetry_ && telemetry_->tracing()
+                       ? telemetry_->newId()
+                       : 0);
     }
 }
 

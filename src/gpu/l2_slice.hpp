@@ -60,7 +60,8 @@ class L2Slice
 
     L2Slice(std::string name, SliceId id, const L2SliceParams &params,
             EventQueue &events, std::unique_ptr<ProtectionScheme> scheme,
-            ArchReadFn arch_read, TagFn tag_of, StatRegistry *stats);
+            ArchReadFn arch_read, TagFn tag_of, StatRegistry *stats,
+            telemetry::Telemetry *telemetry = nullptr);
 
     /**
      * Sector load. @p done fires when the sector is available at the
@@ -95,10 +96,12 @@ class L2Slice
     Cycle serviceSlot();
 
     void handleReadMiss(Addr sector_addr, ecc::MemTag tag,
-                        std::function<void()> done);
+                        std::function<void()> done,
+                        std::uint64_t trace_id);
     /** Issue the memory-side fetch for one sector (demand or
      *  prefetch); fills the cache and wakes waiters on return. */
-    void issueFetch(Addr sector_addr, ecc::MemTag tag);
+    void issueFetch(Addr sector_addr, ecc::MemTag tag,
+                    std::uint64_t trace_id);
     /** Best-effort fetch of the line's remaining sectors. */
     void prefetchSiblings(Addr sector_addr, ecc::MemTag tag);
     void handleEviction(const std::optional<Eviction> &ev);
@@ -110,12 +113,14 @@ class L2Slice
     std::unique_ptr<ProtectionScheme> scheme_;
     ArchReadFn archRead_;
     TagFn tagOf_;
+    telemetry::Telemetry *telemetry_;
 
     struct BlockedRead
     {
         Addr sectorAddr;
         ecc::MemTag tag;
         std::function<void()> done;
+        std::uint64_t traceId = 0;
     };
 
     SectoredCache cache_;

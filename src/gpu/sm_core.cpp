@@ -1,15 +1,18 @@
 #include "gpu/sm_core.hpp"
 
 #include "common/log.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cachecraft {
 
 SmCore::SmCore(std::string name, SmId id, const SmParams &params,
                EventQueue &events, L2ReadFn l2_read, L2WriteFn l2_write,
-               TagFn tag_of, StatRegistry *stats)
+               TagFn tag_of, StatRegistry *stats,
+               telemetry::Telemetry *telemetry)
     : name_(std::move(name)), id_(id), params_(params), events_(events),
       l2Read_(std::move(l2_read)), l2Write_(std::move(l2_write)),
-      tagOf_(std::move(tag_of)), l1_(name_ + ".l1", params.l1, stats),
+      tagOf_(std::move(tag_of)), telemetry_(telemetry),
+      l1_(name_ + ".l1", params.l1, stats),
       l1Mshrs_(name_ + ".l1mshr", params.l1MshrEntries, stats)
 {
     if (stats) {
@@ -105,7 +108,11 @@ SmCore::startMemory(std::size_t w)
 {
     WarpState &warp = warps_[w];
     const WarpInst &inst = (*warp.insts)[warp.pc];
-    const auto sectors = coalesce(inst);
+    warp.traceId = telemetry_ && telemetry_->tracing()
+                       ? telemetry_->newId()
+                       : 0;
+    const auto sectors =
+        coalesce(inst, telemetry_, warp.traceId, events_.now());
     if (sectors.empty()) {
         retire(w);
         return;
@@ -189,6 +196,9 @@ SmCore::sectorDone(std::size_t w)
     if (--warp.pendingSectors > 0)
         return;
     statMemLatency.sample(events_.now() - warp.memIssuedAt);
+    if (telemetry_ && warp.traceId != 0)
+        telemetry_->span(telemetry::Stage::kMemInst, warp.traceId,
+                         warp.memIssuedAt, events_.now());
     retire(w, /* was_memory= */ true);
 }
 

@@ -39,6 +39,10 @@
 
 namespace cachecraft {
 
+namespace telemetry {
+class Telemetry;
+} // namespace telemetry
+
 /** Warp scheduling policy. */
 enum class WarpSched : std::uint8_t
 {
@@ -77,7 +81,8 @@ class SmCore
 
     SmCore(std::string name, SmId id, const SmParams &params,
            EventQueue &events, L2ReadFn l2_read, L2WriteFn l2_write,
-           TagFn tag_of, StatRegistry *stats);
+           TagFn tag_of, StatRegistry *stats,
+           telemetry::Telemetry *telemetry = nullptr);
 
     /** Assign a warp's instruction stream (borrowed pointer; the
      *  trace must outlive the run). */
@@ -104,6 +109,8 @@ class SmCore
         /** Outstanding sectors of the in-flight memory instruction. */
         unsigned pendingSectors = 0;
         Cycle memIssuedAt = 0;
+        /** Lifecycle id of the in-flight memory instruction. */
+        std::uint64_t traceId = 0;
     };
 
     /** Put warp @p w in the ready queue and kick the issue loop.
@@ -132,6 +139,7 @@ class SmCore
     L2ReadFn l2Read_;
     L2WriteFn l2Write_;
     TagFn tagOf_;
+    telemetry::Telemetry *telemetry_;
 
     struct BlockedSector
     {

@@ -6,19 +6,20 @@ namespace cachecraft {
 
 void
 InlineNaiveScheme::readSector(Addr logical, ecc::MemTag tag,
-                              FetchCallback done)
+                              FetchCallback done, std::uint64_t trace_id)
 {
     // Both the data sector and its ECC chunk must arrive before the
     // sector can be verified and delivered.
     auto remaining = std::make_shared<int>(2);
-    auto finish = [this, logical, tag, remaining,
+    auto finish = [this, logical, tag, remaining, trace_id,
                    done = std::move(done)]() {
         if (--*remaining > 0)
             return;
-        done(decodeSector(logical, tag, /* check_from_shadow= */ false));
+        done(decodeSector(logical, tag, /* check_from_shadow= */ false,
+                          trace_id));
     };
-    issueDataTxn(logical, /* is_write= */ false, finish);
-    issueEccTxn(logical, /* is_write= */ false, finish);
+    issueDataTxn(logical, /* is_write= */ false, finish, trace_id);
+    issueEccTxn(logical, /* is_write= */ false, finish, trace_id);
 }
 
 void

@@ -28,8 +28,8 @@ class InlineNaiveScheme : public ProtectionScheme
 
     std::string name() const override { return "inline-naive"; }
 
-    void readSector(Addr logical, ecc::MemTag tag,
-                    FetchCallback done) override;
+    void readSector(Addr logical, ecc::MemTag tag, FetchCallback done,
+                    std::uint64_t trace_id) override;
     void writeSector(Addr logical, const ecc::SectorData &data,
                      ecc::MemTag tag) override;
 };

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/log.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cachecraft {
 
@@ -89,8 +90,21 @@ MrcScheme::writeOutDirtyChunk(const Eviction &ev)
 }
 
 void
-MrcScheme::withCheckField(Addr logical, std::function<void(bool)> fn)
+MrcScheme::withCheckField(Addr logical, std::function<void(bool)> fn,
+                          std::uint64_t trace_id)
 {
+    if (ctx_.telemetry && ctx_.telemetry->tracing() && trace_id != 0) {
+        // The probe span covers hit detection through field residency
+        // (zero-length on a hit, fetch latency on a miss).
+        const Cycle start = ctx_.events->now();
+        fn = [this, trace_id, start,
+              inner = std::move(fn)](bool resident) {
+            ctx_.telemetry->span(telemetry::Stage::kMrcProbe, trace_id,
+                                 start, ctx_.events->now(), "resident",
+                                 resident ? 1.0 : 0.0);
+            inner(resident);
+        };
+    }
     const auto probe = mrc_.access(mrcAddr(logical),
                                    /* is_write= */ false);
     if (probe.sectorHit) {
@@ -99,11 +113,12 @@ MrcScheme::withCheckField(Addr logical, std::function<void(bool)> fn)
         return;
     }
     stats.mrcMisses.inc();
-    fetchChunk(logical, std::move(fn));
+    fetchChunk(logical, std::move(fn), trace_id);
 }
 
 void
-MrcScheme::fetchChunk(Addr logical, std::function<void(bool)> fn)
+MrcScheme::fetchChunk(Addr logical, std::function<void(bool)> fn,
+                      std::uint64_t trace_id)
 {
     const Addr line = alignDown(mrcAddr(logical), kEccChunkBytes);
     auto it = pendingFetch_.find(line);
@@ -117,26 +132,31 @@ MrcScheme::fetchChunk(Addr logical, std::function<void(bool)> fn)
                           std::vector<std::function<void(bool)>>{
                               std::move(fn)});
 
-    issueEccTxn(logical, /* is_write= */ false, [this, logical, line] {
-        // R1: reconstruct the whole chunk on chip; otherwise retain
-        // only the 4 B field that was actually needed.
-        const SectorMask mask =
-            options_.chunkGranularity
-                ? static_cast<SectorMask>((1u << kSectorsPerChunk) - 1)
-                : static_cast<SectorMask>(
-                      1u << sectorInChunk(logical));
-        handleEviction(mrc_.fill(mrcAddr(logical), mask, 0));
+    issueEccTxn(
+        logical, /* is_write= */ false,
+        [this, logical, line] {
+            // R1: reconstruct the whole chunk on chip; otherwise
+            // retain only the 4 B field that was actually needed.
+            const SectorMask mask =
+                options_.chunkGranularity
+                    ? static_cast<SectorMask>((1u << kSectorsPerChunk) -
+                                              1)
+                    : static_cast<SectorMask>(
+                          1u << sectorInChunk(logical));
+            handleEviction(mrc_.fill(mrcAddr(logical), mask, 0));
 
-        auto node = pendingFetch_.extract(line);
-        if (node.empty())
-            return;
-        for (auto &waiter : node.mapped())
-            waiter(false);
-    });
+            auto node = pendingFetch_.extract(line);
+            if (node.empty())
+                return;
+            for (auto &waiter : node.mapped())
+                waiter(false);
+        },
+        trace_id);
 }
 
 void
-MrcScheme::readSector(Addr logical, ecc::MemTag tag, FetchCallback done)
+MrcScheme::readSector(Addr logical, ecc::MemTag tag, FetchCallback done,
+                      std::uint64_t trace_id)
 {
     struct Join
     {
@@ -147,21 +167,25 @@ MrcScheme::readSector(Addr logical, ecc::MemTag tag, FetchCallback done)
     auto join = std::make_shared<Join>();
     join->done = std::move(done);
 
-    auto finish = [this, logical, tag, join] {
+    auto finish = [this, logical, tag, join, trace_id] {
         if (--join->remaining > 0)
             return;
-        join->done(decodeSector(logical, tag, join->fromShadow));
+        join->done(
+            decodeSector(logical, tag, join->fromShadow, trace_id));
     };
 
-    issueDataTxn(logical, /* is_write= */ false, finish);
-    withCheckField(logical, [join, finish](bool resident) {
-        // A resident field is the on-chip reconstructed copy (shadow
-        // bytes); a fetched field is whatever DRAM held, faults
-        // included.
-        if (resident)
-            join->fromShadow = true;
-        finish();
-    });
+    issueDataTxn(logical, /* is_write= */ false, finish, trace_id);
+    withCheckField(
+        logical,
+        [join, finish](bool resident) {
+            // A resident field is the on-chip reconstructed copy
+            // (shadow bytes); a fetched field is whatever DRAM held,
+            // faults included.
+            if (resident)
+                join->fromShadow = true;
+            finish();
+        },
+        trace_id);
 }
 
 void

@@ -55,8 +55,8 @@ class MrcScheme : public ProtectionScheme
         return cachecraft_ ? "cachecraft" : "ecc-cache";
     }
 
-    void readSector(Addr logical, ecc::MemTag tag,
-                    FetchCallback done) override;
+    void readSector(Addr logical, ecc::MemTag tag, FetchCallback done,
+                    std::uint64_t trace_id) override;
     void writeSector(Addr logical, const ecc::SectorData &data,
                      ecc::MemTag tag) override;
     void flush() override;
@@ -79,12 +79,14 @@ class MrcScheme : public ProtectionScheme
 
     /**
      * Ensure this sector's check field is resident, then run @p fn.
-     * Deduplicates concurrent fetches of the same chunk.
+     * Deduplicates concurrent fetches of the same chunk. Traced as
+     * the request's "mrc.probe" span when @p trace_id is non-zero.
      * @param fn receives true if the field was already resident
      *           (serve from on-chip copy), false if it was fetched
      *           from DRAM.
      */
-    void withCheckField(Addr logical, std::function<void(bool)> fn);
+    void withCheckField(Addr logical, std::function<void(bool)> fn,
+                        std::uint64_t trace_id = 0);
 
     /**
      * Fetch the ECC chunk covering @p logical into the MRC (deduped
@@ -92,7 +94,8 @@ class MrcScheme : public ProtectionScheme
      * No hit/miss accounting — callers count. @p fn receives false
      * when it piggybacked on DRAM fetch, true when already resident.
      */
-    void fetchChunk(Addr logical, std::function<void(bool)> fn);
+    void fetchChunk(Addr logical, std::function<void(bool)> fn,
+                    std::uint64_t trace_id = 0);
 
     /** Issue writeout transactions + functional sync for an evicted
      *  dirty chunk. */

@@ -4,16 +4,18 @@ namespace cachecraft {
 
 void
 NoneScheme::readSector(Addr logical, ecc::MemTag /* tag */,
-                       FetchCallback done)
+                       FetchCallback done, std::uint64_t trace_id)
 {
-    issueDataTxn(logical, /* is_write= */ false,
-                 [this, logical, done = std::move(done)] {
-                     SectorFetchResult res;
-                     res.status = ecc::DecodeStatus::kClean;
-                     res.data = readStoredData(logical);
-                     stats.decodeClean.inc();
-                     done(res);
-                 });
+    issueDataTxn(
+        logical, /* is_write= */ false,
+        [this, logical, done = std::move(done)] {
+            SectorFetchResult res;
+            res.status = ecc::DecodeStatus::kClean;
+            res.data = readStoredData(logical);
+            stats.decodeClean.inc();
+            done(res);
+        },
+        trace_id);
 }
 
 void

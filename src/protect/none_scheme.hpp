@@ -20,8 +20,8 @@ class NoneScheme : public ProtectionScheme
 
     std::string name() const override { return "no-ecc"; }
 
-    void readSector(Addr logical, ecc::MemTag tag,
-                    FetchCallback done) override;
+    void readSector(Addr logical, ecc::MemTag tag, FetchCallback done,
+                    std::uint64_t trace_id) override;
     void writeSector(Addr logical, const ecc::SectorData &data,
                      ecc::MemTag tag) override;
 };

@@ -4,6 +4,7 @@
 #include "protect/inline_naive.hpp"
 #include "protect/mrc_scheme.hpp"
 #include "protect/none_scheme.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cachecraft {
 
@@ -88,9 +89,43 @@ ProtectionScheme::shadowCheckAddr(Addr logical) const
            eccPhys(logical) + checkOffset(logical);
 }
 
+namespace {
+
+/**
+ * Stamp @p req with a lifecycle id (the caller's @p trace_id, or a
+ * fresh one for standalone transactions) and wrap its completion
+ * callback in a span record. No-op when tracing is off.
+ *
+ * Posted transactions (null onComplete) only get the id stamp: the
+ * channel's synchronous "dram.service" span covers them, and turning
+ * a null callback non-null would schedule a completion event the
+ * untraced run never sees — perturbing same-cycle event ordering.
+ * Tracing must be timing-neutral.
+ */
+void
+traceTxn(telemetry::Telemetry *tel, telemetry::Stage stage,
+         std::uint64_t trace_id, EventQueue *events, DramRequest &req)
+{
+    if (!tel || !tel->tracing())
+        return;
+    const std::uint64_t id = trace_id ? trace_id : tel->newId();
+    req.traceId = id;
+    if (!req.onComplete)
+        return;
+    const Cycle start = events->now();
+    req.onComplete = [tel, stage, id, start, events,
+                      fn = std::move(req.onComplete)]() {
+        tel->span(stage, id, start, events->now());
+        fn();
+    };
+}
+
+} // namespace
+
 void
 ProtectionScheme::issueDataTxn(Addr logical, bool is_write,
-                               std::function<void()> on_complete)
+                               std::function<void()> on_complete,
+                               std::uint64_t trace_id)
 {
     if (is_write)
         stats.dataWrites.inc();
@@ -100,12 +135,17 @@ ProtectionScheme::issueDataTxn(Addr logical, bool is_write,
     req.phys = dataPhys(logical);
     req.isWrite = is_write;
     req.onComplete = std::move(on_complete);
+    traceTxn(ctx_.telemetry,
+             is_write ? telemetry::Stage::kDramDataWrite
+                      : telemetry::Stage::kDramDataRead,
+             trace_id, ctx_.events, req);
     ctx_.dram->enqueue(ctx_.channel, std::move(req));
 }
 
 void
 ProtectionScheme::issueEccTxn(Addr logical, bool is_write,
-                              std::function<void()> on_complete)
+                              std::function<void()> on_complete,
+                              std::uint64_t trace_id)
 {
     if (is_write)
         stats.eccWrites.inc();
@@ -115,6 +155,10 @@ ProtectionScheme::issueEccTxn(Addr logical, bool is_write,
     req.phys = eccPhys(logical);
     req.isWrite = is_write;
     req.onComplete = std::move(on_complete);
+    traceTxn(ctx_.telemetry,
+             is_write ? telemetry::Stage::kDramEccWrite
+                      : telemetry::Stage::kDramEccRead,
+             trace_id, ctx_.events, req);
     ctx_.dram->enqueue(ctx_.channel, std::move(req));
 }
 
@@ -174,7 +218,8 @@ ProtectionScheme::syncChunkToStorage(Addr logical, std::uint8_t mask)
 
 SectorFetchResult
 ProtectionScheme::decodeSector(Addr logical, ecc::MemTag tag,
-                               bool check_from_shadow)
+                               bool check_from_shadow,
+                               std::uint64_t trace_id)
 {
     const ecc::SectorData stored = readStoredData(logical);
     const ecc::SectorCheck check = check_from_shadow
@@ -206,6 +251,10 @@ ProtectionScheme::decodeSector(Addr logical, ecc::MemTag tag,
         res.data = stored;
         break;
     }
+    if (ctx_.telemetry && ctx_.telemetry->tracing() && trace_id != 0)
+        ctx_.telemetry->instant(telemetry::Stage::kDecode, trace_id,
+                                ctx_.events->now(), "status",
+                                static_cast<double>(res.status));
     return res;
 }
 

@@ -43,6 +43,10 @@
 
 namespace cachecraft {
 
+namespace telemetry {
+class Telemetry;
+} // namespace telemetry
+
 /** Which protection scheme a configuration selects. */
 enum class SchemeKind : std::uint8_t
 {
@@ -76,6 +80,8 @@ struct SchemeContext
     /** Authoritative current ECC bytes (shared across slices). */
     SparseMemory *metaShadow = nullptr;
     StatRegistry *stats = nullptr;
+    /** Lifecycle-trace hub (optional). */
+    telemetry::Telemetry *telemetry = nullptr;
     std::string name; //!< stat prefix, e.g. "protect.slice3"
 };
 
@@ -119,9 +125,12 @@ class ProtectionScheme
      * Fetch and verify the 32 B data sector at logical address
      * @p logical (sector aligned), expecting memory tag @p tag.
      * @p done fires at data-verified time with the decoded bytes.
+     * @p trace_id groups the resulting telemetry spans under the
+     * caller's request lifecycle (0 = untraced/standalone).
      */
     virtual void readSector(Addr logical, ecc::MemTag tag,
-                            FetchCallback done) = 0;
+                            FetchCallback done,
+                            std::uint64_t trace_id = 0) = 0;
 
     /**
      * Write back a dirty 32 B sector: update functional state
@@ -164,10 +173,12 @@ class ProtectionScheme
 
     /** Enqueue a data-sector DRAM transaction. */
     void issueDataTxn(Addr logical, bool is_write,
-                      std::function<void()> on_complete);
+                      std::function<void()> on_complete,
+                      std::uint64_t trace_id = 0);
     /** Enqueue a metadata DRAM transaction at the ECC chunk address. */
     void issueEccTxn(Addr logical, bool is_write,
-                     std::function<void()> on_complete);
+                     std::function<void()> on_complete,
+                     std::uint64_t trace_id = 0);
 
     /** Read the stored (possibly faulted) data bytes from DRAM. */
     ecc::SectorData readStoredData(Addr logical) const;
@@ -184,7 +195,8 @@ class ProtectionScheme
 
     /** Run the codec over stored bytes and classify the outcome. */
     SectorFetchResult decodeSector(Addr logical, ecc::MemTag tag,
-                                   bool check_from_shadow);
+                                   bool check_from_shadow,
+                                   std::uint64_t trace_id = 0);
 
     SchemeContext ctx_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/json.hpp"
 #include "common/log.hpp"
 
 namespace cachecraft {
@@ -110,12 +111,34 @@ std::vector<std::pair<std::string, double>>
 StatRegistry::flatten() const
 {
     std::vector<std::pair<std::string, double>> out;
-    out.reserve(counters_.size() + scalars_.size());
+    out.reserve(counters_.size() + scalars_.size() +
+                histograms_.size() * 6);
     for (const auto &[name, c] : counters_)
         out.emplace_back(name, static_cast<double>(c->value()));
     for (const auto &[name, s] : scalars_)
         out.emplace_back(name, s->value());
+    for (const auto &[name, h] : histograms_) {
+        out.emplace_back(name + ".count",
+                         static_cast<double>(h->count()));
+        out.emplace_back(name + ".mean", h->mean());
+        out.emplace_back(name + ".min",
+                         static_cast<double>(h->minValue()));
+        out.emplace_back(name + ".max",
+                         static_cast<double>(h->maxValue()));
+        out.emplace_back(name + ".p50", h->quantile(0.50));
+        out.emplace_back(name + ".p99", h->quantile(0.99));
+    }
     std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::pair<std::string, const HistogramStat *>>
+StatRegistry::histograms() const
+{
+    std::vector<std::pair<std::string, const HistogramStat *>> out;
+    out.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_)
+        out.emplace_back(name, h);
     return out;
 }
 
@@ -133,11 +156,6 @@ StatRegistry::renderText() const
             os << ' ';
         os << v << '\n';
     }
-    for (const auto &[name, h] : histograms_) {
-        os << name << ".count  " << h->count() << '\n';
-        os << name << ".mean   " << h->mean() << '\n';
-        os << name << ".max    " << h->maxValue() << '\n';
-    }
     return os.str();
 }
 
@@ -148,6 +166,41 @@ StatRegistry::renderCsv() const
     os << "stat,value\n";
     for (const auto &[name, v] : flatten())
         os << name << ',' << v << '\n';
+    return os.str();
+}
+
+std::string
+StatRegistry::renderJson() const
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[name, c] : counters_)
+        w.key(name).value(c->value());
+    w.endObject();
+    w.key("scalars").beginObject();
+    for (const auto &[name, s] : scalars_)
+        w.key(name).value(s->value());
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : histograms_) {
+        w.key(name).beginObject();
+        w.key("count").value(h->count());
+        w.key("mean").value(h->mean());
+        w.key("min").value(h->minValue());
+        w.key("max").value(h->maxValue());
+        w.key("p50").value(h->quantile(0.50));
+        w.key("p99").value(h->quantile(0.99));
+        w.key("bucket_width").value(h->bucketWidth());
+        w.key("buckets").beginArray();
+        for (const std::uint64_t b : h->buckets())
+            w.value(b);
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
     return os.str();
 }
 

@@ -103,14 +103,29 @@ class StatRegistry
     /** Reset every registered statistic to zero. */
     void resetAll();
 
-    /** All (name, value) pairs, counters and scalars, sorted by name. */
+    /**
+     * All (name, value) pairs sorted by name: counters, scalars, and
+     * per-histogram summary entries (<name>.count/.mean/.min/.max/
+     * .p50/.p99), so histogram data reaches every flat consumer.
+     */
     std::vector<std::pair<std::string, double>> flatten() const;
+
+    /** All registered histograms, sorted by name. */
+    std::vector<std::pair<std::string, const HistogramStat *>>
+    histograms() const;
 
     /** Render all stats as aligned "name value" text. */
     std::string renderText() const;
 
     /** Render all stats as "name,value" CSV with a header row. */
     std::string renderCsv() const;
+
+    /**
+     * Render everything as one JSON object: {"counters": {...},
+     * "scalars": {...}, "histograms": {name: {count, mean, min, max,
+     * p50, p99, bucket_width, buckets}}}.
+     */
+    std::string renderJson() const;
 
   private:
     std::map<std::string, Counter *> counters_;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/json.hpp"
 #include "common/log.hpp"
 
 namespace cachecraft {
@@ -100,6 +101,29 @@ ResultTable::renderMarkdown() const
     os << '\n';
     for (const auto &row : rows_)
         emit(row);
+    return os.str();
+}
+
+std::string
+ResultTable::renderJson() const
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("title").value(title_);
+    w.key("header").beginArray();
+    for (const auto &cell : header_)
+        w.value(cell);
+    w.endArray();
+    w.key("rows").beginArray();
+    for (const auto &row : rows_) {
+        w.beginArray();
+        for (const auto &cell : row)
+            w.value(cell);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
     return os.str();
 }
 

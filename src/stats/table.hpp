@@ -43,6 +43,13 @@ class ResultTable
     /** Render as a GitHub-markdown table. */
     std::string renderMarkdown() const;
 
+    /**
+     * Render as a JSON object: {"title", "header", "rows"} where rows
+     * is an array of arrays of strings. Cells stay strings so the
+     * formatting matches the text/CSV renderings exactly.
+     */
+    std::string renderJson() const;
+
     const std::string &title() const { return title_; }
     std::size_t numRows() const { return rows_.size(); }
 

@@ -1,0 +1,91 @@
+#include "telemetry/report.hpp"
+
+#include "common/json.hpp"
+
+namespace cachecraft::telemetry {
+
+std::string
+buildVersion()
+{
+#ifdef CACHECRAFT_GIT_DESCRIBE
+    return CACHECRAFT_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+void
+writeRunReport(std::ostream &os, const RunManifest &manifest,
+               const SystemConfig &config, const RunStats &rs,
+               const StatRegistry &stats, const StatSampler *sampler)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("cachecraft.run_report/1");
+
+    w.key("manifest").beginObject();
+    w.key("tool").value(manifest.tool);
+    w.key("build").value(buildVersion());
+    w.key("workload").value(manifest.workload);
+    w.key("workload_seed").value(manifest.workloadSeed);
+    w.key("wall_seconds").value(manifest.wallSeconds);
+    for (const auto &[key, val] : manifest.extra)
+        w.key(key).value(val);
+    w.endObject();
+
+    w.key("config").beginObject();
+    w.key("summary").value(config.summary());
+    w.key("scheme").value(toString(config.scheme));
+    w.key("codec").value(toString(config.codec));
+    w.key("layout").value(toString(config.effectiveLayout()));
+    w.key("num_sms").value(std::uint64_t{config.numSms});
+    w.key("l1_bytes_per_sm").value(
+        std::uint64_t{config.sm.l1.sizeBytes});
+    w.key("l2_bytes_per_slice").value(
+        std::uint64_t{config.l2.cache.sizeBytes});
+    w.key("mrc_bytes_per_slice").value(
+        std::uint64_t{config.mrc.sizeBytes});
+    w.key("dram_channels").value(std::uint64_t{config.dram.numChannels});
+    w.key("warp_scheduler").value(toString(config.sm.scheduler));
+    w.key("mrc_chunk_granularity").value(config.mrc.chunkGranularity);
+    w.key("mrc_writeback").value(config.mrc.writebackMrc);
+    w.key("co_located_layout").value(config.coLocatedLayout);
+    w.key("system_seed").value(config.seed);
+    w.key("sample_interval").value(config.telemetry.sampleInterval);
+    w.key("trace_enabled").value(config.telemetry.traceEnabled);
+    w.endObject();
+
+    w.key("results").beginObject();
+    w.key("cycles").value(rs.cycles);
+    w.key("instructions").value(rs.instructions);
+    w.key("mem_instructions").value(rs.memInstructions);
+    w.key("ipc").value(rs.ipc);
+    w.key("dram_total_txns").value(rs.dramTotalTxns);
+    w.key("dram_data_reads").value(rs.dramDataReads);
+    w.key("dram_data_writes").value(rs.dramDataWrites);
+    w.key("dram_ecc_reads").value(rs.dramEccReads);
+    w.key("dram_ecc_writes").value(rs.dramEccWrites);
+    w.key("row_hit_rate").value(rs.rowHitRate);
+    w.key("l2_sector_hits").value(rs.l2SectorHits);
+    w.key("l2_sector_misses").value(rs.l2SectorMisses);
+    w.key("mrc_hit_rate").value(rs.mrcHitRate());
+    w.key("mrc_coverage").value(rs.mrcCoverage());
+    w.key("decode_clean").value(rs.decodeClean);
+    w.key("decode_corrected").value(rs.decodeCorrected);
+    w.key("decode_uncorrectable").value(rs.decodeUncorrectable);
+    w.key("decode_tag_mismatch").value(rs.decodeTagMismatch);
+    w.endObject();
+
+    w.key("stats").raw(stats.renderJson());
+
+    if (sampler) {
+        w.key("sample_interval").value(sampler->interval());
+        w.key("epochs");
+        sampler->writeJson(w);
+    }
+
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace cachecraft::telemetry

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Structured JSON run reports.
+ *
+ * Every run of cachecraft_sim (and, via bench_common, every fig_* /
+ * table_* harness) can emit one machine-readable artifact combining:
+ *
+ *  - a run manifest: tool, workload, seed, wall time, and the build's
+ *    `git describe` string baked in at configure time;
+ *  - the configuration that produced the numbers;
+ *  - headline results (cycles, IPC, traffic breakdown);
+ *  - the full StatRegistry, histograms included (renderJson);
+ *  - the epoch-sampled time series, when sampling was enabled.
+ *
+ * Schema id: "cachecraft.run_report/1".
+ */
+
+#ifndef CACHECRAFT_TELEMETRY_REPORT_HPP
+#define CACHECRAFT_TELEMETRY_REPORT_HPP
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/gpu_system.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace cachecraft::telemetry {
+
+/** Provenance fields of one run, supplied by the driving tool. */
+struct RunManifest
+{
+    std::string tool;     //!< e.g. "cachecraft_sim"
+    std::string workload; //!< trace/kernel name
+    std::uint64_t workloadSeed = 0;
+    double wallSeconds = 0.0;
+    /** Free-form extra (key, value) pairs, e.g. the command line. */
+    std::vector<std::pair<std::string, std::string>> extra;
+};
+
+/** The `git describe` string this binary was configured from. */
+std::string buildVersion();
+
+/** Write the full run report as one JSON object to @p os.
+ *  @param sampler may be null (no "epochs" section). */
+void writeRunReport(std::ostream &os, const RunManifest &manifest,
+                    const SystemConfig &config, const RunStats &rs,
+                    const StatRegistry &stats,
+                    const StatSampler *sampler);
+
+} // namespace cachecraft::telemetry
+
+#endif // CACHECRAFT_TELEMETRY_REPORT_HPP

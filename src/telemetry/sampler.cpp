@@ -1,0 +1,89 @@
+#include "telemetry/sampler.hpp"
+
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+
+namespace cachecraft::telemetry {
+
+StatSampler::StatSampler(const StatRegistry *registry, Cycle interval)
+    : registry_(registry), interval_(interval)
+{
+    if (interval_ == 0)
+        panic("StatSampler interval must be positive");
+    const auto flat = registry_->flatten();
+    names_.reserve(flat.size());
+    prev_.reserve(flat.size());
+    for (const auto &[name, value] : flat) {
+        names_.push_back(name);
+        prev_.push_back(value);
+    }
+}
+
+void
+StatSampler::closeEpoch(Cycle at)
+{
+    const auto flat = registry_->flatten();
+    if (flat.size() != names_.size())
+        panic("stats registered while sampling");
+
+    Epoch epoch;
+    epoch.index = epochStart_ / interval_;
+    epoch.start = epochStart_;
+    epoch.end = at;
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+        const double delta = flat[i].second - prev_[i];
+        if (delta != 0.0)
+            epoch.deltas.emplace_back(i, delta);
+        prev_[i] = flat[i].second;
+    }
+    epochStart_ = at;
+    if (!epoch.deltas.empty())
+        epochs_.push_back(std::move(epoch));
+}
+
+std::map<std::string, double>
+StatSampler::summedDeltas() const
+{
+    std::map<std::string, double> out;
+    for (const Epoch &epoch : epochs_) {
+        for (const auto &[idx, delta] : epoch.deltas)
+            out[names_[idx]] += delta;
+    }
+    return out;
+}
+
+std::string
+StatSampler::renderCsv() const
+{
+    std::ostringstream os;
+    os << "epoch,cycle_start,cycle_end,stat,delta\n";
+    for (const Epoch &epoch : epochs_) {
+        for (const auto &[idx, delta] : epoch.deltas) {
+            os << epoch.index << ',' << epoch.start << ',' << epoch.end
+               << ',' << names_[idx] << ',' << jsonNumber(delta) << '\n';
+        }
+    }
+    return os.str();
+}
+
+void
+StatSampler::writeJson(JsonWriter &w) const
+{
+    w.beginArray();
+    for (const Epoch &epoch : epochs_) {
+        w.beginObject();
+        w.key("epoch").value(epoch.index);
+        w.key("cycle_start").value(epoch.start);
+        w.key("cycle_end").value(epoch.end);
+        w.key("deltas").beginObject();
+        for (const auto &[idx, delta] : epoch.deltas)
+            w.key(names_[idx]).value(delta);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+}
+
+} // namespace cachecraft::telemetry

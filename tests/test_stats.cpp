@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "stats/stats.hpp"
 
 namespace cachecraft {
@@ -130,6 +133,57 @@ TEST(StatRegistry, CsvRender)
     const std::string csv = reg.renderCsv();
     EXPECT_NE(csv.find("stat,value"), std::string::npos);
     EXPECT_NE(csv.find("x.y,7"), std::string::npos);
+}
+
+TEST(StatRegistry, FlattenIncludesHistogramSummaries)
+{
+    StatRegistry reg;
+    HistogramStat h(10, 10);
+    reg.registerHistogram("lat", &h);
+    h.sample(5);
+    h.sample(15);
+
+    std::map<std::string, double> flat;
+    for (const auto &[name, value] : reg.flatten())
+        flat[name] = value;
+    EXPECT_DOUBLE_EQ(flat.at("lat.count"), 2.0);
+    EXPECT_DOUBLE_EQ(flat.at("lat.mean"), 10.0);
+    EXPECT_DOUBLE_EQ(flat.at("lat.min"), 5.0);
+    EXPECT_DOUBLE_EQ(flat.at("lat.max"), 15.0);
+    EXPECT_GT(flat.at("lat.p99"), 0.0);
+    EXPECT_LE(flat.at("lat.p50"), flat.at("lat.p99"));
+}
+
+TEST(StatRegistry, CsvIncludesHistogramSummaries)
+{
+    StatRegistry reg;
+    HistogramStat h(10, 10);
+    reg.registerHistogram("lat", &h);
+    h.sample(25);
+    const std::string csv = reg.renderCsv();
+    EXPECT_NE(csv.find("lat.count,1"), std::string::npos);
+    EXPECT_NE(csv.find("lat.max,25"), std::string::npos);
+    EXPECT_NE(csv.find("lat.p50,"), std::string::npos);
+}
+
+TEST(StatRegistry, RenderJsonCoversAllKinds)
+{
+    StatRegistry reg;
+    Counter c;
+    ScalarStat s;
+    HistogramStat h(10, 4);
+    reg.registerCounter("c.hits", &c);
+    reg.registerScalar("s.rate", &s);
+    reg.registerHistogram("h.lat", &h);
+    c.inc(7);
+    s.set(0.5);
+    h.sample(12);
+
+    const std::string json = reg.renderJson();
+    EXPECT_NE(json.find("\"c.hits\""), std::string::npos);
+    EXPECT_NE(json.find("\"s.rate\""), std::string::npos);
+    EXPECT_NE(json.find("\"h.lat\""), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\""), std::string::npos);
 }
 
 TEST(StatRegistryDeathTest, DuplicateRegistrationPanics)

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Tests for the run-telemetry subsystem: JSON utilities, the trace
+ * ring, the epoch-delta sampler (telescoping invariant), and a full
+ * traced GpuSystem run whose artifacts must be valid, well-nested
+ * JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/json.hpp"
+#include "core/cachecraft.hpp"
+
+namespace cachecraft {
+namespace {
+
+// --------------------------------------------------------------------
+// JSON utilities
+// --------------------------------------------------------------------
+
+TEST(Json, EscapePassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("hello world"), "hello world");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(Json, EscapeSpecials)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(Json, NumberFormats)
+{
+    EXPECT_EQ(jsonNumber(3.0), "3");
+    EXPECT_EQ(jsonNumber(-17.0), "-17");
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(HUGE_VAL), "null");
+    // A fractional value keeps its fraction and stays valid JSON.
+    const std::string frac = jsonNumber(1.5);
+    EXPECT_NE(frac.find('.'), std::string::npos);
+    EXPECT_TRUE(jsonValidate(frac));
+}
+
+TEST(Json, ValidateAcceptsAndRejects)
+{
+    EXPECT_TRUE(jsonValidate("{}"));
+    EXPECT_TRUE(jsonValidate("[1, 2.5, \"x\", null, true, false]"));
+    EXPECT_TRUE(jsonValidate("{\"a\": {\"b\": [{}]}}"));
+
+    std::string err;
+    EXPECT_FALSE(jsonValidate("{", &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(jsonValidate("{\"a\": 1,}"));
+    EXPECT_FALSE(jsonValidate("[1 2]"));
+    EXPECT_FALSE(jsonValidate("\"unterminated"));
+    EXPECT_FALSE(jsonValidate("{} trailing"));
+}
+
+TEST(Json, WriterEmitsValidNestedDocument)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("str").value("needs \"escaping\"\n");
+    w.key("int").value(std::uint64_t{42});
+    w.key("neg").value(std::int64_t{-7});
+    w.key("dbl").value(2.25);
+    w.key("flag").value(true);
+    w.key("arr").beginArray();
+    w.value(1).value(2).beginObject().key("k").value("v").endObject();
+    w.endArray();
+    w.key("raw").raw("[null]");
+    w.endObject();
+
+    std::string err;
+    EXPECT_TRUE(jsonValidate(os.str(), &err)) << err << "\n" << os.str();
+    EXPECT_NE(os.str().find("\\\"escaping\\\""), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Trace ring
+// --------------------------------------------------------------------
+
+telemetry::TraceEvent
+eventAt(Cycle start)
+{
+    telemetry::TraceEvent ev;
+    ev.stage = telemetry::Stage::kL2Read;
+    ev.id = 1;
+    ev.start = start;
+    ev.end = start + 1;
+    return ev;
+}
+
+TEST(TraceSink, KeepsNewestAndCountsDropped)
+{
+    telemetry::TraceSink sink(4);
+    for (Cycle c = 0; c < 10; ++c)
+        sink.push(eventAt(c));
+
+    EXPECT_EQ(sink.size(), 4u);
+    EXPECT_EQ(sink.capacity(), 4u);
+    EXPECT_EQ(sink.dropped(), 6u);
+
+    // snapshot() returns the retained (newest) events, oldest first.
+    const auto events = sink.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].start, 6u + i);
+}
+
+TEST(TraceSink, NoDropsBelowCapacity)
+{
+    telemetry::TraceSink sink(8);
+    for (Cycle c = 0; c < 5; ++c)
+        sink.push(eventAt(c));
+    EXPECT_EQ(sink.size(), 5u);
+    EXPECT_EQ(sink.dropped(), 0u);
+}
+
+// --------------------------------------------------------------------
+// Telemetry hub
+// --------------------------------------------------------------------
+
+TEST(Telemetry, RuntimeGateOffRecordsNothing)
+{
+    StatRegistry stats;
+    telemetry::TelemetryOptions opts; // traceEnabled = false
+    telemetry::Telemetry tel(&stats, opts);
+
+    EXPECT_FALSE(tel.tracing());
+    tel.span(telemetry::Stage::kL2Read, tel.newId(), 0, 10);
+    EXPECT_EQ(tel.sink(), nullptr);
+    EXPECT_EQ(tel.stageHistogram(telemetry::Stage::kL2Read).count(), 0u);
+}
+
+TEST(Telemetry, SpansFeedRingAndHistogram)
+{
+    if (!telemetry::kTraceCompiledIn)
+        GTEST_SKIP() << "tracing compiled out";
+
+    StatRegistry stats;
+    telemetry::TelemetryOptions opts;
+    opts.traceEnabled = true;
+    opts.traceCapacity = 16;
+    telemetry::Telemetry tel(&stats, opts);
+
+    ASSERT_TRUE(tel.tracing());
+    const std::uint64_t id = tel.newId();
+    EXPECT_NE(id, 0u);
+    tel.span(telemetry::Stage::kL2Read, id, 100, 140);
+    tel.instant(telemetry::Stage::kDecode, id, 140, "status", 0.0);
+
+    ASSERT_NE(tel.sink(), nullptr);
+    EXPECT_EQ(tel.sink()->size(), 2u);
+    // Spans sample the per-stage latency histogram; instants do not.
+    EXPECT_EQ(tel.stageHistogram(telemetry::Stage::kL2Read).count(), 1u);
+    EXPECT_DOUBLE_EQ(
+        tel.stageHistogram(telemetry::Stage::kL2Read).mean(), 40.0);
+    EXPECT_EQ(tel.stageHistogram(telemetry::Stage::kDecode).count(), 0u);
+    // The histograms are registered with the provided registry.
+    EXPECT_NE(stats.histogram("telemetry.stage.l2.read"), nullptr);
+}
+
+TEST(Telemetry, StageNamesAreStable)
+{
+    using telemetry::Stage;
+    EXPECT_STREQ(toString(Stage::kCoalesce), "coalesce");
+    EXPECT_STREQ(toString(Stage::kMemInst), "mem_inst");
+    EXPECT_STREQ(toString(Stage::kL2Read), "l2.read");
+    EXPECT_STREQ(toString(Stage::kMrcProbe), "mrc.probe");
+    EXPECT_STREQ(toString(Stage::kDramDataRead), "dram.data.read");
+    EXPECT_STREQ(toString(Stage::kDramEccRead), "dram.ecc.read");
+    EXPECT_STREQ(toString(Stage::kDramService), "dram.service");
+    EXPECT_STREQ(toString(Stage::kDecode), "decode");
+}
+
+// --------------------------------------------------------------------
+// Stat sampler
+// --------------------------------------------------------------------
+
+TEST(StatSampler, DeltasTelescopeToFinalValues)
+{
+    StatRegistry reg;
+    Counter a, b;
+    reg.registerCounter("x.a", &a);
+    reg.registerCounter("x.b", &b);
+
+    telemetry::StatSampler sampler(&reg, 100);
+    EXPECT_EQ(sampler.nextBoundary(0), 100u);
+    EXPECT_EQ(sampler.nextBoundary(99), 100u);
+    EXPECT_EQ(sampler.nextBoundary(100), 200u);
+
+    a.inc(5);
+    sampler.closeEpoch(100);
+    a.inc(2);
+    b.inc(7);
+    sampler.closeEpoch(200);
+    // Nothing changed: epoch 2 is elided entirely.
+    sampler.closeEpoch(300);
+    b.inc(1);
+    sampler.closeEpoch(350); // partial final epoch (end of run)
+
+    const auto &epochs = sampler.epochs();
+    ASSERT_EQ(epochs.size(), 3u);
+    EXPECT_EQ(epochs[0].index, 0u);
+    EXPECT_EQ(epochs[0].start, 0u);
+    EXPECT_EQ(epochs[0].end, 100u);
+    EXPECT_EQ(epochs[1].index, 1u);
+    EXPECT_EQ(epochs[2].index, 3u); // index 2 skipped
+    EXPECT_EQ(epochs[2].start, 300u);
+    EXPECT_EQ(epochs[2].end, 350u);
+
+    // Sparse rows: epoch 0 saw only x.a change.
+    ASSERT_EQ(epochs[0].deltas.size(), 1u);
+    EXPECT_DOUBLE_EQ(epochs[0].deltas[0].second, 5.0);
+    ASSERT_EQ(epochs[1].deltas.size(), 2u);
+
+    const auto summed = sampler.summedDeltas();
+    for (const auto &[name, value] : reg.flatten()) {
+        const auto it = summed.find(name);
+        const double total = it == summed.end() ? 0.0 : it->second;
+        EXPECT_DOUBLE_EQ(total, value) << name;
+    }
+}
+
+TEST(StatSampler, CsvAndJsonRenderings)
+{
+    StatRegistry reg;
+    Counter c;
+    reg.registerCounter("m.hits", &c);
+    telemetry::StatSampler sampler(&reg, 50);
+    c.inc(3);
+    sampler.closeEpoch(50);
+
+    const std::string csv = sampler.renderCsv();
+    EXPECT_NE(csv.find("epoch,cycle_start,cycle_end,stat,delta"),
+              std::string::npos);
+    EXPECT_NE(csv.find("0,0,50,m.hits,3"), std::string::npos);
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    sampler.writeJson(w);
+    std::string err;
+    EXPECT_TRUE(jsonValidate(os.str(), &err)) << err;
+    EXPECT_NE(os.str().find("m.hits"), std::string::npos);
+}
+
+TEST(StatSamplerDeathTest, LateRegistrationPanics)
+{
+    StatRegistry reg;
+    Counter c;
+    reg.registerCounter("early", &c);
+    telemetry::StatSampler sampler(&reg, 100);
+    Counter late;
+    reg.registerCounter("late", &late);
+    EXPECT_DEATH(sampler.closeEpoch(100), "registered while sampling");
+}
+
+// --------------------------------------------------------------------
+// Traced end-to-end run
+// --------------------------------------------------------------------
+
+SystemConfig
+tracedConfig()
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeKind::kCacheCraft;
+    cfg.numSms = 4;
+    cfg.dram.numChannels = 4;
+    cfg.dram.channelCapacity = 64 * 1024 * 1024;
+    cfg.l2.cache.sizeBytes = 64 * 1024;
+    cfg.telemetry.traceEnabled = true;
+    cfg.telemetry.traceCapacity = 1u << 20; // big enough: no drops
+    cfg.telemetry.sampleInterval = 2000;
+    return cfg;
+}
+
+WorkloadParams
+tinyWorkload()
+{
+    WorkloadParams p;
+    p.footprintBytes = 256 * 1024;
+    p.numWarps = 8;
+    p.memInstsPerWarp = 8;
+    return p;
+}
+
+class TracedRun : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!telemetry::kTraceCompiledIn)
+            GTEST_SKIP() << "tracing compiled out";
+        gpu_ = std::make_unique<GpuSystem>(tracedConfig());
+        rs_ = gpu_->run(
+            makeWorkload(WorkloadKind::kStreaming, tinyWorkload()));
+    }
+
+    std::unique_ptr<GpuSystem> gpu_;
+    RunStats rs_;
+};
+
+std::size_t
+countOccurrences(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+TEST_F(TracedRun, ChromeTraceIsValidAndBalanced)
+{
+    ASSERT_NE(gpu_->telemetry().sink(), nullptr);
+    ASSERT_EQ(gpu_->telemetry().sink()->dropped(), 0u)
+        << "raise traceCapacity: nesting checks need the full trace";
+
+    std::ostringstream os;
+    gpu_->telemetry().writeChromeJson(os);
+    const std::string json = os.str();
+
+    std::string err;
+    ASSERT_TRUE(jsonValidate(json, &err)) << err;
+
+    // Every async span opens ("b") exactly once and closes ("e") once.
+    const std::size_t begins = countOccurrences(json, "\"ph\":\"b\"");
+    const std::size_t ends = countOccurrences(json, "\"ph\":\"e\"");
+    EXPECT_GT(begins, 0u);
+    EXPECT_EQ(begins, ends);
+    EXPECT_GT(countOccurrences(json, "\"ph\":\"i\""), 0u);
+    EXPECT_NE(json.find("\"l2.read\""), std::string::npos);
+    EXPECT_NE(json.find("\"dram.service\""), std::string::npos);
+}
+
+TEST_F(TracedRun, LifecycleSpansNestInsideL2Envelope)
+{
+    const auto events = gpu_->telemetry().sink()->snapshot();
+    ASSERT_FALSE(events.empty());
+
+    // Collect the l2.read envelope for every traced L2 request id.
+    std::map<std::uint64_t, std::pair<Cycle, Cycle>> envelope;
+    for (const auto &ev : events)
+        if (ev.stage == telemetry::Stage::kL2Read)
+            envelope[ev.id] = {ev.start, ev.end};
+    ASSERT_FALSE(envelope.empty());
+
+    // Every downstream span sharing an id (MRC probe, DRAM txns,
+    // decode) must fit inside that id's l2.read envelope.
+    std::size_t nested = 0;
+    for (const auto &ev : events) {
+        if (ev.stage == telemetry::Stage::kL2Read)
+            continue;
+        const auto it = envelope.find(ev.id);
+        if (it == envelope.end())
+            continue; // prefetch / SM-track event: no envelope
+        EXPECT_GE(ev.start, it->second.first)
+            << toString(ev.stage) << " id " << ev.id;
+        EXPECT_LE(ev.end, it->second.second)
+            << toString(ev.stage) << " id " << ev.id;
+        ++nested;
+    }
+    EXPECT_GT(nested, 0u);
+}
+
+TEST_F(TracedRun, StageHistogramsPopulated)
+{
+    const auto &h =
+        gpu_->telemetry().stageHistogram(telemetry::Stage::kL2Read);
+    EXPECT_GT(h.count(), 0u);
+    EXPECT_GT(h.quantile(0.99), 0.0);
+    EXPECT_GT(gpu_->telemetry()
+                  .stageHistogram(telemetry::Stage::kDramService)
+                  .count(),
+              0u);
+}
+
+TEST_F(TracedRun, SamplerSumsMatchLiveRegistry)
+{
+    ASSERT_NE(gpu_->sampler(), nullptr);
+    EXPECT_FALSE(gpu_->sampler()->epochs().empty());
+
+    const auto summed = gpu_->sampler()->summedDeltas();
+    for (const auto &[name, value] : gpu_->statsRegistry().flatten()) {
+        const auto it = summed.find(name);
+        const double total = it == summed.end() ? 0.0 : it->second;
+        EXPECT_NEAR(total, value, 1e-9) << name;
+    }
+}
+
+TEST_F(TracedRun, RunReportIsValidJson)
+{
+    telemetry::RunManifest manifest;
+    manifest.tool = "cachecraft_tests";
+    manifest.workload = "streaming";
+    manifest.workloadSeed = tinyWorkload().seed;
+    manifest.wallSeconds = 0.25;
+    manifest.extra.emplace_back("note", "unit \"test\"");
+
+    std::ostringstream os;
+    telemetry::writeRunReport(os, manifest, gpu_->config(), rs_,
+                              gpu_->statsRegistry(), gpu_->sampler());
+    std::string err;
+    ASSERT_TRUE(jsonValidate(os.str(), &err)) << err;
+    EXPECT_NE(os.str().find("cachecraft.run_report/1"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("\"epochs\""), std::string::npos);
+    EXPECT_NE(os.str().find("telemetry.stage.l2.read"),
+              std::string::npos);
+}
+
+TEST(TracedOverhead, TracingOffMatchesBaselineCycles)
+{
+    // The runtime gate must not change simulated behaviour: a traced
+    // run and an untraced run of the same workload agree exactly.
+    SystemConfig off = tracedConfig();
+    off.telemetry.traceEnabled = false;
+    off.telemetry.sampleInterval = 0;
+    GpuSystem a(tracedConfig());
+    GpuSystem b(off);
+    const auto trace =
+        makeWorkload(WorkloadKind::kStreaming, tinyWorkload());
+    EXPECT_EQ(a.run(trace).cycles, b.run(trace).cycles);
+}
+
+// --------------------------------------------------------------------
+// Result tables as JSON artifacts
+// --------------------------------------------------------------------
+
+TEST(ResultTable, RenderJsonRoundTrips)
+{
+    ResultTable t("Figure 9: headline \"speedup\"");
+    t.setHeader({"scheme", "ipc"});
+    t.addRow({"none", "1.000"});
+    t.addRow({"cachecraft", "0.973"});
+
+    const std::string json = t.renderJson();
+    std::string err;
+    ASSERT_TRUE(jsonValidate(json, &err)) << err;
+    EXPECT_NE(json.find("\\\"speedup\\\""), std::string::npos);
+    EXPECT_NE(json.find("cachecraft"), std::string::npos);
+    EXPECT_EQ(countOccurrences(json, "0.973"), 1u);
+}
+
+} // namespace
+} // namespace cachecraft

@@ -13,6 +13,7 @@
  * Run with --help for the full flag list.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -61,7 +62,18 @@ usage()
         "  --dump-trace FILE   write the workload trace and exit\n"
         "  --stats-csv FILE    write every statistic as CSV\n"
         "  --energy            print the energy model breakdown\n"
-        "  --quiet             suppress the configuration block\n");
+        "  --quiet             suppress the configuration block\n"
+        "  --log-level L       silent | warn | info | debug (warn)\n"
+        "\n"
+        "telemetry:\n"
+        "  --sample-interval N sample stat deltas every N cycles\n"
+        "  --epochs-csv FILE   write the epoch series as CSV\n"
+        "  --trace-json FILE   record the memory-request lifecycle and\n"
+        "                      write Chrome trace_event JSON (open in\n"
+        "                      chrome://tracing or Perfetto)\n"
+        "  --trace-capacity N  trace ring size in events (65536)\n"
+        "  --report-json FILE  write the full machine-readable run\n"
+        "                      report (manifest + config + stats)\n");
 }
 
 std::optional<SchemeKind>
@@ -95,6 +107,20 @@ parseWorkload(const std::string &s)
     return std::nullopt;
 }
 
+std::optional<LogLevel>
+parseLogLevel(const std::string &s)
+{
+    if (s == "silent")
+        return LogLevel::Silent;
+    if (s == "warn")
+        return LogLevel::Warn;
+    if (s == "info")
+        return LogLevel::Info;
+    if (s == "debug")
+        return LogLevel::Debug;
+    return std::nullopt;
+}
+
 } // namespace
 
 int
@@ -110,6 +136,9 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string dump_path;
     std::string csv_path;
+    std::string trace_json_path;
+    std::string report_json_path;
+    std::string epochs_csv_path;
     bool want_energy = false;
     bool quiet = false;
 
@@ -173,6 +202,26 @@ main(int argc, char **argv)
             dump_path = need_value(i);
         } else if (flag == "--stats-csv") {
             csv_path = need_value(i);
+        } else if (flag == "--sample-interval") {
+            config.telemetry.sampleInterval =
+                std::stoull(need_value(i));
+            if (config.telemetry.sampleInterval == 0)
+                fatal("--sample-interval must be positive");
+        } else if (flag == "--epochs-csv") {
+            epochs_csv_path = need_value(i);
+        } else if (flag == "--trace-json") {
+            trace_json_path = need_value(i);
+            config.telemetry.traceEnabled = true;
+        } else if (flag == "--trace-capacity") {
+            config.telemetry.traceCapacity =
+                std::stoull(need_value(i));
+        } else if (flag == "--report-json") {
+            report_json_path = need_value(i);
+        } else if (flag == "--log-level") {
+            const auto level = parseLogLevel(need_value(i));
+            if (!level)
+                fatal("unknown log level (see --help)");
+            setLogLevel(*level);
         } else if (flag == "--energy") {
             want_energy = true;
         } else if (flag == "--quiet") {
@@ -204,12 +253,32 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (!epochs_csv_path.empty() && config.telemetry.sampleInterval == 0)
+        fatal("--epochs-csv needs --sample-interval");
+    if (!trace_json_path.empty() && !telemetry::kTraceCompiledIn)
+        warn("tracing was compiled out (CACHECRAFT_DISABLE_TRACING); "
+             "the trace will be empty");
+    // Fail on unwritable output paths now, not after a long run.
+    for (const std::string &path :
+         {epochs_csv_path, trace_json_path, report_json_path}) {
+        if (path.empty())
+            continue;
+        std::ofstream probe(path, std::ios::app);
+        if (!probe)
+            fatal("cannot write " + path);
+    }
+
     if (!quiet)
         std::printf("--- configuration ---\n%s\n",
                     config.describe().c_str());
 
     GpuSystem gpu(config);
+    const auto wall_start = std::chrono::steady_clock::now();
     const RunStats rs = gpu.run(trace);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
 
     std::printf("--- %s on %s ---\n", config.summary().c_str(),
                 trace.name.c_str());
@@ -252,6 +321,41 @@ main(int argc, char **argv)
         for (const auto &[name, value] : rs.all)
             csv << name << ',' << value << '\n';
         std::printf("wrote %s\n", csv_path.c_str());
+    }
+
+    if (!epochs_csv_path.empty()) {
+        std::ofstream out(epochs_csv_path);
+        if (!out)
+            fatal("cannot write " + epochs_csv_path);
+        out << gpu.sampler()->renderCsv();
+        std::printf("wrote %s (%zu epochs)\n", epochs_csv_path.c_str(),
+                    gpu.sampler()->epochs().size());
+    }
+
+    if (!trace_json_path.empty()) {
+        std::ofstream out(trace_json_path);
+        if (!out)
+            fatal("cannot write " + trace_json_path);
+        gpu.telemetry().writeChromeJson(out);
+        const auto *sink = gpu.telemetry().sink();
+        std::printf("wrote %s (%zu events, %llu dropped)\n",
+                    trace_json_path.c_str(), sink ? sink->size() : 0,
+                    static_cast<unsigned long long>(
+                        sink ? sink->dropped() : 0));
+    }
+
+    if (!report_json_path.empty()) {
+        std::ofstream out(report_json_path);
+        if (!out)
+            fatal("cannot write " + report_json_path);
+        telemetry::RunManifest manifest;
+        manifest.tool = "cachecraft_sim";
+        manifest.workload = trace.name;
+        manifest.workloadSeed = wparams.seed;
+        manifest.wallSeconds = wall_seconds;
+        telemetry::writeRunReport(out, manifest, gpu.config(), rs,
+                                  gpu.statsRegistry(), gpu.sampler());
+        std::printf("wrote %s\n", report_json_path.c_str());
     }
     return 0;
 }
