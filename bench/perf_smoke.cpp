@@ -1,0 +1,138 @@
+/**
+ * @file
+ * perf_smoke — the deterministic bench subset behind the CI perf gate.
+ *
+ * Runs a small, fixed grid of (workload, scheme) points — scaled-down
+ * versions of the fig_* experiments, seconds not minutes — and emits
+ * one JSON document of integer metrics per point. The simulator is a
+ * deterministic discrete-event model, so for a given build the output
+ * is byte-identical run to run; CI regenerates it and diffs against
+ * the committed BENCH_baseline.json with cachecraft_diff, failing the
+ * job when any metric moves beyond tolerance.
+ *
+ * Only integer counters are emitted (no IPC / hit-rate ratios): they
+ * round-trip exactly through the JSON layer on every platform, so a
+ * baseline generated on one machine diffs clean on another as long as
+ * the simulated behaviour is unchanged.
+ *
+ * Usage: perf_smoke [--out FILE]   (default: stdout)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/json.hpp"
+
+using namespace cachecraft;
+
+namespace {
+
+/** Small enough to finish in seconds, large enough to exercise L2
+ *  misses, MRC fills, and DRAM row behaviour on every scheme. */
+WorkloadParams
+smokeParams()
+{
+    WorkloadParams p;
+    p.footprintBytes = 1 * 1024 * 1024;
+    p.numWarps = 64;
+    p.memInstsPerWarp = 24;
+    p.seed = 7;
+    return p;
+}
+
+/** One metric point: integer counters only (see file comment). */
+void
+writePoint(JsonWriter &w, const RunStats &rs)
+{
+    w.beginObject();
+    w.key("cycles").value(static_cast<std::uint64_t>(rs.cycles));
+    w.key("instructions").value(rs.instructions);
+    w.key("mem_instructions").value(rs.memInstructions);
+    w.key("dram_data_reads").value(rs.dramDataReads);
+    w.key("dram_data_writes").value(rs.dramDataWrites);
+    w.key("dram_ecc_reads").value(rs.dramEccReads);
+    w.key("dram_ecc_writes").value(rs.dramEccWrites);
+    w.key("dram_ecc_rmw_reads").value(rs.dramEccRmwReads);
+    w.key("dram_total_txns").value(rs.dramTotalTxns);
+    w.key("mrc_hits").value(rs.mrcHits);
+    w.key("mrc_misses").value(rs.mrcMisses);
+    w.key("mrc_fetch_merges").value(rs.mrcFetchMerges);
+    w.key("mrc_dirty_evictions").value(rs.mrcDirtyEvictions);
+    w.key("l2_sector_hits").value(rs.l2SectorHits);
+    w.key("l2_sector_misses").value(rs.l2SectorMisses);
+    w.key("decode_clean").value(rs.decodeClean);
+    w.key("decode_corrected").value(rs.decodeCorrected);
+    w.key("decode_uncorrectable").value(rs.decodeUncorrectable);
+    w.endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: perf_smoke [--out FILE]\n");
+            return 2;
+        }
+    }
+
+    // The smoke grid: one regular, one tiled, and one irregular
+    // workload, each under the no-protection bound and the full
+    // CacheCraft scheme. Six runs total.
+    const std::vector<WorkloadKind> workloads = {
+        WorkloadKind::kStreaming,
+        WorkloadKind::kGemmTiled,
+        WorkloadKind::kRandomAccess,
+    };
+    const std::vector<SchemeKind> schemes = {
+        SchemeKind::kNone,
+        SchemeKind::kCacheCraft,
+    };
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("cachecraft.perf_smoke/1");
+    w.key("schema_version").value(kJsonSchemaVersion);
+    w.key("points").beginObject();
+    for (WorkloadKind kind : workloads) {
+        for (SchemeKind scheme : schemes) {
+            const std::string name =
+                strCat(toString(kind), ".", toString(scheme));
+            std::fprintf(stderr, "[perf_smoke] %s\n", name.c_str());
+            const RunStats rs = bench::runPoint(
+                bench::configFor(scheme), kind, smokeParams());
+            w.key(name);
+            writePoint(w, rs);
+        }
+    }
+    w.endObject();
+    w.endObject();
+    os << '\n';
+
+    if (out_path.empty()) {
+        std::fputs(os.str().c_str(), stdout);
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "perf_smoke: cannot write %s\n",
+                         out_path.c_str());
+            return 2;
+        }
+        out << os.str();
+        std::fprintf(stderr, "[perf_smoke] wrote %s\n",
+                     out_path.c_str());
+    }
+    return 0;
+}

@@ -13,12 +13,23 @@
 #define CACHECRAFT_COMMON_JSON_HPP
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cachecraft {
+
+/**
+ * Version stamped into every JSON artifact this project writes (run
+ * reports, bench tables, diff output) as "schema_version". Consumers
+ * (cachecraft_diff) refuse artifacts whose versions do not match, so
+ * bump this whenever an artifact's shape changes incompatibly.
+ */
+inline constexpr std::int64_t kJsonSchemaVersion = 2;
 
 /** Escape @p s for inclusion inside a JSON string literal (no quotes
  *  added). Control characters become \\u00XX. */
@@ -69,6 +80,68 @@ class JsonWriter
     std::vector<bool> needComma_;
     bool afterKey_ = false;
 };
+
+/**
+ * Parsed JSON value (small recursive DOM). Object keys keep insertion
+ * order so round-tripped artifacts stay diffable; lookup is linear,
+ * which is fine for report-sized documents.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    using Array = std::vector<JsonValue>;
+    using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+    JsonValue() = default;
+    explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+    explicit JsonValue(double n) : kind_(Kind::kNumber), num_(n) {}
+    explicit JsonValue(std::string s)
+        : kind_(Kind::kString), str_(std::move(s))
+    {
+    }
+    explicit JsonValue(Array a)
+        : kind_(Kind::kArray), arr_(std::move(a))
+    {
+    }
+    explicit JsonValue(Object o)
+        : kind_(Kind::kObject), obj_(std::move(o))
+    {
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::kNull; }
+    bool isBool() const { return kind_ == Kind::kBool; }
+    bool isNumber() const { return kind_ == Kind::kNumber; }
+    bool isString() const { return kind_ == Kind::kString; }
+    bool isArray() const { return kind_ == Kind::kArray; }
+    bool isObject() const { return kind_ == Kind::kObject; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return num_; }
+    const std::string &asString() const { return str_; }
+    const Array &asArray() const { return arr_; }
+    const Object &asObject() const { return obj_; }
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+  private:
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+};
+
+/**
+ * Parse @p text as one JSON value. Returns std::nullopt on syntax
+ * error, with a short diagnostic in @p error (may be null).
+ */
+std::optional<JsonValue> jsonParse(std::string_view text,
+                                   std::string *error = nullptr);
 
 } // namespace cachecraft
 

@@ -24,10 +24,10 @@ GpuSystem::GpuSystem(const SystemConfig &config) : config_(config)
     const unsigned num_slices = config_.dram.numChannels;
     reqXbar_ = std::make_unique<Crossbar>("xbar.req", num_slices,
                                           config_.xbarLatency, events_,
-                                          &stats_);
+                                          &stats_, telemetry_.get());
     respXbar_ = std::make_unique<Crossbar>("xbar.resp", config_.numSms,
                                            config_.xbarLatency, events_,
-                                           &stats_);
+                                           &stats_, telemetry_.get());
 
     auto arch_read = [this](Addr addr) { return archRead(addr); };
     auto tag_of = [this](Addr addr) { return tagOf(addr); };
@@ -83,6 +83,52 @@ GpuSystem::GpuSystem(const SystemConfig &config) : config_(config)
             strCat("sm", s), static_cast<SmId>(s), sm_params, events_,
             std::move(l2_read), std::move(l2_write), tag_of, &stats_,
             telemetry_.get()));
+    }
+
+    // Occupancy gauges for every structural resource; registered here
+    // (still construction time) so the sampler sees a stable registry.
+    if (auto *prof = telemetry_->profiler()) {
+        for (unsigned c = 0; c < num_slices; ++c) {
+            DramChannel *ch = &dram_->channel(static_cast<ChannelId>(c));
+            prof->addGauge(strCat("dram.ch", c, ".queue_depth"), [ch] {
+                return static_cast<std::uint64_t>(ch->queueDepth());
+            });
+            prof->addGauge(strCat("dram.ch", c, ".busy_banks"),
+                           [this, ch] {
+                               return static_cast<std::uint64_t>(
+                                   ch->busyBanks(events_.now()));
+                           });
+            L2Slice *slice = slices_[c].get();
+            prof->addGauge(strCat("l2.slice", c, ".mshr_occupancy"),
+                           [slice] {
+                               return static_cast<std::uint64_t>(
+                                   slice->mshrOccupancy());
+                           });
+            prof->addGauge(strCat("l2.slice", c, ".blocked_reads"),
+                           [slice] {
+                               return static_cast<std::uint64_t>(
+                                   slice->blockedReads());
+                           });
+            prof->addGauge(strCat("l2.slice", c, ".service_backlog"),
+                           [this, slice] {
+                               return static_cast<std::uint64_t>(
+                                   slice->serviceBacklog(events_.now()));
+                           });
+            prof->addGauge(
+                strCat("protect.slice", c, ".outstanding_meta_fetches"),
+                [slice] {
+                    return static_cast<std::uint64_t>(
+                        slice->scheme().outstandingMetaFetches());
+                });
+        }
+        prof->addGauge("xbar.req.max_port_backlog", [this] {
+            return static_cast<std::uint64_t>(
+                reqXbar_->maxPortBacklog(events_.now()));
+        });
+        prof->addGauge("xbar.resp.max_port_backlog", [this] {
+            return static_cast<std::uint64_t>(
+                respXbar_->maxPortBacklog(events_.now()));
+        });
     }
 }
 
@@ -172,23 +218,38 @@ GpuSystem::run(const KernelTrace &trace)
     for (auto &sm : sms_)
         sm->start();
 
-    // Epoch-chunked execution: drain the queue in sampleInterval-sized
-    // slices so the sampler sees aligned boundaries. Without sampling
-    // this is a single plain run().
+    // Epoch-chunked execution: drain the queue in boundary-sized
+    // slices so the stat sampler and the profiler's occupancy gauges
+    // both see aligned cycles. Chunking only splits where runUntil
+    // stops — event execution order is untouched, so enabling either
+    // consumer is timing-neutral. Without both this is a plain run().
     if (config_.telemetry.sampleInterval > 0)
         sampler_ = std::make_unique<telemetry::StatSampler>(
             &stats_, config_.telemetry.sampleInterval);
-    auto drain = [this](const char *what) {
-        if (!sampler_) {
+    telemetry::Profiler *prof = telemetry_->profiler();
+    const Cycle prof_interval =
+        prof ? std::max<Cycle>(config_.telemetry.profileInterval, 1) : 0;
+    auto drain = [this, prof, prof_interval](const char *what) {
+        if (!sampler_ && !prof) {
             if (!events_.run())
                 panic(what);
             return;
         }
+        constexpr Cycle kNever = ~Cycle{0};
         while (!events_.empty()) {
-            if (!events_.runUntil(
-                    sampler_->nextBoundary(events_.now())))
+            const Cycle now = events_.now();
+            const Cycle sample_at =
+                sampler_ ? sampler_->nextBoundary(now) : kNever;
+            const Cycle profile_at =
+                prof ? (now / prof_interval + 1) * prof_interval
+                     : kNever;
+            if (!events_.runUntil(std::min(sample_at, profile_at)))
                 panic(what);
-            sampler_->closeEpoch(events_.now());
+            if (prof && events_.now() >= profile_at)
+                prof->sampleOccupancy();
+            if (sampler_ &&
+                (events_.now() >= sample_at || events_.empty()))
+                sampler_->closeEpoch(events_.now());
         }
     };
 
@@ -244,6 +305,21 @@ GpuSystem::run(const KernelTrace &trace)
     drain("event budget exceeded during flush");
     if (sampler_)
         sampler_->closeEpoch(events_.now());
+
+    if (const telemetry::TraceSink *sink = telemetry_->sink();
+        sink && sink->dropped() > 0) {
+        rs.warnings.push_back(
+            strCat("trace ring overflowed: ", sink->dropped(),
+                   " oldest events dropped (raise traceCapacity)"));
+    }
+    if (events_.valveTrips() > 0) {
+        rs.warnings.push_back(
+            strCat("event-queue safety valve tripped ",
+                   events_.valveTrips(),
+                   " time(s): execution was truncated"));
+    }
+    for (const std::string &w : rs.warnings)
+        warn(w);
 
     return rs;
 }

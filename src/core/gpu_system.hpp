@@ -74,6 +74,14 @@ struct RunStats
     /** Every registered stat, flattened by name. */
     std::map<std::string, double> all;
 
+    /**
+     * Truncation warnings raised at end of run (trace-ring overflow,
+     * event-queue valve trips). Empty for a clean run; surfaced in the
+     * JSON run report and via the logger so silently truncated data
+     * can't pass for complete results.
+     */
+    std::vector<std::string> warnings;
+
     /** Fraction of metadata lookups that hit a resident MRC entry. */
     double
     mrcHitRate() const

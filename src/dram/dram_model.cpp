@@ -42,6 +42,17 @@ DramChannel::enqueue(DramRequest request)
 }
 
 std::size_t
+DramChannel::busyBanks(Cycle now) const
+{
+    std::size_t busy = 0;
+    for (const BankState &bank : banks_) {
+        if (bank.readyAt > now)
+            ++busy;
+    }
+    return busy;
+}
+
+std::size_t
 DramChannel::pickNext() const
 {
     // FR-FCFS over a bounded scheduler window (real controllers see
@@ -113,6 +124,27 @@ DramChannel::tryIssue()
 
     const Cycle complete_at = done_at + timing_.tController;
     statQueueLatency.sample(complete_at - pending.arrival);
+
+    if (telemetry_) {
+        if (auto *prof = telemetry_->profiler()) {
+            // Cycle attribution: waiting for a busy bank, then the
+            // precharge/activate penalty, then (for metadata reads)
+            // the shared data bus occupied by redundancy traffic.
+            prof->chargeStall(telemetry::StallReason::kBankConflict, now,
+                              bank_ready);
+            if (outcome != RowOutcome::kHit)
+                prof->chargeStall(telemetry::StallReason::kRowMiss,
+                                  bank_ready, cas_at);
+            if (pending.req.isEcc && !pending.req.isWrite)
+                prof->chargeStall(
+                    telemetry::StallReason::kEccReadSerialization,
+                    data_at, done_at);
+            prof->recordRowAccess(
+                (static_cast<std::uint64_t>(id_) << 48) |
+                (static_cast<std::uint64_t>(pending.coord.bank) << 32) |
+                (pending.coord.row & 0xFFFFFFFFull));
+        }
+    }
 
     // Queueing + service time as one span on the request's track, with
     // the row outcome (0 hit / 1 miss-closed / 2 conflict) attached.

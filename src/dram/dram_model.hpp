@@ -61,6 +61,12 @@ struct DramRequest
     /** Channel-local physical byte address (32 B aligned). */
     Addr phys = 0;
     bool isWrite = false;
+    /**
+     * True for metadata (redundancy/ECC) transactions; lets the
+     * profiler attribute shared-bus occupancy to ECC serialization.
+     * Stamped centrally by ProtectionScheme::issueEccTxn.
+     */
+    bool isEcc = false;
     /** Completion callback (fired at data-available cycle). */
     std::function<void()> onComplete;
     /** Lifecycle-trace track this transaction belongs to (0 = none). */
@@ -83,6 +89,9 @@ class DramChannel
 
     /** Outstanding queued (not yet issued) requests. */
     std::size_t queueDepth() const { return queue_.size(); }
+
+    /** Banks still serving an access (readyAt in the future) at @p now. */
+    std::size_t busyBanks(Cycle now) const;
 
     /** FR-FCFS reorder-window depth (transaction-queue visibility). */
     static constexpr std::size_t kSchedulerWindow = 32;

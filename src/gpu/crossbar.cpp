@@ -2,12 +2,15 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace cachecraft {
 
 Crossbar::Crossbar(std::string name, unsigned num_ports, Cycle latency,
-                   EventQueue &events, StatRegistry *stats)
+                   EventQueue &events, StatRegistry *stats,
+                   telemetry::Telemetry *telemetry)
     : name_(std::move(name)), latency_(latency), events_(events),
-      portFreeAt_(num_ports, 0)
+      telemetry_(telemetry), portFreeAt_(num_ports, 0)
 {
     if (stats) {
         stats->registerCounter(name_ + ".flits", &statFlits);
@@ -23,8 +26,24 @@ Crossbar::send(unsigned port, std::function<void()> fn)
     const Cycle now = events_.now();
     const Cycle accept_at = std::max(now, portFreeAt_[port]);
     statContentionCycles.inc(accept_at - now);
+    if (telemetry_) {
+        if (auto *prof = telemetry_->profiler())
+            prof->chargeStall(telemetry::StallReason::kCrossbarBackpressure,
+                              now, accept_at);
+    }
     portFreeAt_[port] = accept_at + 1;
     events_.schedule(accept_at + latency_, std::move(fn));
+}
+
+Cycle
+Crossbar::maxPortBacklog(Cycle now) const
+{
+    Cycle deepest = 0;
+    for (const Cycle free_at : portFreeAt_) {
+        if (free_at > now)
+            deepest = std::max(deepest, free_at - now);
+    }
+    return deepest;
 }
 
 } // namespace cachecraft

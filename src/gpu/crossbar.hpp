@@ -20,6 +20,10 @@
 
 namespace cachecraft {
 
+namespace telemetry {
+class Telemetry;
+} // namespace telemetry
+
 /** One direction of the interconnect (requests or responses). */
 class Crossbar
 {
@@ -30,13 +34,20 @@ class Crossbar
      * @param latency  pipelined traversal latency in cycles
      */
     Crossbar(std::string name, unsigned num_ports, Cycle latency,
-             EventQueue &events, StatRegistry *stats);
+             EventQueue &events, StatRegistry *stats,
+             telemetry::Telemetry *telemetry = nullptr);
 
     /**
      * Deliver @p fn at destination @p port after traversal latency,
      * respecting the port's one-per-cycle acceptance rate.
      */
     void send(unsigned port, std::function<void()> fn);
+
+    /**
+     * Deepest per-port backlog at cycle @p now, in flits (how far the
+     * most contended port's next acceptance slot is in the future).
+     */
+    Cycle maxPortBacklog(Cycle now) const;
 
     Counter statFlits;
     Counter statContentionCycles;
@@ -45,6 +56,7 @@ class Crossbar
     std::string name_;
     Cycle latency_;
     EventQueue &events_;
+    telemetry::Telemetry *telemetry_;
     std::vector<Cycle> portFreeAt_;
 };
 

@@ -74,8 +74,10 @@ class EventQueue
     {
         std::uint64_t executed = 0;
         while (!heap_.empty() && heap_.top().when <= limit) {
-            if (executed++ >= max_events)
+            if (executed++ >= max_events) {
+                ++valveTrips_;
                 return false;
+            }
             // Moving the closure out before pop keeps re-entrant
             // scheduling from invalidating the top element.
             Event ev = std::move(const_cast<Event &>(heap_.top()));
@@ -90,6 +92,12 @@ class EventQueue
 
     /** Total events executed so far (for perf accounting). */
     std::uint64_t executedEvents() const { return seq_; }
+
+    /**
+     * Times the max_events safety valve fired. A non-zero value means
+     * some run()/runUntil() returned early and results are truncated.
+     */
+    std::uint64_t valveTrips() const { return valveTrips_; }
 
   private:
     struct Event
@@ -109,6 +117,7 @@ class EventQueue
 
     Cycle now_ = 0;
     std::uint64_t seq_ = 0;
+    std::uint64_t valveTrips_ = 0;
     std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
 };
 

@@ -55,6 +55,10 @@ L2Slice::read(Addr sector_addr, ecc::MemTag expected_tag,
               std::function<void()> done)
 {
     statReads.inc();
+    if (telemetry_) {
+        if (auto *prof = telemetry_->profiler())
+            prof->recordSectorAccess(sector_addr);
+    }
     // Each slice-level read starts one lifecycle track: the "l2.read"
     // span envelopes every downstream span carrying the same id.
     std::uint64_t trace_id = 0;
@@ -97,8 +101,8 @@ L2Slice::handleReadMiss(Addr sector_addr, ecc::MemTag tag,
         // Structural stall: park the request; it is retried when an
         // MSHR frees up (no polling).
         statMshrStallRetries.inc();
-        blocked_.push_back(
-            BlockedRead{sector_addr, tag, std::move(done), trace_id});
+        blocked_.push_back(BlockedRead{sector_addr, tag, std::move(done),
+                                       trace_id, events_.now()});
         return;
       case Outcome::kNewEntry:
         break;
@@ -131,6 +135,12 @@ L2Slice::issueFetch(Addr sector_addr, ecc::MemTag tag,
             if (!blocked_.empty()) {
                 BlockedRead blocked = std::move(blocked_.front());
                 blocked_.pop_front();
+                if (telemetry_) {
+                    if (auto *prof = telemetry_->profiler())
+                        prof->chargeStall(
+                            telemetry::StallReason::kMshrFull,
+                            blocked.blockedAt, events_.now());
+                }
                 handleReadMiss(blocked.sectorAddr, blocked.tag,
                                std::move(blocked.done),
                                blocked.traceId);

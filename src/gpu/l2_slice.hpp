@@ -86,6 +86,17 @@ class L2Slice
     ProtectionScheme &scheme() { return *scheme_; }
     const SectoredCache &cache() const { return cache_; }
 
+    /** In-use MSHR entries (profiler occupancy gauge). */
+    std::size_t mshrOccupancy() const { return mshrs_.size(); }
+    /** Reads currently parked on a full MSHR file. */
+    std::size_t blockedReads() const { return blocked_.size(); }
+    /** How far the 1-req/cycle service pipeline is booked past @p now. */
+    Cycle
+    serviceBacklog(Cycle now) const
+    {
+        return nextServiceAt_ > now ? nextServiceAt_ - now : 0;
+    }
+
     Counter statReads;
     Counter statWrites;
     Counter statMshrStallRetries;
@@ -121,6 +132,8 @@ class L2Slice
         ecc::MemTag tag;
         std::function<void()> done;
         std::uint64_t traceId = 0;
+        /** Cycle the read parked (for mshr_full stall attribution). */
+        Cycle blockedAt = 0;
     };
 
     SectoredCache cache_;

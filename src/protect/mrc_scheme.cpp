@@ -113,6 +113,19 @@ MrcScheme::withCheckField(Addr logical, std::function<void(bool)> fn,
         return;
     }
     stats.mrcMisses.inc();
+    if (ctx_.telemetry) {
+        if (auto *prof = ctx_.telemetry->profiler()) {
+            // The access is blocked from here until the chunk fetch
+            // makes the field resident.
+            const Cycle start = ctx_.events->now();
+            fn = [this, prof, start,
+                  inner = std::move(fn)](bool resident) {
+                prof->chargeStall(telemetry::StallReason::kMrcProbeBlock,
+                                  start, ctx_.events->now());
+                inner(resident);
+            };
+        }
+    }
     fetchChunk(logical, std::move(fn), trace_id);
 }
 

@@ -64,6 +64,12 @@ class MrcScheme : public ProtectionScheme
     const MrcOptions &options() const { return options_; }
     const SectoredCache &mrc() const { return mrc_; }
 
+    std::size_t
+    outstandingMetaFetches() const override
+    {
+        return pendingFetch_.size();
+    }
+
   private:
     /**
      * MRC index address for the check field of data sector

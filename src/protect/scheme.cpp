@@ -154,6 +154,7 @@ ProtectionScheme::issueEccTxn(Addr logical, bool is_write,
     DramRequest req;
     req.phys = eccPhys(logical);
     req.isWrite = is_write;
+    req.isEcc = true;
     req.onComplete = std::move(on_complete);
     traceTxn(ctx_.telemetry,
              is_write ? telemetry::Stage::kDramEccWrite

@@ -148,6 +148,13 @@ class ProtectionScheme
     virtual void flush() {}
 
     /**
+     * Metadata (MRC probe) fetches currently in flight — the profiler
+     * samples this as an occupancy gauge. Schemes without a metadata
+     * cache report 0.
+     */
+    virtual std::size_t outstandingMetaFetches() const { return 0; }
+
+    /**
      * Bulk-initialize: encode @p data at @p logical with @p tag into
      * DRAM storage and the metadata shadow, with no timing activity.
      */

@@ -1,6 +1,7 @@
 #include "stats/stats.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/json.hpp"
@@ -16,6 +17,7 @@ HistogramStat::sample(std::uint64_t v)
     buckets_[idx]++;
     count_++;
     sum_ += static_cast<double>(v);
+    sumSquares_ += static_cast<double>(v) * static_cast<double>(v);
     if (count_ == 1) {
         min_ = max_ = v;
     } else {
@@ -30,8 +32,20 @@ HistogramStat::reset()
     std::fill(buckets_.begin(), buckets_.end(), 0);
     count_ = 0;
     sum_ = 0.0;
+    sumSquares_ = 0.0;
     min_ = 0;
     max_ = 0;
+}
+
+double
+HistogramStat::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSquares_ / static_cast<double>(count_) - m * m;
+    // Cancellation can push a tiny variance below zero.
+    return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
 double
@@ -112,7 +126,7 @@ StatRegistry::flatten() const
 {
     std::vector<std::pair<std::string, double>> out;
     out.reserve(counters_.size() + scalars_.size() +
-                histograms_.size() * 6);
+                histograms_.size() * 8);
     for (const auto &[name, c] : counters_)
         out.emplace_back(name, static_cast<double>(c->value()));
     for (const auto &[name, s] : scalars_)
@@ -121,12 +135,14 @@ StatRegistry::flatten() const
         out.emplace_back(name + ".count",
                          static_cast<double>(h->count()));
         out.emplace_back(name + ".mean", h->mean());
+        out.emplace_back(name + ".stddev", h->stddev());
         out.emplace_back(name + ".min",
                          static_cast<double>(h->minValue()));
         out.emplace_back(name + ".max",
                          static_cast<double>(h->maxValue()));
         out.emplace_back(name + ".p50", h->quantile(0.50));
         out.emplace_back(name + ".p99", h->quantile(0.99));
+        out.emplace_back(name + ".p999", h->quantile(0.999));
     }
     std::sort(out.begin(), out.end());
     return out;
@@ -188,10 +204,12 @@ StatRegistry::renderJson() const
         w.key(name).beginObject();
         w.key("count").value(h->count());
         w.key("mean").value(h->mean());
+        w.key("stddev").value(h->stddev());
         w.key("min").value(h->minValue());
         w.key("max").value(h->maxValue());
         w.key("p50").value(h->quantile(0.50));
         w.key("p99").value(h->quantile(0.99));
+        w.key("p999").value(h->quantile(0.999));
         w.key("bucket_width").value(h->bucketWidth());
         w.key("buckets").beginArray();
         for (const std::uint64_t b : h->buckets())

@@ -49,7 +49,8 @@ class ScalarStat
 
 /**
  * A fixed-bucket histogram over [0, bucket_width * num_buckets), with
- * an overflow bucket. Tracks count/sum/min/max for mean and extrema.
+ * an overflow bucket. Tracks count/sum/sum-of-squares/min/max for
+ * mean, stddev, and extrema.
  */
 class HistogramStat
 {
@@ -67,6 +68,8 @@ class HistogramStat
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    /** Population standard deviation of the samples. */
+    double stddev() const;
     std::uint64_t minValue() const { return count_ ? min_ : 0; }
     std::uint64_t maxValue() const { return max_; }
     std::uint64_t bucketWidth() const { return bucketWidth_; }
@@ -80,6 +83,7 @@ class HistogramStat
     std::vector<std::uint64_t> buckets_;
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
+    double sumSquares_ = 0.0;
     std::uint64_t min_ = 0;
     std::uint64_t max_ = 0;
 };
@@ -105,8 +109,9 @@ class StatRegistry
 
     /**
      * All (name, value) pairs sorted by name: counters, scalars, and
-     * per-histogram summary entries (<name>.count/.mean/.min/.max/
-     * .p50/.p99), so histogram data reaches every flat consumer.
+     * per-histogram summary entries (<name>.count/.mean/.stddev/.min/
+     * .max/.p50/.p99/.p999), so histogram data reaches every flat
+     * consumer.
      */
     std::vector<std::pair<std::string, double>> flatten() const;
 
@@ -122,8 +127,8 @@ class StatRegistry
 
     /**
      * Render everything as one JSON object: {"counters": {...},
-     * "scalars": {...}, "histograms": {name: {count, mean, min, max,
-     * p50, p99, bucket_width, buckets}}}.
+     * "scalars": {...}, "histograms": {name: {count, mean, stddev,
+     * min, max, p50, p99, p999, bucket_width, buckets}}}.
      */
     std::string renderJson() const;
 

@@ -110,6 +110,7 @@ ResultTable::renderJson() const
     std::ostringstream os;
     JsonWriter w(os);
     w.beginObject();
+    w.key("schema_version").value(kJsonSchemaVersion);
     w.key("title").value(title_);
     w.key("header").beginArray();
     for (const auto &cell : header_)

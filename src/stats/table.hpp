@@ -44,9 +44,10 @@ class ResultTable
     std::string renderMarkdown() const;
 
     /**
-     * Render as a JSON object: {"title", "header", "rows"} where rows
-     * is an array of arrays of strings. Cells stay strings so the
-     * formatting matches the text/CSV renderings exactly.
+     * Render as a JSON object: {"schema_version", "title", "header",
+     * "rows"} where rows is an array of arrays of strings. Cells stay
+     * strings so the formatting matches the text/CSV renderings
+     * exactly.
      */
     std::string renderJson() const;
 

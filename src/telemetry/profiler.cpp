@@ -1,0 +1,200 @@
+#include "telemetry/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+
+namespace cachecraft::telemetry {
+
+const char *
+toString(StallReason reason)
+{
+    switch (reason) {
+      case StallReason::kMshrFull:
+        return "mshr_full";
+      case StallReason::kBankConflict:
+        return "bank_conflict";
+      case StallReason::kRowMiss:
+        return "row_miss";
+      case StallReason::kEccReadSerialization:
+        return "ecc_read_serialization";
+      case StallReason::kMrcProbeBlock:
+        return "mrc_probe_block";
+      case StallReason::kCrossbarBackpressure:
+        return "crossbar_backpressure";
+      case StallReason::kCount:
+        break;
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Occupancy histogram geometry: unit buckets over [0, 64). */
+constexpr std::uint64_t kOccBucketWidth = 1;
+constexpr std::size_t kOccNumBuckets = 64;
+
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+} // namespace
+
+Profiler::Profiler(StatRegistry *stats) : stats_(stats)
+{
+    if (stats_ == nullptr)
+        return;
+    for (std::size_t r = 0;
+         r < static_cast<std::size_t>(StallReason::kCount); ++r) {
+        const char *name = toString(static_cast<StallReason>(r));
+        stats_->registerCounter(strCat("profile.stall.", name, ".cycles"),
+                                &cycles_[r]);
+        stats_->registerCounter(strCat("profile.stall.", name, ".events"),
+                                &events_[r]);
+    }
+    stats_->registerCounter("profile.occ.samples", &samples_);
+}
+
+void
+Profiler::chargeStall(StallReason reason, Cycle from, Cycle to)
+{
+    if (to <= from)
+        return;
+    const std::size_t r = static_cast<std::size_t>(reason);
+    events_[r].inc();
+    const Cycle clipped_from = std::max(from, watermark_[r]);
+    if (to > clipped_from) {
+        cycles_[r].inc(to - clipped_from);
+        watermark_[r] = to;
+    }
+}
+
+std::uint64_t
+Profiler::stallCycles(StallReason reason) const
+{
+    return cycles_[static_cast<std::size_t>(reason)].value();
+}
+
+std::uint64_t
+Profiler::stallEvents(StallReason reason) const
+{
+    return events_[static_cast<std::size_t>(reason)].value();
+}
+
+void
+Profiler::addGauge(const std::string &name,
+                   std::function<std::uint64_t()> fn)
+{
+    Gauge g;
+    g.name = name;
+    g.fn = std::move(fn);
+    g.hist =
+        std::make_unique<HistogramStat>(kOccBucketWidth, kOccNumBuckets);
+    if (stats_)
+        stats_->registerHistogram(strCat("profile.occ.", name),
+                                  g.hist.get());
+    gauges_.push_back(std::move(g));
+}
+
+void
+Profiler::sampleOccupancy()
+{
+    for (const Gauge &g : gauges_)
+        g.hist->sample(g.fn());
+    samples_.inc();
+}
+
+void
+Profiler::recordRowAccess(std::uint64_t row_key)
+{
+    rowCounts_[row_key]++;
+}
+
+void
+Profiler::recordSectorAccess(std::uint64_t sector_addr)
+{
+    sectorCounts_[sector_addr]++;
+}
+
+std::vector<HotEntry>
+Profiler::rank(const std::unordered_map<std::uint64_t, std::uint64_t> &m)
+{
+    std::vector<HotEntry> out;
+    out.reserve(m.size());
+    for (const auto &[key, count] : m)
+        out.push_back({key, count});
+    std::sort(out.begin(), out.end(),
+              [](const HotEntry &a, const HotEntry &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  return a.key < b.key;
+              });
+    if (out.size() > kTopN)
+        out.resize(kTopN);
+    return out;
+}
+
+std::vector<HotEntry>
+Profiler::hottestRows() const
+{
+    return rank(rowCounts_);
+}
+
+std::vector<HotEntry>
+Profiler::hottestSectors() const
+{
+    return rank(sectorCounts_);
+}
+
+void
+Profiler::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("stalls").beginObject();
+    for (std::size_t r = 0;
+         r < static_cast<std::size_t>(StallReason::kCount); ++r) {
+        w.key(toString(static_cast<StallReason>(r))).beginObject();
+        w.key("cycles").value(cycles_[r].value());
+        w.key("events").value(events_[r].value());
+        w.endObject();
+    }
+    w.endObject();
+    w.key("occupancy").beginObject();
+    w.key("samples").value(samples_.value());
+    w.key("gauges").beginObject();
+    for (const Gauge &g : gauges_) {
+        w.key(g.name).beginObject();
+        w.key("mean").value(g.hist->mean());
+        w.key("stddev").value(g.hist->stddev());
+        w.key("max").value(g.hist->maxValue());
+        w.key("p50").value(g.hist->quantile(0.50));
+        w.key("p99").value(g.hist->quantile(0.99));
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    auto emit_hot = [&w](const std::vector<HotEntry> &entries) {
+        w.beginArray();
+        for (const HotEntry &e : entries) {
+            w.beginObject();
+            w.key("key").value(hexKey(e.key));
+            w.key("count").value(e.count);
+            w.endObject();
+        }
+        w.endArray();
+    };
+    w.key("hot_rows");
+    emit_hot(hottestRows());
+    w.key("hot_sectors");
+    emit_hot(hottestSectors());
+    w.endObject();
+}
+
+} // namespace cachecraft::telemetry

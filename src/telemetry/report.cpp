@@ -17,11 +17,13 @@ buildVersion()
 void
 writeRunReport(std::ostream &os, const RunManifest &manifest,
                const SystemConfig &config, const RunStats &rs,
-               const StatRegistry &stats, const StatSampler *sampler)
+               const StatRegistry &stats, const StatSampler *sampler,
+               const Profiler *profiler)
 {
     JsonWriter w(os);
     w.beginObject();
     w.key("schema").value("cachecraft.run_report/1");
+    w.key("schema_version").value(kJsonSchemaVersion);
 
     w.key("manifest").beginObject();
     w.key("tool").value(manifest.tool);
@@ -53,6 +55,8 @@ writeRunReport(std::ostream &os, const RunManifest &manifest,
     w.key("system_seed").value(config.seed);
     w.key("sample_interval").value(config.telemetry.sampleInterval);
     w.key("trace_enabled").value(config.telemetry.traceEnabled);
+    w.key("profile_enabled").value(config.telemetry.profileEnabled);
+    w.key("profile_interval").value(config.telemetry.profileInterval);
     w.endObject();
 
     w.key("results").beginObject();
@@ -76,7 +80,17 @@ writeRunReport(std::ostream &os, const RunManifest &manifest,
     w.key("decode_tag_mismatch").value(rs.decodeTagMismatch);
     w.endObject();
 
+    w.key("warnings").beginArray();
+    for (const std::string &warning : rs.warnings)
+        w.value(warning);
+    w.endArray();
+
     w.key("stats").raw(stats.renderJson());
+
+    if (profiler) {
+        w.key("profile");
+        profiler->writeJson(w);
+    }
 
     if (sampler) {
         w.key("sample_interval").value(sampler->interval());

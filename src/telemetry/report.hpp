@@ -9,10 +9,14 @@
  *    `git describe` string baked in at configure time;
  *  - the configuration that produced the numbers;
  *  - headline results (cycles, IPC, traffic breakdown);
+ *  - truncation warnings (empty for a clean run);
  *  - the full StatRegistry, histograms included (renderJson);
+ *  - the profiler's cycle-attribution section, when profiling was on;
  *  - the epoch-sampled time series, when sampling was enabled.
  *
- * Schema id: "cachecraft.run_report/1".
+ * Schema id: "cachecraft.run_report/1"; the cross-artifact
+ * "schema_version" field (kJsonSchemaVersion) is what cachecraft_diff
+ * checks for compatibility.
  */
 
 #ifndef CACHECRAFT_TELEMETRY_REPORT_HPP
@@ -44,11 +48,12 @@ struct RunManifest
 std::string buildVersion();
 
 /** Write the full run report as one JSON object to @p os.
- *  @param sampler may be null (no "epochs" section). */
+ *  @param sampler  may be null (no "epochs" section).
+ *  @param profiler may be null (no "profile" section). */
 void writeRunReport(std::ostream &os, const RunManifest &manifest,
                     const SystemConfig &config, const RunStats &rs,
-                    const StatRegistry &stats,
-                    const StatSampler *sampler);
+                    const StatRegistry &stats, const StatSampler *sampler,
+                    const Profiler *profiler = nullptr);
 
 } // namespace cachecraft::telemetry
 

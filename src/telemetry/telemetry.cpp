@@ -76,6 +76,8 @@ Telemetry::Telemetry(StatRegistry *stats, const TelemetryOptions &options)
 {
     if (kTraceCompiledIn && options_.traceEnabled)
         sink_ = std::make_unique<TraceSink>(options_.traceCapacity);
+    if (kTraceCompiledIn && options_.profileEnabled)
+        profiler_ = std::make_unique<Profiler>(stats);
 
     stageHist_.reserve(static_cast<std::size_t>(Stage::kCount));
     for (std::size_t s = 0; s < static_cast<std::size_t>(Stage::kCount);
@@ -121,6 +123,7 @@ Telemetry::writeChromeJson(std::ostream &os) const
     w.key("displayTimeUnit").value("ms");
     w.key("otherData").beginObject();
     w.key("tool").value("cachecraft");
+    w.key("schema_version").value(kJsonSchemaVersion);
     w.key("time_unit").value("1 simulated cycle = 1 us");
     if (sink_)
         w.key("dropped_events").value(sink_->dropped());

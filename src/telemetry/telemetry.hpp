@@ -32,6 +32,7 @@
 
 #include "common/types.hpp"
 #include "stats/stats.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace cachecraft::telemetry {
 
@@ -103,6 +104,13 @@ struct TelemetryOptions
     bool traceEnabled = false;
     /** Trace ring capacity in events. */
     std::size_t traceCapacity = 1u << 16;
+    /** Runtime gate for the cycle-attribution profiler. */
+    bool profileEnabled = false;
+    /**
+     * Occupancy-gauge polling interval in cycles for the profiler
+     * (independent of sampleInterval, which drives the stat series).
+     */
+    Cycle profileInterval = 4096;
 };
 
 #ifdef CACHECRAFT_TRACE_DISABLED
@@ -162,6 +170,19 @@ class Telemetry
     const TraceSink *sink() const { return sink_.get(); }
 
     /**
+     * The cycle-attribution profiler, or nullptr when profiling is off
+     * (runtime gate) or tracing is compiled out. Hooks are expected to
+     * null-check: `if (auto *p = tel->profiler()) p->chargeStall(...)`.
+     */
+    Profiler *
+    profiler() const
+    {
+        if constexpr (!kTraceCompiledIn)
+            return nullptr;
+        return profiler_.get();
+    }
+
+    /**
      * Emit everything retained in the ring as Chrome trace_event JSON
      * (async "b"/"e" pairs per span, "i" for instants), loadable in
      * chrome://tracing and Perfetto. One simulated cycle maps to one
@@ -175,6 +196,7 @@ class Telemetry
 
     TelemetryOptions options_;
     std::unique_ptr<TraceSink> sink_;
+    std::unique_ptr<Profiler> profiler_;
     std::vector<HistogramStat> stageHist_;
     std::uint64_t lastId_ = 0;
 };

@@ -69,6 +69,25 @@ TEST(EventQueue, LivelockValveTrips)
     EXPECT_FALSE(q.run(1000));
 }
 
+TEST(EventQueue, ValveTripsAreCounted)
+{
+    EventQueue q;
+    EXPECT_EQ(q.valveTrips(), 0u);
+
+    std::function<void()> loop = [&] { q.scheduleAfter(1, loop); };
+    q.schedule(0, loop);
+    EXPECT_FALSE(q.run(100));
+    EXPECT_EQ(q.valveTrips(), 1u);
+    EXPECT_FALSE(q.run(100));
+    EXPECT_EQ(q.valveTrips(), 2u);
+
+    // A clean drain leaves the counter alone.
+    EventQueue ok;
+    ok.schedule(1, [] {});
+    EXPECT_TRUE(ok.run(100));
+    EXPECT_EQ(ok.valveTrips(), 0u);
+}
+
 TEST(EventQueue, EmptyAndSize)
 {
     EventQueue q;

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the cycle-attribution profiler: watermark union-clipping
+ * stall accounting, occupancy gauges, hot-key ranking, and profiled
+ * end-to-end runs (self-consistency, determinism, timing neutrality).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/json.hpp"
+#include "core/cachecraft.hpp"
+
+namespace cachecraft {
+namespace {
+
+using telemetry::Profiler;
+using telemetry::StallReason;
+
+// --------------------------------------------------------------------
+// Stall accounting (unit level; the Profiler class is compiled in even
+// when the CACHECRAFT_DISABLE_TRACING hooks are not)
+// --------------------------------------------------------------------
+
+TEST(Profiler, StallReasonNamesAreStable)
+{
+    EXPECT_STREQ(toString(StallReason::kMshrFull), "mshr_full");
+    EXPECT_STREQ(toString(StallReason::kBankConflict), "bank_conflict");
+    EXPECT_STREQ(toString(StallReason::kRowMiss), "row_miss");
+    EXPECT_STREQ(toString(StallReason::kEccReadSerialization),
+                 "ecc_read_serialization");
+    EXPECT_STREQ(toString(StallReason::kMrcProbeBlock),
+                 "mrc_probe_block");
+    EXPECT_STREQ(toString(StallReason::kCrossbarBackpressure),
+                 "crossbar_backpressure");
+}
+
+TEST(Profiler, ChargesDisjointIntervalsFully)
+{
+    Profiler prof(nullptr);
+    prof.chargeStall(StallReason::kBankConflict, 10, 20);
+    prof.chargeStall(StallReason::kBankConflict, 30, 35);
+    EXPECT_EQ(prof.stallCycles(StallReason::kBankConflict), 15u);
+    EXPECT_EQ(prof.stallEvents(StallReason::kBankConflict), 2u);
+}
+
+TEST(Profiler, OverlappingIntervalsChargeTheUnion)
+{
+    Profiler prof(nullptr);
+    prof.chargeStall(StallReason::kRowMiss, 10, 20);
+    // Overlaps the tail of the previous charge: only [20,25) is new.
+    prof.chargeStall(StallReason::kRowMiss, 15, 25);
+    EXPECT_EQ(prof.stallCycles(StallReason::kRowMiss), 15u);
+    // Fully contained in already-charged time: counts as an event but
+    // adds no cycles.
+    prof.chargeStall(StallReason::kRowMiss, 12, 18);
+    EXPECT_EQ(prof.stallCycles(StallReason::kRowMiss), 15u);
+    EXPECT_EQ(prof.stallEvents(StallReason::kRowMiss), 3u);
+}
+
+TEST(Profiler, EmptyIntervalIsANoOp)
+{
+    Profiler prof(nullptr);
+    prof.chargeStall(StallReason::kMshrFull, 20, 20);
+    prof.chargeStall(StallReason::kMshrFull, 20, 10);
+    EXPECT_EQ(prof.stallCycles(StallReason::kMshrFull), 0u);
+    EXPECT_EQ(prof.stallEvents(StallReason::kMshrFull), 0u);
+}
+
+TEST(Profiler, ReasonsHaveIndependentWatermarks)
+{
+    Profiler prof(nullptr);
+    prof.chargeStall(StallReason::kBankConflict, 0, 100);
+    prof.chargeStall(StallReason::kMrcProbeBlock, 50, 60);
+    EXPECT_EQ(prof.stallCycles(StallReason::kBankConflict), 100u);
+    EXPECT_EQ(prof.stallCycles(StallReason::kMrcProbeBlock), 10u);
+}
+
+TEST(Profiler, RegistersCountersWithTheStatRegistry)
+{
+    StatRegistry reg;
+    Profiler prof(&reg);
+    prof.chargeStall(StallReason::kMshrFull, 0, 7);
+
+    std::map<std::string, double> flat;
+    for (const auto &[name, value] : reg.flatten())
+        flat[name] = value;
+    EXPECT_DOUBLE_EQ(flat.at("profile.stall.mshr_full.cycles"), 7.0);
+    EXPECT_EQ(flat.count("profile.stall.mshr_full.events"), 1u);
+    EXPECT_EQ(flat.count("profile.occ.samples"), 1u);
+}
+
+// --------------------------------------------------------------------
+// Occupancy gauges and hot-key ranking
+// --------------------------------------------------------------------
+
+TEST(Profiler, GaugesSampleOnDemand)
+{
+    StatRegistry reg;
+    Profiler prof(&reg);
+    std::uint64_t depth = 3;
+    prof.addGauge("q", [&depth] { return depth; });
+
+    prof.sampleOccupancy();
+    depth = 5;
+    prof.sampleOccupancy();
+
+    EXPECT_EQ(prof.samples(), 2u);
+    const HistogramStat *h = reg.histogram("profile.occ.q");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 2u);
+    EXPECT_DOUBLE_EQ(h->mean(), 4.0);
+    EXPECT_DOUBLE_EQ(h->maxValue(), 5.0);
+}
+
+TEST(Profiler, HotRankingSortsByCountThenKeyAndTruncates)
+{
+    Profiler prof(nullptr);
+    // 12 distinct rows; rows 0/1 hottest, the rest tie at one access.
+    for (std::uint64_t k = 0; k < 12; ++k)
+        prof.recordRowAccess(k);
+    prof.recordRowAccess(1);
+    prof.recordRowAccess(1);
+    prof.recordRowAccess(0);
+
+    const auto rows = prof.hottestRows();
+    ASSERT_EQ(rows.size(), Profiler::kTopN);
+    EXPECT_EQ(rows[0].key, 1u);
+    EXPECT_EQ(rows[0].count, 3u);
+    EXPECT_EQ(rows[1].key, 0u);
+    EXPECT_EQ(rows[1].count, 2u);
+    // The one-access tail is ordered by key for determinism.
+    for (std::size_t i = 3; i < rows.size(); ++i)
+        EXPECT_LT(rows[i - 1].key, rows[i].key);
+}
+
+TEST(Profiler, WriteJsonIsValid)
+{
+    Profiler prof(nullptr);
+    prof.chargeStall(StallReason::kRowMiss, 0, 9);
+    prof.recordRowAccess(42);
+    prof.recordSectorAccess(0x1000);
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    prof.writeJson(w);
+    std::string err;
+    ASSERT_TRUE(jsonValidate(os.str(), &err)) << err;
+    EXPECT_NE(os.str().find("\"row_miss\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"0x2a\""), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Profiled end-to-end runs
+// --------------------------------------------------------------------
+
+SystemConfig
+profiledConfig()
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeKind::kCacheCraft;
+    cfg.numSms = 4;
+    cfg.dram.numChannels = 4;
+    cfg.dram.channelCapacity = 64 * 1024 * 1024;
+    cfg.l2.cache.sizeBytes = 64 * 1024;
+    cfg.telemetry.profileEnabled = true;
+    cfg.telemetry.profileInterval = 512;
+    cfg.telemetry.sampleInterval = 2000;
+    return cfg;
+}
+
+WorkloadParams
+smallWorkload()
+{
+    WorkloadParams p;
+    p.footprintBytes = 256 * 1024;
+    p.numWarps = 8;
+    p.memInstsPerWarp = 8;
+    return p;
+}
+
+class ProfiledRun : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!telemetry::kTraceCompiledIn)
+            GTEST_SKIP() << "tracing compiled out";
+        gpu_ = std::make_unique<GpuSystem>(profiledConfig());
+        rs_ = gpu_->run(
+            makeWorkload(WorkloadKind::kStreaming, smallWorkload()));
+        prof_ = gpu_->telemetry().profiler();
+        ASSERT_NE(prof_, nullptr);
+    }
+
+    std::unique_ptr<GpuSystem> gpu_;
+    RunStats rs_;
+    telemetry::Profiler *prof_ = nullptr;
+};
+
+TEST_F(ProfiledRun, StallCyclesNeverExceedRunCycles)
+{
+    // The watermark accounting guarantees each reason's total is a
+    // union of disjoint wall-clock intervals, so it is bounded by the
+    // run length.
+    std::uint64_t any = 0;
+    for (std::size_t r = 0;
+         r < static_cast<std::size_t>(StallReason::kCount); ++r) {
+        const auto reason = static_cast<StallReason>(r);
+        EXPECT_LE(prof_->stallCycles(reason), rs_.cycles)
+            << toString(reason);
+        any += prof_->stallEvents(reason);
+    }
+    // A CacheCraft run on a streaming workload must observe at least
+    // some structural stalls (row misses if nothing else).
+    EXPECT_GT(any, 0u);
+    EXPECT_GT(prof_->stallCycles(StallReason::kRowMiss), 0u);
+}
+
+TEST_F(ProfiledRun, OccupancySampledAndGaugesRegistered)
+{
+    EXPECT_GT(prof_->samples(), 0u);
+    std::map<std::string, double> flat;
+    for (const auto &[name, value] : gpu_->statsRegistry().flatten())
+        flat[name] = value;
+    EXPECT_EQ(flat.count("profile.occ.dram.ch0.queue_depth.count"), 1u);
+    EXPECT_EQ(flat.count("profile.occ.l2.slice0.mshr_occupancy.count"),
+              1u);
+    EXPECT_EQ(flat.count("profile.occ.xbar.req.max_port_backlog.count"),
+              1u);
+}
+
+TEST_F(ProfiledRun, HotRowsPopulated)
+{
+    const auto rows = prof_->hottestRows();
+    ASSERT_FALSE(rows.empty());
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        EXPECT_GE(rows[i - 1].count, rows[i].count);
+}
+
+TEST_F(ProfiledRun, EpochDeltasSumToFinalProfileCounters)
+{
+    // The profiler's counters ride the same epoch sampler as every
+    // other stat: summed deltas must telescope to the live registry,
+    // profile.* included.
+    ASSERT_NE(gpu_->sampler(), nullptr);
+    const auto summed = gpu_->sampler()->summedDeltas();
+    for (const auto &[name, value] : gpu_->statsRegistry().flatten()) {
+        if (name.rfind("profile.", 0) != 0)
+            continue;
+        const auto it = summed.find(name);
+        const double total = it == summed.end() ? 0.0 : it->second;
+        EXPECT_NEAR(total, value, 1e-9) << name;
+    }
+}
+
+TEST_F(ProfiledRun, ProfileJsonIsDeterministicForSameSeed)
+{
+    GpuSystem again(profiledConfig());
+    again.run(makeWorkload(WorkloadKind::kStreaming, smallWorkload()));
+    ASSERT_NE(again.telemetry().profiler(), nullptr);
+
+    std::ostringstream a, b;
+    {
+        JsonWriter w(a);
+        prof_->writeJson(w);
+    }
+    {
+        JsonWriter w(b);
+        again.telemetry().profiler()->writeJson(w);
+    }
+    std::string err;
+    ASSERT_TRUE(jsonValidate(a.str(), &err)) << err;
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ProfiledOverhead, ProfilingIsTimingNeutral)
+{
+    if (!telemetry::kTraceCompiledIn)
+        GTEST_SKIP() << "tracing compiled out";
+
+    // The profiler only observes: enabling it (at any sampling
+    // interval) must reproduce the unprofiled run cycle for cycle.
+    SystemConfig off = profiledConfig();
+    off.telemetry.profileEnabled = false;
+    SystemConfig fine = profiledConfig();
+    fine.telemetry.profileInterval = 64;
+
+    const auto trace =
+        makeWorkload(WorkloadKind::kStreaming, smallWorkload());
+    GpuSystem a(off);
+    GpuSystem b(profiledConfig());
+    GpuSystem c(fine);
+    const Cycle base = a.run(trace).cycles;
+    EXPECT_EQ(b.run(trace).cycles, base);
+    EXPECT_EQ(c.run(trace).cycles, base);
+}
+
+} // namespace
+} // namespace cachecraft

@@ -47,6 +47,33 @@ TEST(HistogramStat, BasicMoments)
     EXPECT_EQ(h.maxValue(), 25u);
 }
 
+TEST(HistogramStat, StddevIsPopulationSpread)
+{
+    HistogramStat h(1, 100);
+    // Classic example: mean 5, population stddev exactly 2.
+    for (std::uint64_t v : {2u, 4u, 4u, 4u, 5u, 5u, 7u, 9u})
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(h.stddev(), 2.0);
+
+    // Degenerate cases are zero, never NaN or negative.
+    HistogramStat empty(1, 10);
+    EXPECT_DOUBLE_EQ(empty.stddev(), 0.0);
+    HistogramStat one(1, 10);
+    one.sample(3);
+    EXPECT_DOUBLE_EQ(one.stddev(), 0.0);
+}
+
+TEST(HistogramStat, TailQuantileOrdering)
+{
+    HistogramStat h(1, 2000);
+    for (std::uint64_t v = 0; v < 1000; ++v)
+        h.sample(v);
+    EXPECT_GE(h.quantile(0.999), h.quantile(0.99));
+    EXPECT_GE(h.quantile(0.999), 990.0);
+    EXPECT_LE(h.quantile(0.999), 1000.0);
+}
+
 TEST(HistogramStat, OverflowBucket)
 {
     HistogramStat h(10, 4); // covers [0, 40) + overflow
@@ -152,6 +179,8 @@ TEST(StatRegistry, FlattenIncludesHistogramSummaries)
     EXPECT_DOUBLE_EQ(flat.at("lat.max"), 15.0);
     EXPECT_GT(flat.at("lat.p99"), 0.0);
     EXPECT_LE(flat.at("lat.p50"), flat.at("lat.p99"));
+    EXPECT_LE(flat.at("lat.p99"), flat.at("lat.p999"));
+    EXPECT_GE(flat.at("lat.stddev"), 0.0);
 }
 
 TEST(StatRegistry, CsvIncludesHistogramSummaries)
@@ -184,6 +213,8 @@ TEST(StatRegistry, RenderJsonCoversAllKinds)
     EXPECT_NE(json.find("\"s.rate\""), std::string::npos);
     EXPECT_NE(json.find("\"h.lat\""), std::string::npos);
     EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+    EXPECT_NE(json.find("\"stddev\""), std::string::npos);
+    EXPECT_NE(json.find("\"p999\""), std::string::npos);
 }
 
 TEST(StatRegistryDeathTest, DuplicateRegistrationPanics)

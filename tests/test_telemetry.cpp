@@ -15,6 +15,7 @@
 
 #include "common/json.hpp"
 #include "core/cachecraft.hpp"
+#include "telemetry/diff.hpp"
 
 namespace cachecraft {
 namespace {
@@ -418,6 +419,78 @@ TEST_F(TracedRun, RunReportIsValidJson)
     EXPECT_NE(os.str().find("\"epochs\""), std::string::npos);
     EXPECT_NE(os.str().find("telemetry.stage.l2.read"),
               std::string::npos);
+    // Cross-artifact versioning: the report must parse and carry this
+    // build's schema_version (cachecraft_diff refuses it otherwise),
+    // plus the warnings array (empty on this clean run).
+    const auto doc = jsonParse(os.str(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    EXPECT_TRUE(telemetry::checkSchemaVersion(*doc, "report", &err))
+        << err;
+    const JsonValue *warnings = doc->find("warnings");
+    ASSERT_NE(warnings, nullptr);
+    EXPECT_TRUE(warnings->asArray().empty());
+}
+
+TEST_F(TracedRun, RunReportCarriesProfileSection)
+{
+    // A run without profiling omits the section entirely...
+    std::ostringstream without;
+    telemetry::writeRunReport(without, telemetry::RunManifest{},
+                              gpu_->config(), rs_, gpu_->statsRegistry(),
+                              gpu_->sampler());
+    EXPECT_EQ(without.str().find("\"profile\""), std::string::npos);
+
+    // ...while a profiled system feeds it through writeRunReport.
+    SystemConfig cfg = tracedConfig();
+    cfg.telemetry.traceEnabled = false;
+    cfg.telemetry.profileEnabled = true;
+    GpuSystem profiled(cfg);
+    const RunStats prs = profiled.run(
+        makeWorkload(WorkloadKind::kStreaming, tinyWorkload()));
+
+    std::ostringstream os;
+    telemetry::writeRunReport(os, telemetry::RunManifest{},
+                              profiled.config(), prs,
+                              profiled.statsRegistry(),
+                              profiled.sampler(),
+                              profiled.telemetry().profiler());
+    std::string err;
+    ASSERT_TRUE(jsonValidate(os.str(), &err)) << err;
+    EXPECT_NE(os.str().find("\"profile\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"stalls\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"hot_rows\""), std::string::npos);
+}
+
+TEST(RunWarnings, TraceRingOverflowIsReported)
+{
+    if (!telemetry::kTraceCompiledIn)
+        GTEST_SKIP() << "tracing compiled out";
+
+    // A deliberately tiny ring must overflow and surface a warning in
+    // RunStats (and from there the JSON report's warnings array).
+    SystemConfig cfg = tracedConfig();
+    cfg.telemetry.traceCapacity = 8;
+    GpuSystem gpu(cfg);
+    const RunStats rs = gpu.run(
+        makeWorkload(WorkloadKind::kStreaming, tinyWorkload()));
+
+    ASSERT_FALSE(rs.warnings.empty());
+    bool found = false;
+    for (const std::string &w : rs.warnings)
+        found = found || w.find("trace ring overflowed") !=
+                             std::string::npos;
+    EXPECT_TRUE(found);
+
+    std::ostringstream os;
+    telemetry::writeRunReport(os, telemetry::RunManifest{},
+                              gpu.config(), rs, gpu.statsRegistry(),
+                              gpu.sampler());
+    std::string err;
+    const auto doc = jsonParse(os.str(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    const JsonValue *warnings = doc->find("warnings");
+    ASSERT_NE(warnings, nullptr);
+    EXPECT_FALSE(warnings->asArray().empty());
 }
 
 TEST(TracedOverhead, TracingOffMatchesBaselineCycles)

@@ -72,6 +72,11 @@ usage()
         "                      write Chrome trace_event JSON (open in\n"
         "                      chrome://tracing or Perfetto)\n"
         "  --trace-capacity N  trace ring size in events (65536)\n"
+        "  --profile           enable the cycle-attribution profiler\n"
+        "                      (stall reasons, occupancy, hot rows;\n"
+        "                      adds a \"profile\" report section)\n"
+        "  --profile-interval N poll occupancy gauges every N cycles\n"
+        "                      (default 4096)\n"
         "  --report-json FILE  write the full machine-readable run\n"
         "                      report (manifest + config + stats)\n");
 }
@@ -215,6 +220,14 @@ main(int argc, char **argv)
         } else if (flag == "--trace-capacity") {
             config.telemetry.traceCapacity =
                 std::stoull(need_value(i));
+        } else if (flag == "--profile") {
+            config.telemetry.profileEnabled = true;
+        } else if (flag == "--profile-interval") {
+            config.telemetry.profileEnabled = true;
+            config.telemetry.profileInterval =
+                std::stoull(need_value(i));
+            if (config.telemetry.profileInterval == 0)
+                fatal("--profile-interval must be positive");
         } else if (flag == "--report-json") {
             report_json_path = need_value(i);
         } else if (flag == "--log-level") {
@@ -258,6 +271,9 @@ main(int argc, char **argv)
     if (!trace_json_path.empty() && !telemetry::kTraceCompiledIn)
         warn("tracing was compiled out (CACHECRAFT_DISABLE_TRACING); "
              "the trace will be empty");
+    if (config.telemetry.profileEnabled && !telemetry::kTraceCompiledIn)
+        warn("tracing was compiled out (CACHECRAFT_DISABLE_TRACING); "
+             "--profile has no effect");
     // Fail on unwritable output paths now, not after a long run.
     for (const std::string &path :
          {epochs_csv_path, trace_json_path, report_json_path}) {
@@ -299,6 +315,30 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(rs.decodeCorrected),
                 static_cast<unsigned long long>(rs.decodeUncorrectable),
                 static_cast<unsigned long long>(rs.decodeTagMismatch));
+    for (const std::string &warning : rs.warnings)
+        std::printf("WARNING           %s\n", warning.c_str());
+
+    if (const telemetry::Profiler *prof = gpu.telemetry().profiler()) {
+        std::printf("--- stall attribution ---\n");
+        for (std::size_t r = 0;
+             r < static_cast<std::size_t>(
+                     telemetry::StallReason::kCount);
+             ++r) {
+            const auto reason = static_cast<telemetry::StallReason>(r);
+            std::printf("%-24s %llu cycles (%llu events)\n",
+                        telemetry::toString(reason),
+                        static_cast<unsigned long long>(
+                            prof->stallCycles(reason)),
+                        static_cast<unsigned long long>(
+                            prof->stallEvents(reason)));
+        }
+        const auto hot = prof->hottestRows();
+        if (!hot.empty()) {
+            std::printf("hottest row       0x%llx (%llu accesses)\n",
+                        static_cast<unsigned long long>(hot[0].key),
+                        static_cast<unsigned long long>(hot[0].count));
+        }
+    }
 
     if (want_energy) {
         const EnergyBreakdown e = computeEnergy(rs.all);
@@ -354,7 +394,8 @@ main(int argc, char **argv)
         manifest.workloadSeed = wparams.seed;
         manifest.wallSeconds = wall_seconds;
         telemetry::writeRunReport(out, manifest, gpu.config(), rs,
-                                  gpu.statsRegistry(), gpu.sampler());
+                                  gpu.statsRegistry(), gpu.sampler(),
+                                  gpu.telemetry().profiler());
         std::printf("wrote %s\n", report_json_path.c_str());
     }
     return 0;
