@@ -1,0 +1,263 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "core/cachecraft.hpp"
+#include "telemetry/report.hpp"
+
+namespace fs = std::filesystem;
+
+namespace cachecraft::campaign {
+
+const char *
+toString(PointStatus status)
+{
+    switch (status) {
+      case PointStatus::kOk:
+        return "ok";
+      case PointStatus::kFailed:
+        return "failed";
+      case PointStatus::kTimeout:
+        return "timeout";
+    }
+    return "?";
+}
+
+std::size_t
+CampaignResult::countWithStatus(PointStatus status) const
+{
+    return static_cast<std::size_t>(std::count_if(
+        outcomes.begin(), outcomes.end(),
+        [status](const PointOutcome &o) { return o.status == status; }));
+}
+
+namespace {
+
+/**
+ * Run one valid point on a fresh GpuSystem and write its report.
+ * The report's own manifest carries no wall-clock data (wall_seconds
+ * 0, jobs 1 — each point runs single-threaded): per-point reports
+ * must be byte-identical for every --jobs value, so the measured wall
+ * time goes only into the campaign manifest's host-varying section.
+ */
+PointOutcome
+runOnePoint(const CampaignSpec &spec, const CampaignPoint &point,
+            const RunnerOptions &options)
+{
+    PointOutcome outcome;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        GpuSystem gpu(point.config);
+        const KernelTrace trace =
+            makeWorkload(point.workload, point.params);
+        const RunStats rs = gpu.run(trace);
+        outcome.cycles = rs.cycles;
+        outcome.warnings = rs.warnings;
+
+        telemetry::RunManifest manifest;
+        manifest.tool = "cachecraft_sweep";
+        manifest.workload = trace.name;
+        manifest.workloadSeed = point.params.seed;
+        manifest.wallSeconds = 0.0;
+        manifest.hostname = telemetry::osHostname();
+        manifest.jobs = 1;
+        manifest.extra.emplace_back("campaign", spec.name);
+        manifest.extra.emplace_back("point", point.label);
+
+        const std::string relative = "reports/" + point.label + ".json";
+        const fs::path path = fs::path(options.outDir) / relative;
+        std::ofstream out(path);
+        if (!out) {
+            outcome.status = PointStatus::kFailed;
+            outcome.error = "cannot write " + path.string();
+            return outcome;
+        }
+        telemetry::writeRunReport(out, manifest, gpu.config(), rs,
+                                  gpu.statsRegistry(), gpu.sampler(),
+                                  gpu.telemetry().profiler());
+        outcome.reportFile = relative;
+        outcome.status = PointStatus::kOk;
+    } catch (const std::exception &e) {
+        outcome.status = PointStatus::kFailed;
+        outcome.error = e.what();
+    } catch (...) {
+        outcome.status = PointStatus::kFailed;
+        outcome.error = "unknown exception";
+    }
+
+    outcome.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    if (outcome.status == PointStatus::kOk &&
+        options.pointTimeoutSeconds > 0.0 &&
+        outcome.wallSeconds > options.pointTimeoutSeconds) {
+        outcome.status = PointStatus::kTimeout;
+        outcome.error = strCat("exceeded point timeout (",
+                               outcome.wallSeconds, "s > ",
+                               options.pointTimeoutSeconds, "s)");
+    }
+    return outcome;
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignSpec &spec, const RunnerOptions &options)
+{
+    CampaignResult result;
+    result.jobs = options.jobs != 0
+                      ? options.jobs
+                      : std::max(1u, std::thread::hardware_concurrency());
+    result.jobs = static_cast<unsigned>(
+        std::min<std::size_t>(result.jobs,
+                              std::max<std::size_t>(
+                                  spec.points.size(), 1)));
+    result.outcomes.resize(spec.points.size());
+
+    fs::create_directories(fs::path(options.outDir) / "reports");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex console;
+
+    auto report_progress = [&](const CampaignPoint &point,
+                               const PointOutcome &outcome) {
+        if (options.progress == nullptr)
+            return;
+        const std::size_t finished = ++done;
+        const double elapsed = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+        const std::size_t remaining = spec.points.size() - finished;
+        const double eta = finished
+                               ? elapsed / double(finished) *
+                                     double(remaining)
+                               : 0.0;
+        std::lock_guard<std::mutex> lock(console);
+        std::fprintf(options.progress,
+                     "[%zu/%zu] %-7s %s (cycles=%llu, %.2fs)%s eta ~%.0fs\n",
+                     finished, spec.points.size(),
+                     toString(outcome.status), point.label.c_str(),
+                     static_cast<unsigned long long>(outcome.cycles),
+                     outcome.wallSeconds,
+                     outcome.error.empty()
+                         ? ""
+                         : strCat(" [", outcome.error, "]").c_str(),
+                     eta);
+        std::fflush(options.progress);
+    };
+
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= spec.points.size())
+                return;
+            const CampaignPoint &point = spec.points[i];
+            PointOutcome outcome;
+            if (!point.expandError.empty()) {
+                outcome.status = PointStatus::kFailed;
+                outcome.error = point.expandError;
+            } else {
+                outcome = runOnePoint(spec, point, options);
+            }
+            result.outcomes[i] = std::move(outcome);
+            report_progress(point, result.outcomes[i]);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < result.jobs; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    std::ofstream manifest(fs::path(options.outDir) /
+                           "campaign_manifest.json");
+    if (manifest)
+        manifest << renderCampaignManifest(spec, result);
+    return result;
+}
+
+std::string
+renderCampaignManifest(const CampaignSpec &spec,
+                       const CampaignResult &result)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("cachecraft.campaign_manifest/1");
+    w.key("schema_version").value(kJsonSchemaVersion);
+    w.key("name").value(spec.name);
+    w.key("spec_hash").value(spec.specHash);
+    w.key("total_points").value(
+        static_cast<std::uint64_t>(spec.points.size()));
+    w.key("ok_points").value(static_cast<std::uint64_t>(
+        result.countWithStatus(PointStatus::kOk)));
+    w.key("failed_points").value(static_cast<std::uint64_t>(
+        result.countWithStatus(PointStatus::kFailed)));
+    w.key("timeout_points").value(static_cast<std::uint64_t>(
+        result.countWithStatus(PointStatus::kTimeout)));
+
+    w.key("points").beginArray();
+    for (std::size_t i = 0; i < spec.points.size(); ++i) {
+        const CampaignPoint &point = spec.points[i];
+        const PointOutcome &outcome = result.outcomes[i];
+        w.beginObject();
+        w.key("label").value(point.label);
+        w.key("status").value(toString(outcome.status));
+        if (!outcome.error.empty())
+            w.key("error").value(outcome.error);
+        w.key("axes").beginObject();
+        for (const auto &[axis, value] : point.axes)
+            w.key(axis).value(value);
+        w.endObject();
+        if (!outcome.reportFile.empty())
+            w.key("report").value(outcome.reportFile);
+        w.key("cycles").value(static_cast<std::uint64_t>(outcome.cycles));
+        w.key("warnings").beginArray();
+        for (const std::string &warning : outcome.warnings)
+            w.value(warning);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    // Host- and wall-clock-varying fields live under "manifest", the
+    // prefix cachecraft_diff drops by default — two same-spec trees
+    // must diff clean no matter where or how parallel they ran.
+    w.key("manifest").beginObject();
+    w.key("tool").value("cachecraft_sweep");
+    w.key("build").value(telemetry::buildVersion());
+    w.key("hostname").value(telemetry::osHostname());
+    w.key("jobs").value(std::uint64_t{result.jobs});
+    w.key("wall_seconds").value(result.wallSeconds);
+    w.key("point_wall_seconds").beginObject();
+    for (std::size_t i = 0; i < spec.points.size(); ++i)
+        w.key(spec.points[i].label).value(result.outcomes[i].wallSeconds);
+    w.endObject();
+    w.endObject();
+
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+} // namespace cachecraft::campaign

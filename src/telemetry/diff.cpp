@@ -65,6 +65,13 @@ flattenInto(const JsonValue &v, const std::string &path,
 
 } // namespace
 
+const std::vector<std::string> &
+defaultIgnorePrefixes()
+{
+    static const std::vector<std::string> kPrefixes = {"manifest."};
+    return kPrefixes;
+}
+
 std::vector<std::pair<std::string, double>>
 flattenNumeric(const JsonValue &doc,
                const std::vector<std::string> &ignore_prefixes)

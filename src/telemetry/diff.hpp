@@ -66,14 +66,23 @@ struct DiffResult
 };
 
 /**
+ * The ignore prefixes every consumer applies unless it overrides
+ * them: "manifest." — wall time, hostname, jobs, and build id are
+ * host-varying provenance, never metrics, so dropping them by default
+ * means they cannot trip the CI perf gate. Pass an explicit list
+ * (possibly empty) to compare manifests too.
+ */
+const std::vector<std::string> &defaultIgnorePrefixes();
+
+/**
  * Flatten every numeric leaf of @p doc into sorted (dotted path,
  * value) pairs. Paths starting with any of @p ignore_prefixes are
- * dropped (e.g. "manifest." — wall time and build id are expected to
- * differ between runs).
+ * dropped (default: defaultIgnorePrefixes()).
  */
 std::vector<std::pair<std::string, double>>
 flattenNumeric(const JsonValue &doc,
-               const std::vector<std::string> &ignore_prefixes = {});
+               const std::vector<std::string> &ignore_prefixes =
+                   defaultIgnorePrefixes());
 
 /**
  * Verify @p doc carries schema_version == kJsonSchemaVersion.
@@ -85,7 +94,8 @@ bool checkSchemaVersion(const JsonValue &doc, const std::string &what,
 /** Compare two artifacts. Inputs are assumed schema-checked. */
 DiffResult diffReports(const JsonValue &before, const JsonValue &after,
                        const DiffTolerances &tol,
-                       const std::vector<std::string> &ignore_prefixes = {});
+                       const std::vector<std::string> &ignore_prefixes =
+                           defaultIgnorePrefixes());
 
 /**
  * Render the delta table as GitHub-flavored markdown. @p changed_only

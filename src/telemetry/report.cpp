@@ -2,6 +2,10 @@
 
 #include "common/json.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace cachecraft::telemetry {
 
 std::string
@@ -12,6 +16,17 @@ buildVersion()
 #else
     return "unknown";
 #endif
+}
+
+std::string
+osHostname()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    char buf[256] = {};
+    if (gethostname(buf, sizeof buf - 1) == 0 && buf[0] != '\0')
+        return buf;
+#endif
+    return "unknown";
 }
 
 void
@@ -31,6 +46,9 @@ writeRunReport(std::ostream &os, const RunManifest &manifest,
     w.key("workload").value(manifest.workload);
     w.key("workload_seed").value(manifest.workloadSeed);
     w.key("wall_seconds").value(manifest.wallSeconds);
+    w.key("hostname").value(manifest.hostname.empty() ? osHostname()
+                                                      : manifest.hostname);
+    w.key("jobs").value(std::uint64_t{manifest.jobs});
     for (const auto &[key, val] : manifest.extra)
         w.key(key).value(val);
     w.endObject();

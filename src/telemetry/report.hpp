@@ -40,12 +40,21 @@ struct RunManifest
     std::string workload; //!< trace/kernel name
     std::uint64_t workloadSeed = 0;
     double wallSeconds = 0.0;
+    /** Machine the artifact was produced on; empty = osHostname(). */
+    std::string hostname;
+    /** Worker threads the producing tool used for this artifact. */
+    unsigned jobs = 1;
     /** Free-form extra (key, value) pairs, e.g. the command line. */
     std::vector<std::pair<std::string, std::string>> extra;
 };
 
 /** The `git describe` string this binary was configured from. */
 std::string buildVersion();
+
+/** This machine's hostname ("unknown" when unavailable). All manifest
+ *  fields are host-varying and dropped by cachecraft_diff by default
+ *  (telemetry::defaultIgnorePrefixes), so they can never trip CI. */
+std::string osHostname();
 
 /** Write the full run report as one JSON object to @p os.
  *  @param sampler  may be null (no "epochs" section).

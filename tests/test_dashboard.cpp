@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the dashboard renderer (src/campaign/dashboard) and the
+ * report-tree layer under it (src/telemetry/report_set): HTML/SVG
+ * attribute escaping, recursive tree listing with sorted relative
+ * paths, run-report summarization, deterministic rendering, and the
+ * warnings / baseline-delta sections.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/dashboard.hpp"
+#include "common/json.hpp"
+#include "telemetry/report_set.hpp"
+
+namespace cachecraft {
+namespace {
+
+namespace fs = std::filesystem;
+
+using campaign::DashboardOptions;
+using campaign::htmlEscape;
+using campaign::renderDashboard;
+using telemetry::ReportSet;
+
+/** A minimal but section-complete run report document. */
+std::string
+runReportText(const std::string &workload, const std::string &scheme,
+              double cycles, const std::string &warning = "")
+{
+    std::ostringstream os;
+    os << R"({"schema": "cachecraft.run_report/1", "schema_version": )"
+       << kJsonSchemaVersion << ","
+       << R"("manifest": {"workload": ")" << workload
+       << R"(", "wall_seconds": 0, "jobs": 1, "hostname": "h"},)"
+       << R"("config": {"scheme": ")" << scheme
+       << R"(", "summary": ")" << scheme << R"( test config"},)"
+       << R"("results": {"cycles": )" << cycles
+       << R"(, "ipc": 1.5, "dram_data_reads": 100,
+             "dram_data_writes": 50, "dram_ecc_reads": 10,
+             "dram_ecc_writes": 5, "dram_total_txns": 165,
+             "row_hit_rate": 0.75, "l2_sector_hits": 800,
+             "l2_sector_misses": 200, "mrc_hit_rate": 0.9,
+             "mrc_coverage": 0.6},)"
+       << R"("warnings": [)"
+       << (warning.empty() ? "" : "\"" + warning + "\"") << "],"
+       << R"("profile": {"stalls": {
+             "row_miss": {"cycles": 300, "events": 30},
+             "mshr_full": {"cycles": 120, "events": 12}}},)"
+       << R"("epochs": [
+             {"epoch": 0, "cycle_start": 0, "cycle_end": 1000,
+              "deltas": {"sm0.insts": 40, "dram.ch0.reads": 9}},
+             {"epoch": 1, "cycle_start": 1000, "cycle_end": 2000,
+              "deltas": {"sm0.insts": 60, "dram.ch0.reads": 4}}]})";
+    return os.str();
+}
+
+/** Write @p text to @p path, creating parent directories. */
+void
+writeFile(const fs::path &path, const std::string &text)
+{
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << path;
+    out << text;
+}
+
+// --------------------------------------------------------------------
+// htmlEscape
+// --------------------------------------------------------------------
+
+TEST(HtmlEscapeTest, EscapesMarkupAndAttributeMetacharacters)
+{
+    EXPECT_EQ(htmlEscape("a<b&\"c'>d"),
+              "a&lt;b&amp;&quot;c&#39;&gt;d");
+    EXPECT_EQ(htmlEscape(""), "");
+    EXPECT_EQ(htmlEscape("plain-text_123"), "plain-text_123");
+}
+
+TEST(HtmlEscapeTest, EscapedTextIsInertInAttributeContext)
+{
+    // A hostile workload name must not escape a double-quoted
+    // attribute or open a tag.
+    const std::string hostile =
+        R"raw("onload="alert(1)" x="<svg onload=evil>)raw";
+    const std::string escaped = htmlEscape(hostile);
+    EXPECT_EQ(escaped.find('"'), std::string::npos);
+    EXPECT_EQ(escaped.find('<'), std::string::npos);
+    EXPECT_EQ(escaped.find('>'), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Recursive tree listing (also the cachecraft_diff tree-mode pin)
+// --------------------------------------------------------------------
+
+TEST(ReportSetTest, ListsJsonFilesRecursivelyWithSortedRelativePaths)
+{
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "report_set_recursive";
+    fs::remove_all(root);
+    writeFile(root / "zz.json", "{}");
+    writeFile(root / "reports" / "b.json", "{}");
+    writeFile(root / "reports" / "a.json", "{}");
+    writeFile(root / "reports" / "deep" / "c.json", "{}");
+    writeFile(root / "not_json.txt", "x");
+
+    const std::vector<std::string> files =
+        telemetry::listJsonFilesRecursive(root.string());
+    const std::vector<std::string> expected = {
+        "reports/a.json", "reports/b.json", "reports/deep/c.json",
+        "zz.json"};
+    EXPECT_EQ(files, expected);
+}
+
+TEST(ReportSetTest, MissingDirectoryListsNothing)
+{
+    EXPECT_TRUE(telemetry::listJsonFilesRecursive(
+                    (fs::path(::testing::TempDir()) / "no_such_dir")
+                        .string())
+                    .empty());
+}
+
+TEST(ReportSetTest, LoadRoutesSchemasAndCollectsErrors)
+{
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "report_set_load";
+    fs::remove_all(root);
+    writeFile(root / "reports" / "run.json",
+              runReportText("streaming", "cachecraft", 1000));
+    writeFile(root / "broken.json", "{not json");
+    writeFile(root / "old.json", R"({"schema_version": 1})");
+
+    const ReportSet set = telemetry::loadReportTree(root.string());
+    ASSERT_EQ(set.runs.size(), 1u);
+    EXPECT_EQ(set.runs[0].path, "reports/run.json");
+    EXPECT_EQ(set.errors.size(), 2u);
+}
+
+TEST(ReportSetTest, SummarizeExtractsTheDashboardFields)
+{
+    auto doc = jsonParse(runReportText("gemm", "ecc-cache", 5000,
+                                       "mrc overflow"));
+    ASSERT_TRUE(doc.has_value());
+    std::string error;
+    auto s = telemetry::summarizeRunReport(*doc, "x.json", &error);
+    ASSERT_TRUE(s.has_value()) << error;
+    EXPECT_EQ(s->workload, "gemm");
+    EXPECT_EQ(s->scheme, "ecc-cache");
+    EXPECT_DOUBLE_EQ(s->cycles, 5000.0);
+    EXPECT_DOUBLE_EQ(s->mrcHitRate, 0.9);
+    ASSERT_EQ(s->warnings.size(), 1u);
+    ASSERT_EQ(s->stallCycles.size(), 2u);
+    ASSERT_EQ(s->instructionEpochs.size(), 2u);
+    EXPECT_DOUBLE_EQ(s->instructionEpochs[1].value, 60.0);
+    ASSERT_EQ(s->dramEpochs.size(), 2u);
+    EXPECT_DOUBLE_EQ(s->dramEpochs[0].value, 9.0);
+}
+
+// --------------------------------------------------------------------
+// Dashboard rendering
+// --------------------------------------------------------------------
+
+ReportSet
+twoRunSet()
+{
+    ReportSet set;
+    auto add = [&set](const std::string &path,
+                      const std::string &text) {
+        auto doc = jsonParse(text);
+        EXPECT_TRUE(doc.has_value());
+        set.runs.push_back({path, std::move(*doc)});
+    };
+    add("reports/p000_streaming_no-ecc.json",
+        runReportText("streaming", "no-ecc", 1000));
+    add("reports/p001_streaming_cachecraft.json",
+        runReportText("streaming", "cachecraft", 1250,
+                      "mrc<overflow> & retried"));
+    return set;
+}
+
+TEST(DashboardTest, RendersAllSectionsSelfContained)
+{
+    const std::string html =
+        renderDashboard(twoRunSet(), DashboardOptions{});
+    EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+    EXPECT_NE(html.find("Headline speedup"), std::string::npos);
+    EXPECT_NE(html.find("Stall taxonomy"), std::string::npos);
+    EXPECT_NE(html.find("DRAM traffic"), std::string::npos);
+    EXPECT_NE(html.find("<polyline"), std::string::npos); // sparkline
+    // The warning is present — escaped, never as raw markup.
+    EXPECT_NE(html.find("mrc&lt;overflow&gt; &amp; retried"),
+              std::string::npos);
+    EXPECT_EQ(html.find("mrc<overflow>"), std::string::npos);
+    // Self-contained: no scripts, no external fetches.
+    EXPECT_EQ(html.find("<script"), std::string::npos);
+    EXPECT_EQ(html.find("http://"), std::string::npos);
+    EXPECT_EQ(html.find("https://"), std::string::npos);
+}
+
+TEST(DashboardTest, RenderingIsDeterministic)
+{
+    const std::string a =
+        renderDashboard(twoRunSet(), DashboardOptions{});
+    const std::string b =
+        renderDashboard(twoRunSet(), DashboardOptions{});
+    EXPECT_EQ(a, b);
+}
+
+TEST(DashboardTest, EmptyTreeStillRenders)
+{
+    const std::string html =
+        renderDashboard(ReportSet{}, DashboardOptions{});
+    EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+    EXPECT_NE(html.find("0 run reports"), std::string::npos);
+    EXPECT_NE(html.find("No warnings"), std::string::npos);
+}
+
+TEST(DashboardTest, CampaignFailuresSurfaceInTheWarningsPanel)
+{
+    ReportSet set = twoRunSet();
+    auto manifest = jsonParse(R"({
+      "schema": "cachecraft.campaign_manifest/1", "schema_version": 2,
+      "name": "m", "spec_hash": "crc32c:00000000",
+      "failed_points": 1, "timeout_points": 0,
+      "points": [
+        {"label": "p002_streaming_bogus", "status": "failed",
+         "error": "unknown scheme \"bogus\""}
+      ]})");
+    ASSERT_TRUE(manifest.has_value());
+    set.campaignManifest = std::move(*manifest);
+
+    const std::string html =
+        renderDashboard(set, DashboardOptions{});
+    EXPECT_NE(html.find("p002_streaming_bogus"), std::string::npos);
+    EXPECT_NE(html.find("[failed]"), std::string::npos);
+    EXPECT_NE(html.find("unknown scheme &quot;bogus&quot;"),
+              std::string::npos);
+}
+
+TEST(DashboardTest, BaselineSectionDiffsAndDropsManifestPaths)
+{
+    const ReportSet current = twoRunSet();
+    ReportSet baseline = twoRunSet();
+    // Perturb one metric and one manifest field in the baseline.
+    {
+        auto doc = jsonParse(
+            runReportText("streaming", "no-ecc", 900));
+        ASSERT_TRUE(doc.has_value());
+        baseline.runs[0].doc = std::move(*doc);
+    }
+
+    DashboardOptions options;
+    options.baseline = &baseline;
+    options.baselineLabel = "old/";
+    const std::string html = renderDashboard(current, options);
+    EXPECT_NE(html.find("Delta vs baseline"), std::string::npos);
+    EXPECT_NE(html.find("results.cycles"), std::string::npos);
+
+    // A tree differing only under "manifest." diffs clean: the
+    // default ignore prefixes drop provenance before comparison.
+    ReportSet same = twoRunSet();
+    {
+        std::string text = runReportText("streaming", "no-ecc", 1000);
+        const std::string from = R"("wall_seconds": 0)";
+        const std::size_t at = text.find(from);
+        ASSERT_NE(at, std::string::npos);
+        text.replace(at, from.size(), R"("wall_seconds": 99.5)");
+        auto doc = jsonParse(text);
+        ASSERT_TRUE(doc.has_value());
+        same.runs[0].doc = std::move(*doc);
+    }
+    DashboardOptions clean_options;
+    clean_options.baseline = &same;
+    clean_options.baselineLabel = "same/";
+    const std::string clean = renderDashboard(current, clean_options);
+    EXPECT_NE(clean.find("No metric differs"), std::string::npos);
+}
+
+} // namespace
+} // namespace cachecraft

@@ -98,6 +98,26 @@ TEST(FlattenNumeric, DottedPathsArraysAndIgnores)
     EXPECT_EQ(flat[3].first, "m.x");
 }
 
+TEST(FlattenNumeric, DefaultIgnoreDropsManifestProvenance)
+{
+    // The shipped default: "manifest." (wall time, hostname, jobs,
+    // build id) never reaches the perf gate or a tree diff unless a
+    // caller passes an explicit ignore list.
+    ASSERT_EQ(telemetry::defaultIgnorePrefixes().size(), 1u);
+    EXPECT_EQ(telemetry::defaultIgnorePrefixes()[0], "manifest.");
+
+    const auto doc = jsonParse(
+        R"({"results": {"cycles": 7},)"
+        R"( "manifest": {"wall_seconds": 3.2, "jobs": 8}})");
+    ASSERT_TRUE(doc.has_value());
+    const auto flat = telemetry::flattenNumeric(*doc);
+    ASSERT_EQ(flat.size(), 1u);
+    EXPECT_EQ(flat[0].first, "results.cycles");
+
+    // An explicit empty list compares manifests too.
+    EXPECT_EQ(telemetry::flattenNumeric(*doc, {}).size(), 3u);
+}
+
 TEST(DiffTolerances, LongestPrefixWins)
 {
     DiffTolerances tol;

@@ -24,6 +24,7 @@
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "telemetry/diff.hpp"
+#include "telemetry/report_set.hpp"
 
 using namespace cachecraft;
 namespace fs = std::filesystem;
@@ -39,8 +40,9 @@ usage()
         "  cachecraft_diff BEFORE AFTER [options]\n"
         "\n"
         "BEFORE and AFTER are either two JSON files or two directories\n"
-        "(e.g. CACHECRAFT_REPORT_DIR trees); directories are compared\n"
-        "pairwise by file name.\n"
+        "(e.g. CACHECRAFT_REPORT_DIR trees or cachecraft_sweep output\n"
+        "trees); directories are walked recursively and compared\n"
+        "pairwise by sorted tree-relative path.\n"
         "\n"
         "options:\n"
         "  --tol R             default relative tolerance (default 0:\n"
@@ -82,20 +84,6 @@ loadArtifact(const std::string &path)
         std::exit(2);
     }
     return std::move(*doc);
-}
-
-/** Sorted *.json file names directly inside @p dir. */
-std::vector<std::string>
-jsonFilesIn(const std::string &dir)
-{
-    std::vector<std::string> names;
-    for (const auto &entry : fs::directory_iterator(dir)) {
-        if (entry.is_regular_file() &&
-            entry.path().extension() == ".json")
-            names.push_back(entry.path().filename().string());
-    }
-    std::sort(names.begin(), names.end());
-    return names;
 }
 
 } // namespace
@@ -169,11 +157,16 @@ main(int argc, char **argv)
     }
 
     // Directory mode folds each per-file comparison into one combined
-    // result by prefixing metric paths with the file name.
+    // result by prefixing metric paths with the tree-relative file
+    // path. Listing is recursive and '/'-separated on every platform,
+    // so nested trees (e.g. a cachecraft_sweep output with its
+    // reports/ subdirectory) compare file by file in a stable order.
     telemetry::DiffResult result;
     if (dir_mode) {
-        const auto before_files = jsonFilesIn(before_path);
-        const auto after_files = jsonFilesIn(after_path);
+        const auto before_files =
+            telemetry::listJsonFilesRecursive(before_path);
+        const auto after_files =
+            telemetry::listJsonFilesRecursive(after_path);
         for (const std::string &name : before_files) {
             const bool matched =
                 std::find(after_files.begin(), after_files.end(), name) !=

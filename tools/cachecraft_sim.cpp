@@ -60,6 +60,9 @@ usage()
         "\n"
         "output:\n"
         "  --dump-trace FILE   write the workload trace and exit\n"
+        "  --list-stats        print the sorted names of every\n"
+        "                      statistic this configuration registers\n"
+        "                      and exit (no simulation)\n"
         "  --stats-csv FILE    write every statistic as CSV\n"
         "  --energy            print the energy model breakdown\n"
         "  --quiet             suppress the configuration block\n"
@@ -146,6 +149,7 @@ main(int argc, char **argv)
     std::string epochs_csv_path;
     bool want_energy = false;
     bool quiet = false;
+    bool list_stats = false;
 
     auto need_value = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -205,6 +209,8 @@ main(int argc, char **argv)
             config.l2.fetchWholeLine = true;
         } else if (flag == "--dump-trace") {
             dump_path = need_value(i);
+        } else if (flag == "--list-stats") {
+            list_stats = true;
         } else if (flag == "--stats-csv") {
             csv_path = need_value(i);
         } else if (flag == "--sample-interval") {
@@ -244,6 +250,16 @@ main(int argc, char **argv)
                          flag.c_str());
             return 1;
         }
+    }
+
+    if (list_stats) {
+        // Stat registration happens at construction, so the sorted
+        // name dump needs no simulation — but it does honor the
+        // configuration flags (scheme/sms/... change what exists).
+        GpuSystem gpu(config);
+        for (const auto &[name, value] : gpu.statsRegistry().flatten())
+            std::printf("%s\n", name.c_str());
+        return 0;
     }
 
     // Build the trace.
