@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Engine micro-costs (google-benchmark): host events/sec of the
+ * timing-wheel EventQueue against the priority_queue + std::function
+ * engine it replaced (kept here verbatim as LegacyEventQueue, so the
+ * comparison survives the old code's deletion).
+ *
+ * The churn workload is shaped like the simulator's own event mix:
+ * mostly short deltas (pipeline/service-slot hops), a band of medium
+ * deltas (cache latencies), a band of long deltas (DRAM service), and
+ * a thin far tail that lands beyond the wheel horizon to exercise the
+ * overflow heap. Both engines execute the identical deterministic
+ * schedule, so items/sec is directly comparable.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gpu/event_queue.hpp"
+
+using namespace cachecraft;
+
+namespace {
+
+/** The engine this PR replaced, verbatim (see file comment). */
+class LegacyEventQueue
+{
+  public:
+    Cycle now() const { return now_; }
+
+    void
+    schedule(Cycle when, std::function<void()> fn)
+    {
+        if (when < now_)
+            panic("event scheduled in the past");
+        heap_.push(Event{when, seq_++, std::move(fn)});
+    }
+
+    void
+    scheduleAfter(Cycle delta, std::function<void()> fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    bool empty() const { return heap_.empty(); }
+
+    bool
+    run(std::uint64_t max_events = 2'000'000'000ull)
+    {
+        std::uint64_t executed = 0;
+        while (!heap_.empty()) {
+            if (executed++ >= max_events)
+                return false;
+            Event ev = std::move(const_cast<Event &>(heap_.top()));
+            heap_.pop();
+            now_ = ev.when;
+            ev.fn();
+        }
+        return true;
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    Cycle now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+};
+
+/** Delta mix approximating the simulator's schedule distances. */
+Cycle
+nextDelta(SplitMix64 &rng)
+{
+    const std::uint64_t r = rng.next();
+    const std::uint64_t pick = r % 100;
+    if (pick < 40)
+        return 1 + (r >> 8) % 4; // service slots, pipeline hops
+    if (pick < 70)
+        return 20 + (r >> 8) % 41; // cache hit latencies
+    if (pick < 98)
+        return 80 + (r >> 8) % 221; // DRAM service times
+    return 5000 + (r >> 8) % 5001; // beyond the wheel horizon
+}
+
+/** One self-rescheduling actor; fires `left` times, then stops. */
+template <class Engine> struct Actor
+{
+    Engine *q = nullptr;
+    SplitMix64 rng{0};
+    std::uint32_t left = 0;
+    std::uint64_t *checksum = nullptr;
+
+    void
+    step()
+    {
+        *checksum += q->now();
+        if (--left == 0)
+            return;
+        q->scheduleAfter(nextDelta(rng), [this] { step(); });
+    }
+};
+
+constexpr std::size_t kActors = 256;
+constexpr std::uint32_t kFiresPerActor = 2000;
+
+template <class Engine>
+void
+BM_EngineChurn(benchmark::State &state)
+{
+    std::uint64_t checksum = 0;
+    for (auto _ : state) {
+        Engine q;
+        std::vector<Actor<Engine>> actors(kActors);
+        for (std::size_t a = 0; a < kActors; ++a) {
+            actors[a].q = &q;
+            actors[a].rng = SplitMix64(a + 1);
+            actors[a].left = kFiresPerActor;
+            actors[a].checksum = &checksum;
+            Actor<Engine> *actor = &actors[a];
+            q.scheduleAfter(nextDelta(actor->rng),
+                            [actor] { actor->step(); });
+        }
+        if (!q.run())
+            state.SkipWithError("valve tripped");
+    }
+    benchmark::DoNotOptimize(checksum);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            kActors * kFiresPerActor);
+    state.SetLabel("events/sec is items_per_second");
+}
+
+BENCHMARK_TEMPLATE(BM_EngineChurn, LegacyEventQueue)
+    ->Name("BM_EngineChurn/legacy")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_EngineChurn, EventQueue)
+    ->Name("BM_EngineChurn/wheel")
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Pure scheduling pressure: every event reschedules two children
+ * until a depth budget runs out, keeping thousands of events pending
+ * — the regime where heap reordering cost dominates the legacy
+ * engine.
+ */
+template <class Engine>
+void
+BM_EngineFanout(benchmark::State &state)
+{
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        Engine q;
+        SplitMix64 rng(42);
+        std::uint64_t budget = 200'000;
+        std::function<void()> spawn = [&] {
+            ++events;
+            if (budget < 2)
+                return;
+            budget -= 2;
+            q.scheduleAfter(nextDelta(rng), spawn);
+            q.scheduleAfter(nextDelta(rng), spawn);
+        };
+        budget -= 1;
+        q.scheduleAfter(1, spawn);
+        if (!q.run())
+            state.SkipWithError("valve tripped");
+    }
+    benchmark::DoNotOptimize(events);
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+BENCHMARK_TEMPLATE(BM_EngineFanout, LegacyEventQueue)
+    ->Name("BM_EngineFanout/legacy")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_EngineFanout, EventQueue)
+    ->Name("BM_EngineFanout/wheel")
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

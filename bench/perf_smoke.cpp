@@ -13,9 +13,16 @@
  * Only integer counters are emitted (no IPC / hit-rate ratios): they
  * round-trip exactly through the JSON layer on every platform, so a
  * baseline generated on one machine diffs clean on another as long as
- * the simulated behaviour is unchanged.
+ * the simulated behaviour is unchanged. That now includes the engine's
+ * events_executed and peak_queue_depth — the deterministic half of the
+ * sim_throughput telemetry — so an event-count regression trips the
+ * gate like any DRAM counter. The host-varying half (seconds, rates)
+ * goes under a top-level "manifest" object that cachecraft_diff
+ * ignores; pass --no-manifest to omit it entirely when the output must
+ * be byte-identical run to run (the gate's determinism check, the
+ * committed baseline).
  *
- * Usage: perf_smoke [--out FILE]   (default: stdout)
+ * Usage: perf_smoke [--out FILE] [--no-manifest]   (default: stdout)
  */
 
 #include <cstdio>
@@ -68,6 +75,8 @@ writePoint(JsonWriter &w, const RunStats &rs)
     w.key("decode_clean").value(rs.decodeClean);
     w.key("decode_corrected").value(rs.decodeCorrected);
     w.key("decode_uncorrectable").value(rs.decodeUncorrectable);
+    w.key("events_executed").value(rs.simThroughput.eventsExecuted);
+    w.key("peak_queue_depth").value(rs.simThroughput.peakQueueDepth);
     w.endObject();
 }
 
@@ -77,12 +86,16 @@ int
 main(int argc, char **argv)
 {
     std::string out_path;
+    bool with_manifest = true;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--no-manifest") == 0) {
+            with_manifest = false;
         } else {
-            std::fprintf(stderr,
-                         "usage: perf_smoke [--out FILE]\n");
+            std::fprintf(
+                stderr,
+                "usage: perf_smoke [--out FILE] [--no-manifest]\n");
             return 2;
         }
     }
@@ -105,6 +118,7 @@ main(int argc, char **argv)
     w.beginObject();
     w.key("schema").value("cachecraft.perf_smoke/1");
     w.key("schema_version").value(kJsonSchemaVersion);
+    std::vector<std::pair<std::string, SimThroughput>> throughput;
     w.key("points").beginObject();
     for (WorkloadKind kind : workloads) {
         for (SchemeKind scheme : schemes) {
@@ -115,9 +129,24 @@ main(int argc, char **argv)
                 bench::configFor(scheme), kind, smokeParams());
             w.key(name);
             writePoint(w, rs);
+            throughput.emplace_back(name, rs.simThroughput);
         }
     }
     w.endObject();
+    if (with_manifest) {
+        // Host-varying rates, under the prefix cachecraft_diff drops.
+        w.key("manifest").beginObject();
+        w.key("sim_throughput").beginObject();
+        for (const auto &[name, st] : throughput) {
+            w.key(name).beginObject();
+            w.key("host_seconds").value(st.hostSeconds);
+            w.key("events_per_sec").value(st.eventsPerSec);
+            w.key("sim_mcycles_per_sec").value(st.simMcyclesPerSec);
+            w.endObject();
+        }
+        w.endObject();
+        w.endObject();
+    }
     w.endObject();
     os << '\n';
 

@@ -25,6 +25,13 @@ namespace cachecraft {
  * An MSHR file keyed by line address. Each entry remembers which
  * sectors have been requested and a list of opaque requester ids to
  * notify on fill.
+ *
+ * Entries deliberately hold ids, never callbacks: the wake
+ * continuations for merged misses live with the owner (the L2 slice
+ * keeps per-line `SmallFn` waiter lists, parked through its
+ * `EngineArenas`; see DESIGN.md §8.4). Keeping the MSHR
+ * callback-free means a merge costs one integer push and no
+ * type-erased storage, and this file stays pure bookkeeping.
  */
 class MshrFile
 {

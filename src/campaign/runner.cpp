@@ -10,6 +10,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/arena.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "core/cachecraft.hpp"
@@ -52,17 +53,26 @@ namespace {
  */
 PointOutcome
 runOnePoint(const CampaignSpec &spec, const CampaignPoint &point,
-            const RunnerOptions &options)
+            const RunnerOptions &options, EngineArenas *arenas)
 {
     PointOutcome outcome;
     const auto t0 = std::chrono::steady_clock::now();
     try {
-        GpuSystem gpu(point.config);
+        GpuSystem gpu(point.config, arenas);
         const KernelTrace trace =
             makeWorkload(point.workload, point.params);
-        const RunStats rs = gpu.run(trace);
+        RunStats rs = gpu.run(trace);
         outcome.cycles = rs.cycles;
         outcome.warnings = rs.warnings;
+        outcome.eventsExecuted = rs.simThroughput.eventsExecuted;
+        outcome.hostEventsPerSec = rs.simThroughput.eventsPerSec;
+        // Zero the host-varying throughput fields before the report is
+        // written: per-point report bytes must not depend on the host
+        // or on --jobs. The measured rates go only into the campaign
+        // manifest's host-varying section.
+        rs.simThroughput.hostSeconds = 0.0;
+        rs.simThroughput.eventsPerSec = 0.0;
+        rs.simThroughput.simMcyclesPerSec = 0.0;
 
         telemetry::RunManifest manifest;
         manifest.tool = "cachecraft_sweep";
@@ -160,6 +170,12 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &options)
     };
 
     auto worker = [&]() {
+        // One slab-arena bundle per worker, reused across every point
+        // this worker runs: the chunk storage stays warm instead of
+        // being reallocated per GpuSystem. reset() between points
+        // restores the canonical free-list order, so a reused arena
+        // behaves exactly like a fresh one (report bytes unchanged).
+        EngineArenas arenas;
         while (true) {
             const std::size_t i =
                 cursor.fetch_add(1, std::memory_order_relaxed);
@@ -171,7 +187,8 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &options)
                 outcome.status = PointStatus::kFailed;
                 outcome.error = point.expandError;
             } else {
-                outcome = runOnePoint(spec, point, options);
+                arenas.reset();
+                outcome = runOnePoint(spec, point, options, &arenas);
             }
             result.outcomes[i] = std::move(outcome);
             report_progress(point, result.outcomes[i]);
@@ -252,6 +269,20 @@ renderCampaignManifest(const CampaignSpec &spec,
     w.key("point_wall_seconds").beginObject();
     for (std::size_t i = 0; i < spec.points.size(); ++i)
         w.key(spec.points[i].label).value(result.outcomes[i].wallSeconds);
+    w.endObject();
+    // events_executed is deterministic (it also appears in each
+    // point's own report), but new keys in the points array would
+    // break tree diffs against older manifests — so the engine
+    // telemetry stays together down here.
+    w.key("point_events_executed").beginObject();
+    for (std::size_t i = 0; i < spec.points.size(); ++i)
+        w.key(spec.points[i].label)
+            .value(result.outcomes[i].eventsExecuted);
+    w.endObject();
+    w.key("point_events_per_sec").beginObject();
+    for (std::size_t i = 0; i < spec.points.size(); ++i)
+        w.key(spec.points[i].label)
+            .value(result.outcomes[i].hostEventsPerSec);
     w.endObject();
     w.endObject();
 

@@ -50,6 +50,8 @@ struct PointOutcome
     std::string error;      //!< empty for kOk
     double wallSeconds = 0.0;
     Cycle cycles = 0;       //!< simulated cycles (0 when not run)
+    std::uint64_t eventsExecuted = 0;  //!< engine events of the run
+    double hostEventsPerSec = 0.0;     //!< host-varying throughput
     std::string reportFile; //!< tree-relative path; empty when not run
     std::vector<std::string> warnings; //!< RunStats.warnings of the run
 };

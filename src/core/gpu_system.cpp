@@ -1,6 +1,7 @@
 #include "core/gpu_system.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/bits.hpp"
 #include "common/log.hpp"
@@ -9,7 +10,10 @@
 
 namespace cachecraft {
 
-GpuSystem::GpuSystem(const SystemConfig &config) : config_(config)
+GpuSystem::GpuSystem(const SystemConfig &config, EngineArenas *arenas)
+    : config_(config),
+      ownedArenas_(arenas ? nullptr : std::make_unique<EngineArenas>()),
+      arenas_(arenas ? arenas : ownedArenas_.get())
 {
     config_.validate();
 
@@ -43,6 +47,7 @@ GpuSystem::GpuSystem(const SystemConfig &config) : config_(config)
         ctx.metaShadow = &metaShadow_;
         ctx.stats = &stats_;
         ctx.telemetry = telemetry_.get();
+        ctx.arenas = arenas_;
         ctx.name = strCat("protect.slice", c);
         auto scheme = makeScheme(config_.scheme, ctx, config_.mrc);
 
@@ -51,20 +56,26 @@ GpuSystem::GpuSystem(const SystemConfig &config) : config_(config)
         slices_.push_back(std::make_unique<L2Slice>(
             strCat("l2.slice", c), static_cast<SliceId>(c), slice_params,
             events_, std::move(scheme), arch_read, tag_of, &stats_,
-            telemetry_.get()));
+            telemetry_.get(), arenas_));
     }
 
     sms_.reserve(config_.numSms);
     for (unsigned s = 0; s < config_.numSms; ++s) {
         auto l2_read = [this, s](Addr addr, ecc::MemTag tag,
-                                 std::function<void()> done) {
+                                 SmallFn done) {
             const SliceId slice = sliceOf(addr);
-            reqXbar_->send(slice, [this, slice, addr, tag,
-                                   done = std::move(done), s]() mutable {
-                slices_[slice]->read(addr, tag,
-                                     [this, s, done = std::move(done)] {
-                                         respXbar_->send(s, done);
-                                     });
+            // Park the SM-side completion with its return port in the
+            // response arena; the two hop callbacks carry only the
+            // 4-byte handle instead of nesting the SmallFn.
+            const std::uint32_t handle = arenas_->responses.acquire(
+                PendingResponse{std::move(done), s});
+            reqXbar_->send(slice, [this, slice, addr, tag, handle]() {
+                slices_[slice]->read(addr, tag, [this, handle] {
+                    PendingResponse resp =
+                        std::move(arenas_->responses[handle]);
+                    arenas_->responses.release(handle);
+                    respXbar_->send(resp.port, std::move(resp.done));
+                });
             });
         };
         auto l2_write = [this](Addr addr, ecc::MemTag tag) {
@@ -212,6 +223,8 @@ GpuSystem::run(const KernelTrace &trace)
     if (!initialized_)
         initialize(trace);
 
+    const auto host_start = std::chrono::steady_clock::now();
+
     // Distribute warps round-robin over the SMs.
     for (std::size_t w = 0; w < trace.warps.size(); ++w)
         sms_[w % sms_.size()]->addWarp(&trace.warps[w]);
@@ -320,6 +333,24 @@ GpuSystem::run(const KernelTrace &trace)
     }
     for (const std::string &w : rs.warnings)
         warn(w);
+
+    // Host throughput provenance (includes the flush drain). The
+    // event/depth counters are deterministic; the time-derived fields
+    // are per-host and are never part of gated output.
+    rs.simThroughput.hostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
+    rs.simThroughput.eventsExecuted = events_.executedEvents();
+    rs.simThroughput.peakQueueDepth = events_.peakDepth();
+    if (rs.simThroughput.hostSeconds > 0.0) {
+        rs.simThroughput.eventsPerSec =
+            static_cast<double>(rs.simThroughput.eventsExecuted) /
+            rs.simThroughput.hostSeconds;
+        rs.simThroughput.simMcyclesPerSec =
+            static_cast<double>(rs.cycles) / 1e6 /
+            rs.simThroughput.hostSeconds;
+    }
 
     return rs;
 }

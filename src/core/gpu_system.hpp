@@ -34,6 +34,21 @@ namespace telemetry {
 class StatSampler;
 } // namespace telemetry
 
+/**
+ * Host-side engine throughput of one run. eventsExecuted and
+ * peakQueueDepth are deterministic (identical across hosts for the
+ * same config); the time-derived fields vary run to run and are
+ * reported under report manifests only — never gated.
+ */
+struct SimThroughput
+{
+    double hostSeconds = 0.0;
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t peakQueueDepth = 0;
+    double eventsPerSec = 0.0;
+    double simMcyclesPerSec = 0.0;
+};
+
 /** Results of one kernel run. */
 struct RunStats
 {
@@ -73,6 +88,9 @@ struct RunStats
 
     /** Every registered stat, flattened by name. */
     std::map<std::string, double> all;
+
+    /** Host engine throughput (not a registered stat — provenance). */
+    SimThroughput simThroughput;
 
     /**
      * Truncation warnings raised at end of run (trace-ring overflow,
@@ -118,7 +136,13 @@ struct AuditResult
 class GpuSystem
 {
   public:
-    explicit GpuSystem(const SystemConfig &config);
+    /**
+     * @param arenas optional externally owned slab arenas (the
+     * campaign runner reuses one bundle per worker thread across
+     * points); defaults to an instance owned by this system.
+     */
+    explicit GpuSystem(const SystemConfig &config,
+                       EngineArenas *arenas = nullptr);
     ~GpuSystem();
 
     GpuSystem(const GpuSystem &) = delete;
@@ -187,6 +211,8 @@ class GpuSystem
     SystemConfig config_;
     StatRegistry stats_;
     EventQueue events_;
+    std::unique_ptr<EngineArenas> ownedArenas_;
+    EngineArenas *arenas_;
     std::unique_ptr<telemetry::Telemetry> telemetry_;
     std::unique_ptr<telemetry::StatSampler> sampler_;
     std::unique_ptr<AddressMap> map_;

@@ -20,7 +20,7 @@ Crossbar::Crossbar(std::string name, unsigned num_ports, Cycle latency,
 }
 
 void
-Crossbar::send(unsigned port, std::function<void()> fn)
+Crossbar::send(unsigned port, SmallFn fn)
 {
     statFlits.inc();
     const Cycle now = events_.now();

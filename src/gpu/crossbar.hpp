@@ -10,10 +10,10 @@
 #ifndef CACHECRAFT_GPU_CROSSBAR_HPP
 #define CACHECRAFT_GPU_CROSSBAR_HPP
 
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/inplace_function.hpp"
 #include "common/types.hpp"
 #include "gpu/event_queue.hpp"
 #include "stats/stats.hpp"
@@ -41,7 +41,7 @@ class Crossbar
      * Deliver @p fn at destination @p port after traversal latency,
      * respecting the port's one-per-cycle acceptance rate.
      */
-    void send(unsigned port, std::function<void()> fn);
+    void send(unsigned port, SmallFn fn);
 
     /**
      * Deepest per-port backlog at cycle @p now, in flits (how far the

@@ -4,17 +4,30 @@
  *
  * Components schedule closures at absolute cycles; the queue executes
  * them in (cycle, insertion-order) order. Determinism matters: ties
- * are broken by a monotone sequence number, never by heap internals.
+ * are broken by insertion order, never by heap internals.
+ *
+ * Implementation: a bucketed timing wheel. Cycles within the near
+ * horizon (now .. now + kWheelSlots) land in per-cycle FIFO buckets —
+ * appending to a bucket is both O(1) and exactly insertion order, so
+ * near events need no explicit sequence number. Events beyond the
+ * horizon go to a small overflow heap keyed on (cycle, seq) and
+ * migrate into their bucket as the clock approaches; migration runs
+ * on every clock advance, i.e. before any event at the new horizon
+ * edge could be scheduled directly, so bucket order always equals
+ * global schedule order. Callbacks are fixed-capacity SmallFn values,
+ * so steady-state scheduling performs no heap allocation at all.
  */
 
 #ifndef CACHECRAFT_GPU_EVENT_QUEUE_HPP
 #define CACHECRAFT_GPU_EVENT_QUEUE_HPP
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/inplace_function.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
 
@@ -24,30 +37,43 @@ namespace cachecraft {
 class EventQueue
 {
   public:
+    using EventFn = SmallFn;
+
     /** Current simulated cycle. */
     Cycle now() const { return now_; }
 
     /** Schedule @p fn to run at absolute cycle @p when (>= now). */
     void
-    schedule(Cycle when, std::function<void()> fn)
+    schedule(Cycle when, EventFn fn)
     {
         if (when < now_)
             panic("event scheduled in the past");
-        heap_.push(Event{when, seq_++, std::move(fn)});
+        if (when - now_ < kWheelSlots) {
+            const std::size_t slot = when & kWheelMask;
+            wheel_[slot].push_back(std::move(fn));
+            occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+        } else {
+            far_.push_back(FarEvent{when, seq_, std::move(fn)});
+            std::push_heap(far_.begin(), far_.end(), FarAfter{});
+        }
+        ++seq_;
+        ++pending_;
+        if (pending_ > peakDepth_)
+            peakDepth_ = pending_;
     }
 
     /** Schedule @p fn @p delta cycles from now. */
     void
-    scheduleAfter(Cycle delta, std::function<void()> fn)
+    scheduleAfter(Cycle delta, EventFn fn)
     {
         schedule(now_ + delta, std::move(fn));
     }
 
     /** True if no events are pending. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return pending_ == 0; }
 
     /** Number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    std::size_t size() const { return pending_; }
 
     /**
      * Run events until the queue drains.
@@ -72,26 +98,65 @@ class EventQueue
     bool
     runUntil(Cycle limit, std::uint64_t max_events = 2'000'000'000ull)
     {
-        std::uint64_t executed = 0;
-        while (!heap_.empty() && heap_.top().when <= limit) {
-            if (executed++ >= max_events) {
+        if (now_ > limit)
+            return true;
+        std::uint64_t budget = max_events;
+        while (true) {
+            std::vector<EventFn> &bucket = wheel_[now_ & kWheelMask];
+            if (!bucket.empty()) {
+                // Re-reading size() each pass keeps re-entrant
+                // scheduling at now() in the same drain; moving the
+                // closure out first keeps a push_back-triggered
+                // reallocation from invalidating it.
+                std::size_t i = 0;
+                for (; i < bucket.size(); ++i) {
+                    if (budget == 0)
+                        break;
+                    --budget;
+                    EventFn fn = std::move(bucket[i]);
+                    ++executed_;
+                    --pending_;
+                    fn();
+                }
+                if (i < bucket.size()) {
+                    bucket.erase(bucket.begin(),
+                                 bucket.begin() +
+                                     static_cast<std::ptrdiff_t>(i));
+                    ++valveTrips_;
+                    return false;
+                }
+                bucket.clear();
+                const std::size_t slot = now_ & kWheelMask;
+                occupied_[slot >> 6] &=
+                    ~(std::uint64_t{1} << (slot & 63));
+            }
+            const Cycle next = nextEventCycle();
+            if (next == kNoEvent)
+                return true; // drained; clock stays on the last event
+            if (next > limit) {
+                if (now_ < limit) {
+                    now_ = limit;
+                    migrateFar();
+                }
+                return true;
+            }
+            if (budget == 0) {
                 ++valveTrips_;
                 return false;
             }
-            // Moving the closure out before pop keeps re-entrant
-            // scheduling from invalidating the top element.
-            Event ev = std::move(const_cast<Event &>(heap_.top()));
-            heap_.pop();
-            now_ = ev.when;
-            ev.fn();
+            now_ = next;
+            migrateFar();
         }
-        if (!heap_.empty() && now_ < limit)
-            now_ = limit;
-        return true;
     }
 
     /** Total events executed so far (for perf accounting). */
-    std::uint64_t executedEvents() const { return seq_; }
+    std::uint64_t executedEvents() const { return executed_; }
+
+    /** Total events ever scheduled (executed + still pending). */
+    std::uint64_t scheduledEvents() const { return seq_; }
+
+    /** High-water mark of pending events. */
+    std::uint64_t peakDepth() const { return peakDepth_; }
 
     /**
      * Times the max_events safety valve fired. A non-zero value means
@@ -100,25 +165,86 @@ class EventQueue
     std::uint64_t valveTrips() const { return valveTrips_; }
 
   private:
-    struct Event
+    static constexpr std::size_t kWheelSlots = 4096;
+    static constexpr Cycle kWheelMask = kWheelSlots - 1;
+    static constexpr std::size_t kBitmapWords = kWheelSlots / 64;
+    static constexpr Cycle kNoEvent = ~Cycle{0};
+    static_assert((kWheelSlots & (kWheelSlots - 1)) == 0,
+                  "wheel size must be a power of two");
+
+    /** An event beyond the wheel horizon; seq orders same-cycle ties
+     *  against other far events (near events order by bucket FIFO). */
+    struct FarEvent
     {
         Cycle when;
         std::uint64_t seq;
-        std::function<void()> fn;
+        EventFn fn;
+    };
 
+    /** Heap comparator: true when @p a fires after @p b, so the heap
+     *  front is the earliest (cycle, seq) pair. */
+    struct FarAfter
+    {
         bool
-        operator>(const Event &other) const
+        operator()(const FarEvent &a, const FarEvent &b) const
         {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
         }
     };
 
+    /** Earliest pending cycle (>= now_), or kNoEvent when drained. */
+    Cycle
+    nextEventCycle() const
+    {
+        Cycle next = kNoEvent;
+        const std::size_t start =
+            static_cast<std::size_t>(now_ & kWheelMask);
+        for (std::size_t scanned = 0; scanned < kWheelSlots;) {
+            const std::size_t slot = (start + scanned) & kWheelMask;
+            const std::uint64_t bits =
+                occupied_[slot >> 6] >> (slot & 63);
+            if (bits != 0) {
+                const std::size_t dist =
+                    scanned +
+                    static_cast<std::size_t>(std::countr_zero(bits));
+                if (dist < kWheelSlots) {
+                    next = now_ + dist;
+                    break;
+                }
+            }
+            scanned += 64 - (slot & 63);
+        }
+        if (!far_.empty() && far_.front().when < next)
+            next = far_.front().when;
+        return next;
+    }
+
+    /** Pull far events that entered the wheel horizon into their
+     *  buckets, in (cycle, seq) order. */
+    void
+    migrateFar()
+    {
+        while (!far_.empty() && far_.front().when - now_ < kWheelSlots) {
+            std::pop_heap(far_.begin(), far_.end(), FarAfter{});
+            FarEvent ev = std::move(far_.back());
+            far_.pop_back();
+            const std::size_t slot = ev.when & kWheelMask;
+            wheel_[slot].push_back(std::move(ev.fn));
+            occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+        }
+    }
+
     Cycle now_ = 0;
     std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::uint64_t pending_ = 0;
+    std::uint64_t peakDepth_ = 0;
     std::uint64_t valveTrips_ = 0;
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    std::array<std::vector<EventFn>, kWheelSlots> wheel_;
+    std::array<std::uint64_t, kBitmapWords> occupied_{};
+    std::vector<FarEvent> far_;
 };
 
 } // namespace cachecraft

@@ -9,10 +9,12 @@ L2Slice::L2Slice(std::string name, SliceId id, const L2SliceParams &params,
                  EventQueue &events,
                  std::unique_ptr<ProtectionScheme> scheme,
                  ArchReadFn arch_read, TagFn tag_of, StatRegistry *stats,
-                 telemetry::Telemetry *telemetry)
+                 telemetry::Telemetry *telemetry, EngineArenas *arenas)
     : name_(std::move(name)), id_(id), params_(params), events_(events),
       scheme_(std::move(scheme)), archRead_(std::move(arch_read)),
       tagOf_(std::move(tag_of)), telemetry_(telemetry),
+      ownedArenas_(arenas ? nullptr : std::make_unique<EngineArenas>()),
+      arenas_(arenas ? arenas : ownedArenas_.get()),
       cache_(name_ + ".cache", params.cache, stats),
       mshrs_(name_ + ".mshr", params.mshrEntries, stats)
 {
@@ -51,8 +53,7 @@ L2Slice::handleEviction(const std::optional<Eviction> &ev)
 }
 
 void
-L2Slice::read(Addr sector_addr, ecc::MemTag expected_tag,
-              std::function<void()> done)
+L2Slice::read(Addr sector_addr, ecc::MemTag expected_tag, SmallFn done)
 {
     statReads.inc();
     if (telemetry_) {
@@ -60,34 +61,45 @@ L2Slice::read(Addr sector_addr, ecc::MemTag expected_tag,
             prof->recordSectorAccess(sector_addr);
     }
     // Each slice-level read starts one lifecycle track: the "l2.read"
-    // span envelopes every downstream span carrying the same id.
+    // span envelopes every downstream span carrying the same id. The
+    // wrapping callback cannot hold another SmallFn inline, so the
+    // inner completion parks in the arena.
     std::uint64_t trace_id = 0;
     if (telemetry_ && telemetry_->tracing()) {
         trace_id = telemetry_->newId();
         const Cycle start = events_.now();
-        done = [this, trace_id, start, inner = std::move(done)]() {
+        const std::uint32_t inner =
+            arenas_->parked.acquire(std::move(done));
+        done = [this, trace_id, start, inner]() {
             telemetry_->span(telemetry::Stage::kL2Read, trace_id, start,
                              events_.now());
-            inner();
+            SmallFn parked = std::move(arenas_->parked[inner]);
+            arenas_->parked.release(inner);
+            parked();
         };
     }
+    // The service event likewise carries `done` by arena handle: the
+    // capture would otherwise be a SmallFn nested inside an EventFn.
+    const std::uint32_t handle = arenas_->parked.acquire(std::move(done));
     const Cycle slot = serviceSlot();
     events_.schedule(slot, [this, sector_addr, expected_tag, trace_id,
-                            done = std::move(done)]() mutable {
+                            handle]() {
+        SmallFn done_fn = std::move(arenas_->parked[handle]);
+        arenas_->parked.release(handle);
         const auto result = cache_.access(sector_addr,
                                           /* is_write= */ false);
         if (result.sectorHit) {
-            events_.scheduleAfter(params_.hitLatency, std::move(done));
+            events_.scheduleAfter(params_.hitLatency,
+                                  std::move(done_fn));
             return;
         }
-        handleReadMiss(sector_addr, expected_tag, std::move(done),
+        handleReadMiss(sector_addr, expected_tag, std::move(done_fn),
                        trace_id);
     });
 }
 
 void
-L2Slice::handleReadMiss(Addr sector_addr, ecc::MemTag tag,
-                        std::function<void()> done,
+L2Slice::handleReadMiss(Addr sector_addr, ecc::MemTag tag, SmallFn done,
                         std::uint64_t trace_id)
 {
     using Outcome = MshrFile::AllocOutcome;

@@ -61,15 +61,15 @@ class L2Slice
     L2Slice(std::string name, SliceId id, const L2SliceParams &params,
             EventQueue &events, std::unique_ptr<ProtectionScheme> scheme,
             ArchReadFn arch_read, TagFn tag_of, StatRegistry *stats,
-            telemetry::Telemetry *telemetry = nullptr);
+            telemetry::Telemetry *telemetry = nullptr,
+            EngineArenas *arenas = nullptr);
 
     /**
      * Sector load. @p done fires when the sector is available at the
      * slice (the response crossbar adds its own latency on top).
      * @p expected_tag is the tag the accessing pointer carries.
      */
-    void read(Addr sector_addr, ecc::MemTag expected_tag,
-              std::function<void()> done);
+    void read(Addr sector_addr, ecc::MemTag expected_tag, SmallFn done);
 
     /**
      * Sector store (full-sector, posted). Write-allocates without
@@ -106,8 +106,7 @@ class L2Slice
     /** Acquire the next service slot (1 request/cycle). */
     Cycle serviceSlot();
 
-    void handleReadMiss(Addr sector_addr, ecc::MemTag tag,
-                        std::function<void()> done,
+    void handleReadMiss(Addr sector_addr, ecc::MemTag tag, SmallFn done,
                         std::uint64_t trace_id);
     /** Issue the memory-side fetch for one sector (demand or
      *  prefetch); fills the cache and wakes waiters on return. */
@@ -125,12 +124,16 @@ class L2Slice
     ArchReadFn archRead_;
     TagFn tagOf_;
     telemetry::Telemetry *telemetry_;
+    /** Injected or owned slab arenas (service-event callbacks park
+     *  oversized continuations here). */
+    std::unique_ptr<EngineArenas> ownedArenas_;
+    EngineArenas *arenas_;
 
     struct BlockedRead
     {
         Addr sectorAddr;
         ecc::MemTag tag;
-        std::function<void()> done;
+        SmallFn done;
         std::uint64_t traceId = 0;
         /** Cycle the read parked (for mshr_full stall attribution). */
         Cycle blockedAt = 0;
@@ -138,8 +141,8 @@ class L2Slice
 
     SectoredCache cache_;
     MshrFile mshrs_;
-    /** Waiters per outstanding sector. */
-    std::unordered_map<Addr, std::vector<std::function<void()>>> waiting_;
+    /** Waiters per outstanding sector (MSHR continuations). */
+    std::unordered_map<Addr, std::vector<SmallFn>> waiting_;
     /** Reads stalled on a full MSHR file; drained on release. */
     std::deque<BlockedRead> blocked_;
     Cycle nextServiceAt_ = 0;

@@ -71,9 +71,10 @@ struct SmParams
 class SmCore
 {
   public:
-    /** Issue a sector load toward L2; @p done fires on data return. */
-    using L2ReadFn =
-        std::function<void(Addr, ecc::MemTag, std::function<void()>)>;
+    /** Issue a sector load toward L2; @p done fires on data return.
+     *  The outer std::function is constructed once at system build;
+     *  only the per-request completion is capacity-bounded. */
+    using L2ReadFn = std::function<void(Addr, ecc::MemTag, SmallFn)>;
     /** Issue a (posted) sector store toward L2. */
     using L2WriteFn = std::function<void(Addr, ecc::MemTag)>;
     /** Correct tag of an address (regions set by the workload). */
@@ -150,8 +151,8 @@ class SmCore
 
     SectoredCache l1_;
     MshrFile l1Mshrs_;
-    /** Waiters per outstanding L1 sector miss. */
-    std::unordered_map<Addr, std::vector<std::function<void()>>> waiting_;
+    /** Waiters per outstanding L1 sector miss (MSHR continuations). */
+    std::unordered_map<Addr, std::vector<SmallFn>> waiting_;
     /** Sector requests stalled on a full L1 MSHR file. */
     std::deque<BlockedSector> blocked_;
 

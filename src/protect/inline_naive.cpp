@@ -9,17 +9,15 @@ InlineNaiveScheme::readSector(Addr logical, ecc::MemTag tag,
                               FetchCallback done, std::uint64_t trace_id)
 {
     // Both the data sector and its ECC chunk must arrive before the
-    // sector can be verified and delivered.
-    auto remaining = std::make_shared<int>(2);
-    auto finish = [this, logical, tag, remaining, trace_id,
-                   done = std::move(done)]() {
-        if (--*remaining > 0)
-            return;
-        done(decodeSector(logical, tag, /* check_from_shadow= */ false,
-                          trace_id));
-    };
-    issueDataTxn(logical, /* is_write= */ false, finish, trace_id);
-    issueEccTxn(logical, /* is_write= */ false, finish, trace_id);
+    // sector can be verified and delivered; the join state lives in
+    // the read arena, not a shared_ptr control block.
+    const std::uint32_t handle =
+        acquireRead(std::move(done), logical, tag, trace_id,
+                    /* fanin= */ 2);
+    issueDataTxn(logical, /* is_write= */ false,
+                 [this, handle] { joinRead(handle); }, trace_id);
+    issueEccTxn(logical, /* is_write= */ false,
+                [this, handle] { joinRead(handle); }, trace_id);
 }
 
 void

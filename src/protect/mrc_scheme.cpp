@@ -90,19 +90,24 @@ MrcScheme::writeOutDirtyChunk(const Eviction &ev)
 }
 
 void
-MrcScheme::withCheckField(Addr logical, std::function<void(bool)> fn,
+MrcScheme::withCheckField(Addr logical, WakeFn fn,
                           std::uint64_t trace_id)
 {
     if (ctx_.telemetry && ctx_.telemetry->tracing() && trace_id != 0) {
         // The probe span covers hit detection through field residency
-        // (zero-length on a hit, fetch latency on a miss).
+        // (zero-length on a hit, fetch latency on a miss). The wrapped
+        // callback cannot capture another WakeFn inline, so it parks
+        // in the wake arena and carries the 4-byte handle.
         const Cycle start = ctx_.events->now();
-        fn = [this, trace_id, start,
-              inner = std::move(fn)](bool resident) {
+        const std::uint32_t inner =
+            ctx_.arenas->parkedWakes.acquire(std::move(fn));
+        fn = [this, trace_id, start, inner](bool resident) {
             ctx_.telemetry->span(telemetry::Stage::kMrcProbe, trace_id,
                                  start, ctx_.events->now(), "resident",
                                  resident ? 1.0 : 0.0);
-            inner(resident);
+            WakeFn parked = std::move(ctx_.arenas->parkedWakes[inner]);
+            ctx_.arenas->parkedWakes.release(inner);
+            parked(resident);
         };
     }
     const auto probe = mrc_.access(mrcAddr(logical),
@@ -118,11 +123,15 @@ MrcScheme::withCheckField(Addr logical, std::function<void(bool)> fn,
             // The access is blocked from here until the chunk fetch
             // makes the field resident.
             const Cycle start = ctx_.events->now();
-            fn = [this, prof, start,
-                  inner = std::move(fn)](bool resident) {
+            const std::uint32_t inner =
+                ctx_.arenas->parkedWakes.acquire(std::move(fn));
+            fn = [this, prof, start, inner](bool resident) {
                 prof->chargeStall(telemetry::StallReason::kMrcProbeBlock,
                                   start, ctx_.events->now());
-                inner(resident);
+                WakeFn parked =
+                    std::move(ctx_.arenas->parkedWakes[inner]);
+                ctx_.arenas->parkedWakes.release(inner);
+                parked(resident);
             };
         }
     }
@@ -130,8 +139,7 @@ MrcScheme::withCheckField(Addr logical, std::function<void(bool)> fn,
 }
 
 void
-MrcScheme::fetchChunk(Addr logical, std::function<void(bool)> fn,
-                      std::uint64_t trace_id)
+MrcScheme::fetchChunk(Addr logical, WakeFn fn, std::uint64_t trace_id)
 {
     const Addr line = alignDown(mrcAddr(logical), kEccChunkBytes);
     auto it = pendingFetch_.find(line);
@@ -141,9 +149,9 @@ MrcScheme::fetchChunk(Addr logical, std::function<void(bool)> fn,
         it->second.push_back(std::move(fn));
         return;
     }
-    pendingFetch_.emplace(line,
-                          std::vector<std::function<void(bool)>>{
-                              std::move(fn)});
+    std::vector<WakeFn> waiters;
+    waiters.push_back(std::move(fn));
+    pendingFetch_.emplace(line, std::move(waiters));
 
     issueEccTxn(
         logical, /* is_write= */ false,
@@ -171,32 +179,22 @@ void
 MrcScheme::readSector(Addr logical, ecc::MemTag tag, FetchCallback done,
                       std::uint64_t trace_id)
 {
-    struct Join
-    {
-        int remaining = 2;
-        bool fromShadow = false;
-        FetchCallback done;
-    };
-    auto join = std::make_shared<Join>();
-    join->done = std::move(done);
-
-    auto finish = [this, logical, tag, join, trace_id] {
-        if (--join->remaining > 0)
-            return;
-        join->done(
-            decodeSector(logical, tag, join->fromShadow, trace_id));
-    };
-
-    issueDataTxn(logical, /* is_write= */ false, finish, trace_id);
+    // Data txn and check-field probe join in the read arena; the last
+    // arrival decodes and completes.
+    const std::uint32_t handle =
+        acquireRead(std::move(done), logical, tag, trace_id,
+                    /* fanin= */ 2);
+    issueDataTxn(logical, /* is_write= */ false,
+                 [this, handle] { joinRead(handle); }, trace_id);
     withCheckField(
         logical,
-        [join, finish](bool resident) {
+        [this, handle](bool resident) {
             // A resident field is the on-chip reconstructed copy
             // (shadow bytes); a fetched field is whatever DRAM held,
             // faults included.
             if (resident)
-                join->fromShadow = true;
-            finish();
+                readSlot(handle).fromShadow = true;
+            joinRead(handle);
         },
         trace_id);
 }
@@ -233,7 +231,7 @@ MrcScheme::writeSector(Addr logical, const ecc::SectorData &data,
                 // sector's data row is open; the fill ORs the valid
                 // mask and preserves dirty bits, so the later
                 // eviction is a single full-chunk write, not an RMW.
-                fetchChunk(logical, [](bool) {});
+                fetchChunk(logical, WakeFn([](bool) {}));
             }
         }
         // Eager writeout: a fully dirty chunk is completely

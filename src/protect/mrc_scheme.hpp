@@ -91,7 +91,7 @@ class MrcScheme : public ProtectionScheme
      *           (serve from on-chip copy), false if it was fetched
      *           from DRAM.
      */
-    void withCheckField(Addr logical, std::function<void(bool)> fn,
+    void withCheckField(Addr logical, WakeFn fn,
                         std::uint64_t trace_id = 0);
 
     /**
@@ -100,7 +100,7 @@ class MrcScheme : public ProtectionScheme
      * No hit/miss accounting — callers count. @p fn receives false
      * when it piggybacked on DRAM fetch, true when already resident.
      */
-    void fetchChunk(Addr logical, std::function<void(bool)> fn,
+    void fetchChunk(Addr logical, WakeFn fn,
                     std::uint64_t trace_id = 0);
 
     /** Issue writeout transactions + functional sync for an evicted
@@ -114,8 +114,7 @@ class MrcScheme : public ProtectionScheme
     bool cachecraft_;
     SectoredCache mrc_;
     /** In-flight metadata fetches: MRC line addr -> waiters. */
-    std::unordered_map<Addr, std::vector<std::function<void(bool)>>>
-        pendingFetch_;
+    std::unordered_map<Addr, std::vector<WakeFn>> pendingFetch_;
 };
 
 } // namespace cachecraft

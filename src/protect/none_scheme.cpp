@@ -6,14 +6,21 @@ void
 NoneScheme::readSector(Addr logical, ecc::MemTag /* tag */,
                        FetchCallback done, std::uint64_t trace_id)
 {
+    // Park the completion in the read arena; the transaction callback
+    // carries only {this, handle}, fitting SmallFn's inline buffer.
+    const std::uint32_t handle =
+        acquireRead(std::move(done), logical, ecc::MemTag{}, trace_id,
+                    /* fanin= */ 1);
     issueDataTxn(
         logical, /* is_write= */ false,
-        [this, logical, done = std::move(done)] {
+        [this, handle] {
+            // No decode in the unprotected scheme: deliver raw bytes.
+            PendingRead read = takeRead(handle);
             SectorFetchResult res;
             res.status = ecc::DecodeStatus::kClean;
-            res.data = readStoredData(logical);
+            res.data = readStoredData(read.logical);
             stats.decodeClean.inc();
-            done(res);
+            read.done(res);
         },
         trace_id);
 }

@@ -54,6 +54,49 @@ SchemeStats::registerAll(const std::string &prefix, StatRegistry *stats)
 ProtectionScheme::ProtectionScheme(const SchemeContext &ctx) : ctx_(ctx)
 {
     stats.registerAll(ctx_.name, ctx_.stats);
+    if (ctx_.arenas == nullptr) {
+        ownedArenas_ = std::make_unique<EngineArenas>();
+        ctx_.arenas = ownedArenas_.get();
+    }
+}
+
+std::uint32_t
+ProtectionScheme::acquireRead(FetchCallback done, Addr logical,
+                              ecc::MemTag tag, std::uint64_t trace_id,
+                              std::uint8_t fanin)
+{
+    PendingRead read;
+    read.done = std::move(done);
+    read.logical = logical;
+    read.traceId = trace_id;
+    read.tagBits = static_cast<std::uint16_t>(tag);
+    read.remaining = fanin;
+    return ctx_.arenas->reads.acquire(std::move(read));
+}
+
+PendingRead &
+ProtectionScheme::readSlot(std::uint32_t handle)
+{
+    return ctx_.arenas->reads[handle];
+}
+
+PendingRead
+ProtectionScheme::takeRead(std::uint32_t handle)
+{
+    PendingRead read = std::move(ctx_.arenas->reads[handle]);
+    ctx_.arenas->reads.release(handle);
+    return read;
+}
+
+void
+ProtectionScheme::joinRead(std::uint32_t handle)
+{
+    if (--ctx_.arenas->reads[handle].remaining > 0)
+        return;
+    PendingRead read = takeRead(handle);
+    read.done(decodeSector(read.logical,
+                           static_cast<ecc::MemTag>(read.tagBits),
+                           read.fromShadow, read.traceId));
 }
 
 Addr
@@ -93,8 +136,14 @@ namespace {
 
 /**
  * Stamp @p req with a lifecycle id (the caller's @p trace_id, or a
- * fresh one for standalone transactions) and wrap its completion
- * callback in a span record. No-op when tracing is off.
+ * fresh one for standalone transactions) and the stage span to record
+ * at completion. No-op when tracing is off.
+ *
+ * The span is stamped as (stage, start) fields rather than by wrapping
+ * onComplete — the fixed-capacity callback cannot nest another
+ * callback, and the channel records the span itself at completion
+ * time, immediately before onComplete fires (same record order as the
+ * old wrapping).
  *
  * Posted transactions (null onComplete) only get the id stamp: the
  * channel's synchronous "dram.service" span covers them, and turning
@@ -112,19 +161,15 @@ traceTxn(telemetry::Telemetry *tel, telemetry::Stage stage,
     req.traceId = id;
     if (!req.onComplete)
         return;
-    const Cycle start = events->now();
-    req.onComplete = [tel, stage, id, start, events,
-                      fn = std::move(req.onComplete)]() {
-        tel->span(stage, id, start, events->now());
-        fn();
-    };
+    req.traceStage = static_cast<std::uint8_t>(stage);
+    req.traceStart = events->now();
 }
 
 } // namespace
 
 void
 ProtectionScheme::issueDataTxn(Addr logical, bool is_write,
-                               std::function<void()> on_complete,
+                               SmallFn on_complete,
                                std::uint64_t trace_id)
 {
     if (is_write)
@@ -144,7 +189,7 @@ ProtectionScheme::issueDataTxn(Addr logical, bool is_write,
 
 void
 ProtectionScheme::issueEccTxn(Addr logical, bool is_write,
-                              std::function<void()> on_complete,
+                              SmallFn on_complete,
                               std::uint64_t trace_id)
 {
     if (is_write)

@@ -34,6 +34,8 @@
 #include <memory>
 #include <string>
 
+#include "common/arena.hpp"
+#include "common/inplace_function.hpp"
 #include "common/types.hpp"
 #include "dram/address_map.hpp"
 #include "dram/dram_model.hpp"
@@ -66,8 +68,9 @@ struct SectorFetchResult
     ecc::SectorData data{};
 };
 
-/** Completion callback for sector reads. */
-using FetchCallback = std::function<void(const SectorFetchResult &)>;
+/** Completion callback for sector reads (fixed-capacity: capture a
+ *  `this` pointer and an arena handle, not the world). */
+using FetchCallback = FetchFn;
 
 /** Shared plumbing handed to every scheme instance. */
 struct SchemeContext
@@ -82,6 +85,9 @@ struct SchemeContext
     StatRegistry *stats = nullptr;
     /** Lifecycle-trace hub (optional). */
     telemetry::Telemetry *telemetry = nullptr;
+    /** Slab arenas for in-flight request state; schemes fall back to
+     *  an owned instance when null (tests, standalone use). */
+    EngineArenas *arenas = nullptr;
     std::string name; //!< stat prefix, e.g. "protect.slice3"
 };
 
@@ -179,13 +185,30 @@ class ProtectionScheme
     Addr shadowCheckAddr(Addr logical) const;
 
     /** Enqueue a data-sector DRAM transaction. */
-    void issueDataTxn(Addr logical, bool is_write,
-                      std::function<void()> on_complete,
+    void issueDataTxn(Addr logical, bool is_write, SmallFn on_complete,
                       std::uint64_t trace_id = 0);
     /** Enqueue a metadata DRAM transaction at the ECC chunk address. */
-    void issueEccTxn(Addr logical, bool is_write,
-                     std::function<void()> on_complete,
+    void issueEccTxn(Addr logical, bool is_write, SmallFn on_complete,
                      std::uint64_t trace_id = 0);
+
+    /**
+     * @{ Fan-in join state for multi-transaction sector reads, slab-
+     * allocated instead of std::make_shared'd. acquireRead parks the
+     * completion callback and decode inputs; each arriving transaction
+     * calls joinRead, and the last one decodes the sector and fires
+     * the callback. Schemes with bespoke completion (NoneScheme) use
+     * takeRead to claim the state themselves.
+     */
+    std::uint32_t acquireRead(FetchCallback done, Addr logical,
+                              ecc::MemTag tag, std::uint64_t trace_id,
+                              std::uint8_t fanin);
+    /** Mutable join state (e.g. to set the from-shadow flag). */
+    PendingRead &readSlot(std::uint32_t handle);
+    /** Move the join state out and release the slot. */
+    PendingRead takeRead(std::uint32_t handle);
+    /** One fan-in arrived; on the last, decode + complete. */
+    void joinRead(std::uint32_t handle);
+    /** @} */
 
     /** Read the stored (possibly faulted) data bytes from DRAM. */
     ecc::SectorData readStoredData(Addr logical) const;
@@ -206,6 +229,10 @@ class ProtectionScheme
                                    std::uint64_t trace_id = 0);
 
     SchemeContext ctx_;
+
+  private:
+    /** Fallback arenas when the context does not inject any. */
+    std::unique_ptr<EngineArenas> ownedArenas_;
 };
 
 /** Options for the MRC-based schemes (EccCache / CacheCraft). */

@@ -148,6 +148,68 @@ StatRegistry::flatten() const
     return out;
 }
 
+double
+StatRegistry::FlatView::value(std::size_t i) const
+{
+    const Entry &e = entries_[i];
+    switch (e.kind) {
+      case Kind::kCounter:
+        return static_cast<double>(
+            static_cast<const Counter *>(e.src)->value());
+      case Kind::kScalar:
+        return static_cast<const ScalarStat *>(e.src)->value();
+      case Kind::kHistCount:
+        return static_cast<double>(
+            static_cast<const HistogramStat *>(e.src)->count());
+      case Kind::kHistMean:
+        return static_cast<const HistogramStat *>(e.src)->mean();
+      case Kind::kHistStddev:
+        return static_cast<const HistogramStat *>(e.src)->stddev();
+      case Kind::kHistMin:
+        return static_cast<double>(
+            static_cast<const HistogramStat *>(e.src)->minValue());
+      case Kind::kHistMax:
+        return static_cast<double>(
+            static_cast<const HistogramStat *>(e.src)->maxValue());
+      case Kind::kHistP50:
+        return static_cast<const HistogramStat *>(e.src)->quantile(0.50);
+      case Kind::kHistP99:
+        return static_cast<const HistogramStat *>(e.src)->quantile(0.99);
+      case Kind::kHistP999:
+        return static_cast<const HistogramStat *>(e.src)->quantile(0.999);
+    }
+    panic("corrupt FlatView entry kind");
+}
+
+StatRegistry::FlatView
+StatRegistry::flatView() const
+{
+    using Kind = FlatView::Kind;
+    FlatView view;
+    view.entries_.reserve(flattenedSize());
+    for (const auto &[name, c] : counters_)
+        view.entries_.push_back({name, c, Kind::kCounter});
+    for (const auto &[name, s] : scalars_)
+        view.entries_.push_back({name, s, Kind::kScalar});
+    for (const auto &[name, h] : histograms_) {
+        view.entries_.push_back({name + ".count", h, Kind::kHistCount});
+        view.entries_.push_back({name + ".mean", h, Kind::kHistMean});
+        view.entries_.push_back({name + ".stddev", h, Kind::kHistStddev});
+        view.entries_.push_back({name + ".min", h, Kind::kHistMin});
+        view.entries_.push_back({name + ".max", h, Kind::kHistMax});
+        view.entries_.push_back({name + ".p50", h, Kind::kHistP50});
+        view.entries_.push_back({name + ".p99", h, Kind::kHistP99});
+        view.entries_.push_back({name + ".p999", h, Kind::kHistP999});
+    }
+    // Names are unique, so sorting by name alone reproduces flatten()'s
+    // (name, value) pair order exactly.
+    std::sort(view.entries_.begin(), view.entries_.end(),
+              [](const FlatView::Entry &a, const FlatView::Entry &b) {
+                  return a.name < b.name;
+              });
+    return view;
+}
+
 std::vector<std::pair<std::string, const HistogramStat *>>
 StatRegistry::histograms() const
 {

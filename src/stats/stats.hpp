@@ -115,6 +115,63 @@ class StatRegistry
      */
     std::vector<std::pair<std::string, double>> flatten() const;
 
+    /**
+     * A cached, typed view of every value flatten() would emit, in
+     * flatten()'s exact name order. Hot consumers (the epoch sampler)
+     * build one view after system construction and then read current
+     * values with no string-keyed lookups, name formatting, or
+     * allocation per sample. The view borrows the registered stat
+     * objects — it is invalidated by any later registration; detect
+     * that with flattenedSize() != size().
+     */
+    class FlatView
+    {
+      public:
+        std::size_t size() const { return entries_.size(); }
+        const std::string &name(std::size_t i) const
+        {
+            return entries_[i].name;
+        }
+        /** Current value of entry @p i (live — re-read each sample). */
+        double value(std::size_t i) const;
+
+      private:
+        friend class StatRegistry;
+
+        enum class Kind : std::uint8_t
+        {
+            kCounter,
+            kScalar,
+            kHistCount,
+            kHistMean,
+            kHistStddev,
+            kHistMin,
+            kHistMax,
+            kHistP50,
+            kHistP99,
+            kHistP999,
+        };
+
+        struct Entry
+        {
+            std::string name;
+            const void *src = nullptr;
+            Kind kind = Kind::kCounter;
+        };
+
+        std::vector<Entry> entries_;
+    };
+
+    /** Build a FlatView over the current registrations. */
+    FlatView flatView() const;
+
+    /** Number of entries flatten()/flatView() would produce now. */
+    std::size_t
+    flattenedSize() const
+    {
+        return counters_.size() + scalars_.size() + histograms_.size() * 8;
+    }
+
     /** All registered histograms, sorted by name. */
     std::vector<std::pair<std::string, const HistogramStat *>>
     histograms() const;

@@ -51,6 +51,18 @@ writeRunReport(std::ostream &os, const RunManifest &manifest,
     w.key("jobs").value(std::uint64_t{manifest.jobs});
     for (const auto &[key, val] : manifest.extra)
         w.key(key).value(val);
+    // Engine throughput lives under the manifest (provenance, not
+    // results): cachecraft_diff always ignores the "manifest." prefix,
+    // so the host-varying fields never break report comparisons. The
+    // deterministic counters are additionally surfaced by perf_smoke
+    // for strict gating.
+    w.key("sim_throughput").beginObject();
+    w.key("events_executed").value(rs.simThroughput.eventsExecuted);
+    w.key("peak_queue_depth").value(rs.simThroughput.peakQueueDepth);
+    w.key("host_seconds").value(rs.simThroughput.hostSeconds);
+    w.key("events_per_sec").value(rs.simThroughput.eventsPerSec);
+    w.key("sim_mcycles_per_sec").value(rs.simThroughput.simMcyclesPerSec);
+    w.endObject();
     w.endObject();
 
     w.key("config").beginObject();

@@ -8,35 +8,37 @@
 namespace cachecraft::telemetry {
 
 StatSampler::StatSampler(const StatRegistry *registry, Cycle interval)
-    : registry_(registry), interval_(interval)
+    : registry_(registry), view_(registry->flatView()),
+      interval_(interval)
 {
     if (interval_ == 0)
         panic("StatSampler interval must be positive");
-    const auto flat = registry_->flatten();
-    names_.reserve(flat.size());
-    prev_.reserve(flat.size());
-    for (const auto &[name, value] : flat) {
-        names_.push_back(name);
-        prev_.push_back(value);
+    names_.reserve(view_.size());
+    prev_.reserve(view_.size());
+    for (std::size_t i = 0; i < view_.size(); ++i) {
+        names_.push_back(view_.name(i));
+        prev_.push_back(view_.value(i));
     }
 }
 
 void
 StatSampler::closeEpoch(Cycle at)
 {
-    const auto flat = registry_->flatten();
-    if (flat.size() != names_.size())
+    // The view borrows stat pointers fixed at construction; a size
+    // change means something registered behind its back.
+    if (registry_->flattenedSize() != view_.size())
         panic("stats registered while sampling");
 
     Epoch epoch;
     epoch.index = epochStart_ / interval_;
     epoch.start = epochStart_;
     epoch.end = at;
-    for (std::size_t i = 0; i < flat.size(); ++i) {
-        const double delta = flat[i].second - prev_[i];
+    for (std::size_t i = 0; i < view_.size(); ++i) {
+        const double value = view_.value(i);
+        const double delta = value - prev_[i];
         if (delta != 0.0)
             epoch.deltas.emplace_back(i, delta);
-        prev_[i] = flat[i].second;
+        prev_[i] = value;
     }
     epochStart_ = at;
     if (!epoch.deltas.empty())

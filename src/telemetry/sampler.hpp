@@ -65,6 +65,11 @@ class StatSampler
     void closeEpoch(Cycle at);
 
     const std::vector<std::string> &names() const { return names_; }
+    std::size_t
+    statCount() const
+    {
+        return view_.size();
+    }
     const std::vector<Epoch> &epochs() const { return epochs_; }
 
     /** Per-stat sum of all recorded deltas (== final value). */
@@ -78,6 +83,9 @@ class StatSampler
 
   private:
     const StatRegistry *registry_;
+    /** Typed stat pointers cached at construction: each closeEpoch
+     *  reads values directly, with no string-keyed lookups. */
+    StatRegistry::FlatView view_;
     Cycle interval_;
     Cycle epochStart_ = 0;
     std::vector<std::string> names_;

@@ -1,13 +1,18 @@
 /**
  * @file
  * Tests for the discrete-event engine: ordering, deterministic
- * tie-breaking, re-entrant scheduling, and the livelock valve.
+ * tie-breaking, re-entrant scheduling, the livelock valve, the
+ * wheel/overflow-heap horizon, and equivalence with a brute-force
+ * reference model under randomized schedules.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "gpu/event_queue.hpp"
 
 namespace cachecraft {
@@ -107,6 +112,239 @@ TEST(EventQueueDeathTest, PastSchedulingPanics)
         q.schedule(5, [] {});
     });
     EXPECT_DEATH(q.run(), "past");
+}
+
+TEST(EventQueue, ExecutedCountsExecutionsNotSchedules)
+{
+    // Regression pin: executedEvents() used to return the schedule
+    // sequence counter, over-reporting whenever events were pending.
+    EventQueue q;
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    q.schedule(10, [] {});
+    EXPECT_EQ(q.scheduledEvents(), 3u);
+    EXPECT_EQ(q.executedEvents(), 0u);
+    EXPECT_TRUE(q.runUntil(5));
+    EXPECT_EQ(q.executedEvents(), 2u);
+    EXPECT_EQ(q.scheduledEvents(), 3u);
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(q.executedEvents(), 3u);
+}
+
+TEST(EventQueue, PeakDepthTracksMaxPending)
+{
+    EventQueue q;
+    EXPECT_EQ(q.peakDepth(), 0u);
+    for (int i = 0; i < 5; ++i)
+        q.schedule(static_cast<Cycle>(i + 1), [] {});
+    EXPECT_EQ(q.peakDepth(), 5u);
+    q.run();
+    // Draining never lowers the recorded peak.
+    EXPECT_EQ(q.peakDepth(), 5u);
+    q.schedule(q.now() + 1, [] {});
+    q.run();
+    EXPECT_EQ(q.peakDepth(), 5u);
+}
+
+TEST(EventQueue, FarEventsBeyondWheelHorizonExecuteInOrder)
+{
+    // Deltas straddling the 4096-slot wheel horizon: exactly at the
+    // last wheel slot (now + 4095), exactly at the first far cycle
+    // (now + 4096), well past it, and a short one — all must still
+    // come back in (cycle, insertion) order.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(4096, [&] { order.push_back(3); }); // far at schedule
+    q.schedule(4095, [&] { order.push_back(2); }); // last wheel slot
+    q.schedule(100000, [&] { order.push_back(5); });
+    q.schedule(3, [&] { order.push_back(1); });
+    q.schedule(8192, [&] { order.push_back(4); }); // two horizons out
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(q.now(), 100000u);
+}
+
+TEST(EventQueue, FarEventTiesKeepInsertionOrder)
+{
+    // Ties in the overflow heap break by sequence, and a far event
+    // migrated into the wheel keeps its slot relative to an event
+    // scheduled directly into that cycle later.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(50000, [&] { order.push_back(0); });
+    q.schedule(50000, [&] { order.push_back(1); });
+    q.schedule(50000, [&] { order.push_back(2); });
+    q.schedule(1, [&q, &order] {
+        // From cycle 1, 50000 is still beyond the horizon.
+        q.schedule(50000, [&order] { order.push_back(3); });
+    });
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, MigratedFarEventPrecedesLaterDirectSchedule)
+{
+    // An event that entered through the overflow heap must execute
+    // before one scheduled into the same cycle *after* migration —
+    // global seq order, regardless of the path taken into the wheel.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(6000, [&] { order.push_back(0); }); // far; seq 0
+    q.schedule(5000, [&q, &order] {
+        // 6000 is now inside the horizon (and already migrated).
+        q.schedule(6000, [&order] { order.push_back(1); });
+    });
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, RunUntilLimitJumpMigratesFarEvents)
+{
+    // runUntil advancing the clock to an event-free limit must still
+    // pull far events whose cycle entered the horizon, so a
+    // subsequent same-cycle schedule cannot jump ahead of them.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5000, [&] { order.push_back(0); }); // far from cycle 0
+    EXPECT_TRUE(q.runUntil(4000));                 // clock jumps, no events
+    EXPECT_EQ(q.now(), 4000u);
+    q.schedule(5000, [&] { order.push_back(1); }); // now near: wheel
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+/**
+ * Brute-force reference queue: a vector scanned for the minimum
+ * (when, seq) on every pop. Obviously correct, O(n) per event.
+ */
+class ReferenceQueue
+{
+  public:
+    Cycle now() const { return now_; }
+
+    void
+    schedule(Cycle when, std::function<void()> fn)
+    {
+        ASSERT_GE(when, now_);
+        events_.push_back(Event{when, seq_++, std::move(fn)});
+    }
+
+    void
+    scheduleAfter(Cycle delta, std::function<void()> fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    bool empty() const { return events_.empty(); }
+
+    void
+    runUntil(Cycle limit)
+    {
+        while (true) {
+            std::size_t best = events_.size();
+            for (std::size_t i = 0; i < events_.size(); ++i) {
+                if (events_[i].when > limit)
+                    continue;
+                if (best == events_.size() ||
+                    events_[i].when < events_[best].when ||
+                    (events_[i].when == events_[best].when &&
+                     events_[i].seq < events_[best].seq))
+                    best = i;
+            }
+            if (best == events_.size())
+                break;
+            Event ev = std::move(events_[best]);
+            events_.erase(events_.begin() +
+                          static_cast<std::ptrdiff_t>(best));
+            now_ = ev.when;
+            ev.fn();
+        }
+        if (!events_.empty() && now_ < limit)
+            now_ = limit;
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    Cycle now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::vector<Event> events_;
+};
+
+/**
+ * Property test: a randomized self-rescheduling workload (deltas
+ * spanning both sides of the wheel horizon, bursts of ties, random
+ * runUntil interleavings) must execute in the identical order on the
+ * real engine and on the reference model.
+ */
+TEST(EventQueue, MatchesReferenceModelOnRandomSchedules)
+{
+    for (std::uint64_t trial = 0; trial < 20; ++trial) {
+        // Both runs replay the same deterministic script.
+        auto run_script = [trial](auto &q, std::vector<int> &executed) {
+            SplitMix64 rng(trial * 7919 + 1);
+            int next_id = 0;
+            // Each event may reschedule up to two children while the
+            // budget lasts; the same rng draws happen in the same
+            // execution order on both engines.
+            int budget = 400;
+            std::function<void(int)> fire = [&](int id) {
+                executed.push_back(id);
+                for (int child = 0; child < 2; ++child) {
+                    if (budget-- <= 0)
+                        return;
+                    const std::uint64_t r = rng.next();
+                    Cycle delta;
+                    switch (r % 4) {
+                      case 0:
+                        delta = r % 3; // ties and same-cycle
+                        break;
+                      case 1:
+                        delta = 1 + (r >> 8) % 100;
+                        break;
+                      case 2:
+                        delta = 4000 + (r >> 8) % 200; // horizon edge
+                        break;
+                      default:
+                        delta = 5000 + (r >> 8) % 20000; // far
+                        break;
+                    }
+                    const int id_child = next_id++;
+                    q.scheduleAfter(delta,
+                                    [&fire, id_child] { fire(id_child); });
+                }
+            };
+            for (int i = 0; i < 8; ++i) {
+                const int id_root = next_id++;
+                q.schedule(rng.next() % 6000,
+                           [&fire, id_root] { fire(id_root); });
+            }
+            // Drain through randomized runUntil slices to exercise
+            // clock jumps and mid-bucket stops.
+            Cycle limit = 0;
+            while (!q.empty()) {
+                limit += 1 + rng.next() % 9000;
+                q.runUntil(limit);
+            }
+        };
+
+        std::vector<int> real, ref;
+        {
+            EventQueue q;
+            run_script(q, real);
+        }
+        {
+            ReferenceQueue q;
+            run_script(q, ref);
+        }
+        ASSERT_FALSE(real.empty());
+        EXPECT_EQ(real, ref) << "trial " << trial;
+    }
 }
 
 } // namespace
