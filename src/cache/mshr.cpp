@@ -1,5 +1,7 @@
 #include "cache/mshr.hpp"
 
+#include "verify/verify.hpp"
+
 namespace cachecraft {
 
 MshrFile::MshrFile(std::string name, std::size_t capacity,
@@ -36,6 +38,8 @@ MshrFile::allocate(Addr line_addr, std::uint8_t sector_mask,
     entry.requesters.push_back(requester);
     entries_.emplace(line_addr, std::move(entry));
     statAllocations.inc();
+    CACHECRAFT_VERIFY_HOOK(
+        onMshrAllocated(name_.c_str(), entries_.size(), capacity_));
     return AllocOutcome::kNewEntry;
 }
 
@@ -56,6 +60,8 @@ std::vector<std::uint64_t>
 MshrFile::release(Addr line_addr)
 {
     auto it = entries_.find(line_addr);
+    CACHECRAFT_VERIFY_HOOK(onMshrRelease(name_.c_str(), line_addr,
+                                         it != entries_.end()));
     if (it == entries_.end())
         return {};
     std::vector<std::uint64_t> waiters = std::move(it->second.requesters);

@@ -2,6 +2,7 @@
 
 #include "common/bits.hpp"
 #include "common/log.hpp"
+#include "verify/verify.hpp"
 
 namespace cachecraft {
 
@@ -107,6 +108,8 @@ SectoredCache::access(Addr addr, bool is_write)
         if (is_write) {
             way.dirtyMask |= bit;
             statWriteHits.inc();
+            CACHECRAFT_VERIFY_HOOK(onCacheLineState(
+                name_.c_str(), line, way.validMask, way.dirtyMask));
         }
     } else {
         statSectorMisses.inc();
@@ -157,6 +160,8 @@ SectoredCache::fill(Addr addr, SectorMask fill_mask, SectorMask dirty_mask)
     Way &way = ways_[set * params_.assoc + w];
     way.validMask |= fill_mask;
     way.dirtyMask |= static_cast<SectorMask>(dirty_mask & fill_mask);
+    CACHECRAFT_VERIFY_HOOK(onCacheLineState(name_.c_str(), line,
+                                            way.validMask, way.dirtyMask));
     return evicted;
 }
 

@@ -316,6 +316,8 @@ GpuSystem::run(const KernelTrace &trace)
     for (auto &slice : slices_)
         slice->flushAll();
     drain("event budget exceeded during flush");
+    for (const auto &slice : slices_)
+        slice->verifyDrained();
     if (sampler_)
         sampler_->closeEpoch(events_.now());
 
@@ -403,6 +405,30 @@ GpuSystem::auditMemory() const
         }
     }
     return audit;
+}
+
+ecc::DecodeResult
+GpuSystem::decodeStored(Addr sector_addr) const
+{
+    const Addr sector = sectorBase(sector_addr);
+    const ChannelId channel = map_->channelOf(sector);
+    const Addr local = map_->channelLocalOf(sector);
+
+    ecc::SectorData stored{};
+    dram_->readBytes(channel, map_->dataPhys(local),
+                     std::span<std::uint8_t>(stored));
+    if (map_->layout() == EccLayout::kNone) {
+        ecc::DecodeResult res;
+        res.status = ecc::DecodeStatus::kClean;
+        res.data = stored;
+        return res;
+    }
+    ecc::SectorCheck check{};
+    dram_->readBytes(channel,
+                     map_->eccChunkPhys(local) +
+                         sectorInChunk(local) * ecc::kCheckBytesPerSector,
+                     std::span<std::uint8_t>(check));
+    return codec_->decode(stored, check, tagOf(sector));
 }
 
 void

@@ -182,6 +182,26 @@ class GpuSystem
     /** The correct tag of @p addr per the initialized regions. */
     ecc::MemTag tagOf(Addr addr) const;
 
+    /**
+     * Decode the sector at @p sector_addr straight from DRAM storage
+     * (auditMemory's per-sector primitive): stored data + stored
+     * check through the codec with the region's correct tag. Under
+     * the unprotected layout the stored bytes come back as kClean.
+     */
+    ecc::DecodeResult decodeStored(Addr sector_addr) const;
+
+    /** The regions initialize() encoded (empty before initialize). */
+    const std::vector<TaggedRegion> &regions() const { return regions_; }
+
+    /**
+     * Deterministic architectural data pattern of @p sector_addr
+     * after @p generation stores (generation 0 = the init pattern) —
+     * public so the differential oracle can recompute expected final
+     * state purely from a trace.
+     */
+    static ecc::SectorData pattern(Addr sector_addr,
+                                   std::uint64_t generation);
+
     const SystemConfig &config() const { return config_; }
     StatRegistry &statsRegistry() { return stats_; }
     const AddressMap &addressMap() const { return *map_; }
@@ -198,10 +218,6 @@ class GpuSystem
     }
 
   private:
-    /** Deterministic data pattern for (sector, generation). */
-    static ecc::SectorData pattern(Addr sector_addr,
-                                   std::uint64_t generation);
-
     /** Record a store's new architectural value. */
     void onStore(Addr sector_addr);
 

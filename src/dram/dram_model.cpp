@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "telemetry/telemetry.hpp"
+#include "verify/verify.hpp"
 
 namespace cachecraft {
 
@@ -124,6 +125,7 @@ DramChannel::tryIssue()
 
     const Cycle complete_at = done_at + timing_.tController;
     statQueueLatency.sample(complete_at - pending.arrival);
+    CACHECRAFT_VERIFY_HOOK(onDramCompletion(now, complete_at));
 
     if (telemetry_) {
         if (auto *prof = telemetry_->profiler()) {

@@ -30,6 +30,7 @@
 #include "common/inplace_function.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "verify/verify.hpp"
 
 namespace cachecraft {
 
@@ -135,6 +136,7 @@ class EventQueue
                 return true; // drained; clock stays on the last event
             if (next > limit) {
                 if (now_ < limit) {
+                    CACHECRAFT_VERIFY_HOOK(onClockAdvance(now_, limit));
                     now_ = limit;
                     migrateFar();
                 }
@@ -144,6 +146,7 @@ class EventQueue
                 ++valveTrips_;
                 return false;
             }
+            CACHECRAFT_VERIFY_HOOK(onClockAdvance(now_, next));
             now_ = next;
             migrateFar();
         }

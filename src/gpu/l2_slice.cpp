@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "telemetry/telemetry.hpp"
+#include "verify/verify.hpp"
 
 namespace cachecraft {
 
@@ -226,6 +227,22 @@ L2Slice::flushAll()
         cache_.cleanSectors(line, mask);
     }
     scheme_->flush();
+}
+
+void
+L2Slice::verifyDrained() const
+{
+    // Called after the post-flush event drain: everything in flight
+    // must have retired by now, so any residue is a leak.
+    CACHECRAFT_VERIFY_HOOK(
+        onDrainResidue((name_ + ".mshr").c_str(), mshrs_.size()));
+    CACHECRAFT_VERIFY_HOOK(
+        onDrainResidue((name_ + ".waiting").c_str(), waiting_.size()));
+    CACHECRAFT_VERIFY_HOOK(
+        onDrainResidue((name_ + ".blocked").c_str(), blocked_.size()));
+    CACHECRAFT_VERIFY_HOOK(onDrainResidue(
+        (name_ + ".meta_fetches").c_str(),
+        scheme_->outstandingMetaFetches()));
 }
 
 } // namespace cachecraft

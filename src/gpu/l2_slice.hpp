@@ -83,6 +83,14 @@ class L2Slice
      */
     void flushAll();
 
+    /**
+     * Fire the verification drain-residue hooks (no-op unless built
+     * with CACHECRAFT_VERIFY). Call only once the event queue has
+     * drained after flushAll(): by then MSHRs, waiter lists, blocked
+     * reads, and scheme metadata fetches must all be empty.
+     */
+    void verifyDrained() const;
+
     ProtectionScheme &scheme() { return *scheme_; }
     const SectoredCache &cache() const { return cache_; }
 

@@ -181,7 +181,14 @@ SmCore::issueSector(std::size_t w, SectorRequest req, ecc::MemTag tag)
             for (auto &waiter : node.mapped())
                 waiter();
         }
-        if (!blocked_.empty()) {
+        // Re-admit parked sectors while MSHR slots remain. Admitting
+        // just one would lose a wakeup: if it hits in the L1 (its
+        // line arrived with this fill), it consumes the admission
+        // without allocating an MSHR, and — were this the last
+        // outstanding fetch — the rest of the queue would starve with
+        // an empty event queue (deadlock found by cachecraft_fuzz).
+        while (!blocked_.empty() &&
+               l1Mshrs_.size() < l1Mshrs_.capacity()) {
             const BlockedSector blocked = blocked_.front();
             blocked_.pop_front();
             issueSector(blocked.warp, blocked.req, blocked.tag);

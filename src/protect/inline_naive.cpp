@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "verify/verify.hpp"
+
 namespace cachecraft {
 
 void
@@ -25,6 +27,7 @@ InlineNaiveScheme::writeSector(Addr logical, const ecc::SectorData &data,
                                ecc::MemTag tag)
 {
     // Functional state updates immediately; transactions model cost.
+    CACHECRAFT_VERIFY_HOOK(onWriteSector(logical, data.data(), tag));
     ctx_.dram->writeBytes(ctx_.channel, dataPhys(logical),
                           std::span<const std::uint8_t>(data));
     const ecc::SectorCheck check = ctx_.codec->encode(data, tag);

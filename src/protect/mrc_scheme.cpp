@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "telemetry/telemetry.hpp"
+#include "verify/verify.hpp"
 
 namespace cachecraft {
 
@@ -192,8 +193,20 @@ MrcScheme::readSector(Addr logical, ecc::MemTag tag, FetchCallback done,
             // A resident field is the on-chip reconstructed copy
             // (shadow bytes); a fetched field is whatever DRAM held,
             // faults included.
-            if (resident)
+            if (resident) {
                 readSlot(handle).fromShadow = true;
+#if defined(CACHECRAFT_VERIFY_ENABLED)
+                if (verify::Listener *l = verify::activeListener()) {
+                    const PendingRead &slot = readSlot(handle);
+                    const ecc::SectorCheck chk =
+                        readShadowCheck(slot.logical);
+                    l->onMrcResidentCheck(
+                        slot.logical,
+                        static_cast<std::uint8_t>(slot.tagBits),
+                        chk.data());
+                }
+#endif
+            }
             joinRead(handle);
         },
         trace_id);
@@ -205,10 +218,12 @@ MrcScheme::writeSector(Addr logical, const ecc::SectorData &data,
 {
     // Functional state first: data to DRAM, fresh check field to the
     // shadow (the on-chip reconstructed value).
+    CACHECRAFT_VERIFY_HOOK(onWriteSector(logical, data.data(), tag));
     ctx_.dram->writeBytes(ctx_.channel, dataPhys(logical),
                           std::span<const std::uint8_t>(data));
     const ecc::SectorCheck check = ctx_.codec->encode(data, tag);
-    writeShadowCheck(logical, check);
+    if (!options_.plantStaleMetaBug)
+        writeShadowCheck(logical, check);
 
     issueDataTxn(logical, /* is_write= */ true, nullptr);
 

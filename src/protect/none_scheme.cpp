@@ -1,5 +1,7 @@
 #include "protect/none_scheme.hpp"
 
+#include "verify/verify.hpp"
+
 namespace cachecraft {
 
 void
@@ -20,6 +22,10 @@ NoneScheme::readSector(Addr logical, ecc::MemTag /* tag */,
             res.status = ecc::DecodeStatus::kClean;
             res.data = readStoredData(read.logical);
             stats.decodeClean.inc();
+            CACHECRAFT_VERIFY_HOOK(onDecodeSector(
+                read.logical, 0,
+                static_cast<std::uint8_t>(res.status), res.data.data(),
+                /* from_shadow= */ false));
             read.done(res);
         },
         trace_id);
@@ -27,8 +33,10 @@ NoneScheme::readSector(Addr logical, ecc::MemTag /* tag */,
 
 void
 NoneScheme::writeSector(Addr logical, const ecc::SectorData &data,
-                        ecc::MemTag /* tag */)
+                        ecc::MemTag tag)
 {
+    (void)tag;
+    CACHECRAFT_VERIFY_HOOK(onWriteSector(logical, data.data(), tag));
     ctx_.dram->writeBytes(ctx_.channel, dataPhys(logical),
                           std::span<const std::uint8_t>(data));
     issueDataTxn(logical, /* is_write= */ true, nullptr);

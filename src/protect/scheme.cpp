@@ -5,6 +5,7 @@
 #include "protect/mrc_scheme.hpp"
 #include "protect/none_scheme.hpp"
 #include "telemetry/telemetry.hpp"
+#include "verify/verify.hpp"
 
 namespace cachecraft {
 
@@ -301,6 +302,9 @@ ProtectionScheme::decodeSector(Addr logical, ecc::MemTag tag,
         ctx_.telemetry->instant(telemetry::Stage::kDecode, trace_id,
                                 ctx_.events->now(), "status",
                                 static_cast<double>(res.status));
+    CACHECRAFT_VERIFY_HOOK(onDecodeSector(
+        logical, tag, static_cast<std::uint8_t>(res.status),
+        res.data.data(), check_from_shadow));
     return res;
 }
 
@@ -310,6 +314,7 @@ ProtectionScheme::initializeSector(Addr logical, const ecc::SectorData &data,
 {
     ctx_.dram->writeBytes(ctx_.channel, dataPhys(logical),
                           std::span<const std::uint8_t>(data));
+    CACHECRAFT_VERIFY_HOOK(onInitSector(logical, data.data(), tag));
     if (ctx_.map->layout() == EccLayout::kNone)
         return;
     const ecc::SectorCheck check = ctx_.codec->encode(data, tag);

@@ -276,6 +276,14 @@ struct MrcOptions
      * miss.
      */
     bool fetchOnWriteMiss = true;
+    /**
+     * Deliberately skip the shadow-check update on writeSector — a
+     * *planted* metadata-invalidation bug used only by the
+     * differential-verification tests to prove the golden oracle and
+     * cachecraft_fuzz catch (and minimize) real defects. Never set
+     * outside those tests.
+     */
+    bool plantStaleMetaBug = false;
 };
 
 /** Factory: build scheme @p kind for one slice. */

@@ -1,0 +1,55 @@
+#include "verify/golden.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "telemetry/diff.hpp"
+#include "telemetry/report_set.hpp"
+#include "verify/sha256.hpp"
+
+namespace cachecraft::verify {
+
+std::string
+canonicalReportTree(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::string out;
+    for (const std::string &relative :
+         telemetry::listJsonFilesRecursive(dir)) {
+        out += "== ";
+        out += relative;
+        out += '\n';
+
+        const fs::path path = fs::path(dir) / relative;
+        std::ifstream in(path);
+        if (!in) {
+            out += "!! " + relative + ": cannot read\n";
+            continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string error;
+        auto doc = jsonParse(buf.str(), &error);
+        if (!doc) {
+            out += "!! " + relative + ": " + error + '\n';
+            continue;
+        }
+        for (const auto &[metric, value] : telemetry::flattenNumeric(*doc)) {
+            out += metric;
+            out += '=';
+            out += jsonNumber(value);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string
+canonicalReportTreeHash(const std::string &dir)
+{
+    return sha256Hex(canonicalReportTree(dir));
+}
+
+} // namespace cachecraft::verify

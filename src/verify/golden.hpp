@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Canonical hashing of a report tree, for golden end-to-end pins.
+ *
+ * The campaign runner's determinism contract says a campaign's report
+ * content depends only on (spec, seed) — never on --jobs, wall time,
+ * or host. canonicalReportTreeHash() turns that contract into one
+ * comparable value: every *.json under the tree (sorted relative
+ * paths), flattened to its numeric metric leaves with the standard
+ * host-varying "manifest." prefix dropped, serialized canonically, and
+ * SHA-256'd. Any behavioural drift in the simulator — one extra DRAM
+ * transaction anywhere in the ci_smoke matrix — changes the digest.
+ */
+
+#ifndef CACHECRAFT_VERIFY_GOLDEN_HPP
+#define CACHECRAFT_VERIFY_GOLDEN_HPP
+
+#include <string>
+
+namespace cachecraft::verify {
+
+/**
+ * Canonical serialization of @p dir's report tree: for each JSON file
+ * (sorted tree-relative paths), a "== <path>" header followed by one
+ * "metric=value" line per flattened numeric leaf (telemetry
+ * flattenNumeric with default ignore prefixes, values via jsonNumber
+ * so formatting is byte-stable). Unreadable/unparseable files are
+ * recorded as "!! <path>: <error>" lines — they change the hash, so a
+ * broken tree cannot silently match a healthy pin.
+ */
+std::string canonicalReportTree(const std::string &dir);
+
+/** Hex SHA-256 of canonicalReportTree(dir). */
+std::string canonicalReportTreeHash(const std::string &dir);
+
+} // namespace cachecraft::verify
+
+#endif // CACHECRAFT_VERIFY_GOLDEN_HPP

@@ -1,0 +1,76 @@
+#include "verify/invariants.hpp"
+
+#include "common/log.hpp"
+#include "verify/oracle.hpp"
+
+namespace cachecraft::verify {
+
+void
+InvariantChecker::violation(std::string message)
+{
+    ++violationCount_;
+    if (violations_.size() < kMaxRetainedViolations)
+        violations_.push_back(std::move(message));
+}
+
+void
+InvariantChecker::onDrainResidue(const char *component, std::uint64_t count)
+{
+    ++eventsChecked_;
+    if (count != 0)
+        violation(strCat(component, ": ", count,
+                         " entries leaked past end-of-run drain"));
+}
+
+void
+InvariantChecker::onCacheLineState(const char *cache, Addr line,
+                                   std::uint8_t valid_mask,
+                                   std::uint8_t dirty_mask)
+{
+    ++eventsChecked_;
+    if (dirty_mask & static_cast<std::uint8_t>(~valid_mask))
+        violation(strCat(cache, ": line 0x", std::hex, line,
+                         " has dirty sectors outside its valid mask",
+                         " (valid=0x", static_cast<unsigned>(valid_mask),
+                         " dirty=0x", static_cast<unsigned>(dirty_mask),
+                         ")"));
+}
+
+void
+InvariantChecker::onMshrAllocated(const char *mshr, std::uint64_t size,
+                                  std::uint64_t capacity)
+{
+    ++eventsChecked_;
+    if (size > capacity)
+        violation(strCat(mshr, ": occupancy ", size,
+                         " exceeds capacity ", capacity));
+}
+
+void
+InvariantChecker::onMshrRelease(const char *mshr, Addr line, bool present)
+{
+    ++eventsChecked_;
+    if (!present)
+        violation(strCat(mshr, ": release of absent line 0x", std::hex,
+                         line));
+}
+
+void
+InvariantChecker::onClockAdvance(Cycle from, Cycle to)
+{
+    ++eventsChecked_;
+    if (to < from)
+        violation(strCat("event queue clock moved backwards: ", from,
+                         " -> ", to));
+}
+
+void
+InvariantChecker::onDramCompletion(Cycle now, Cycle complete_at)
+{
+    ++eventsChecked_;
+    if (complete_at < now)
+        violation(strCat("DRAM completion scheduled in the past: now=",
+                         now, " complete_at=", complete_at));
+}
+
+} // namespace cachecraft::verify

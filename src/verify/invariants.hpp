@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Structural invariant checker for the memory hierarchy.
+ *
+ * Judges the structural hook stream (see verify.hpp) against the
+ * model's standing invariants:
+ *
+ *  - no leaked MSHR entries, waiters, or blocked requests at drain
+ *    (onDrainResidue must always report zero);
+ *  - cache way state: a dirty sector is always a valid sector;
+ *  - MSHR occupancy never exceeds capacity, and releases only retire
+ *    entries that exist;
+ *  - the event-queue clock never moves backwards;
+ *  - DRAM transactions never complete before they issue.
+ *
+ * Violations are retained (capped) as strings; the checker never
+ * aborts, so a fuzz run can collect everything a case exposes.
+ */
+
+#ifndef CACHECRAFT_VERIFY_INVARIANTS_HPP
+#define CACHECRAFT_VERIFY_INVARIANTS_HPP
+
+#include <string>
+#include <vector>
+
+#include "verify/verify.hpp"
+
+namespace cachecraft::verify {
+
+/** Structural invariant checker; see file comment. */
+class InvariantChecker : public Listener
+{
+  public:
+    void onDrainResidue(const char *component,
+                        std::uint64_t count) override;
+    void onCacheLineState(const char *cache, Addr line,
+                          std::uint8_t valid_mask,
+                          std::uint8_t dirty_mask) override;
+    void onMshrAllocated(const char *mshr, std::uint64_t size,
+                         std::uint64_t capacity) override;
+    void onMshrRelease(const char *mshr, Addr line, bool present) override;
+    void onClockAdvance(Cycle from, Cycle to) override;
+    void onDramCompletion(Cycle now, Cycle complete_at) override;
+
+    bool ok() const { return violationCount_ == 0; }
+    std::uint64_t violationCount() const { return violationCount_; }
+    const std::vector<std::string> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Hook events judged (a liveness check for the hook wiring). */
+    std::uint64_t eventsChecked() const { return eventsChecked_; }
+
+  private:
+    void violation(std::string message);
+
+    std::vector<std::string> violations_;
+    std::uint64_t violationCount_ = 0;
+    std::uint64_t eventsChecked_ = 0;
+};
+
+} // namespace cachecraft::verify
+
+#endif // CACHECRAFT_VERIFY_INVARIANTS_HPP

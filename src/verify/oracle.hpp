@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The golden memory oracle: a flat functional model of device memory
+ * driven by the same verification hooks the timing model fires.
+ *
+ * Semantics (DESIGN.md §8.5): the oracle replays every functional
+ * commit (initializeSector, scheme writeSector) into a plain
+ * address-to-bytes map, and judges every decode completion against it
+ * — a load must observe exactly the last architecturally ordered
+ * store, and untouched sectors must still hold their init pattern.
+ * Sectors a fault campaign has corrupted are *tainted*: detected-
+ * uncorrectable outcomes are legal there, but silently wrong data
+ * never is.
+ *
+ * verifyFinalState() is the trace-level half of the oracle: it
+ * recomputes each sector's expected end-of-run value purely from the
+ * KernelTrace (store counts through the coalescer reference) and
+ * checks both the architectural copy and a fresh decode of DRAM
+ * against it — independent of everything the timing model did.
+ */
+
+#ifndef CACHECRAFT_VERIFY_ORACLE_HPP
+#define CACHECRAFT_VERIFY_ORACLE_HPP
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ecc/codec.hpp"
+#include "verify/verify.hpp"
+
+namespace cachecraft {
+
+class GpuSystem;
+struct KernelTrace;
+
+namespace verify {
+
+/** Upper bound on retained violation strings (the rest are counted). */
+inline constexpr std::size_t kMaxRetainedViolations = 32;
+
+/** Golden memory oracle; see file comment. */
+class GoldenOracle : public Listener
+{
+  public:
+    /** @param codec the run's codec, for recomputing MRC encodes. */
+    explicit GoldenOracle(const ecc::SectorCodec *codec) : codec_(codec) {}
+
+    void onInitSector(Addr sector, const std::uint8_t *data,
+                      std::uint8_t tag) override;
+    void onWriteSector(Addr sector, const std::uint8_t *data,
+                       std::uint8_t tag) override;
+    void onDecodeSector(Addr sector, std::uint8_t tag, std::uint8_t status,
+                        const std::uint8_t *data, bool from_shadow) override;
+    void onMrcResidentCheck(Addr sector, std::uint8_t tag,
+                            const std::uint8_t *check) override;
+
+    /**
+     * Mark @p sector as carrying an injected fault: detected-
+     * uncorrectable decodes there stop being violations (wrong data
+     * under a clean/corrected status still is).
+     */
+    void taintSector(Addr sector);
+    /** Taint all eight sectors covered by @p sector's ECC chunk. */
+    void taintChunk(Addr sector);
+
+    /** The oracle's current value of @p sector (null if never set). */
+    const ecc::SectorData *lookup(Addr sector) const;
+
+    bool ok() const { return violationCount_ == 0; }
+    std::uint64_t violationCount() const { return violationCount_; }
+    const std::vector<std::string> &violations() const
+    {
+        return violations_;
+    }
+
+    std::uint64_t decodesChecked() const { return decodesChecked_; }
+
+  private:
+    struct SectorState
+    {
+        ecc::SectorData data{};
+        ecc::MemTag tag = 0;
+    };
+
+    void violation(std::string message);
+
+    const ecc::SectorCodec *codec_;
+    std::unordered_map<Addr, SectorState> mem_;
+    std::set<Addr> tainted_;
+    std::vector<std::string> violations_;
+    std::uint64_t violationCount_ = 0;
+    std::uint64_t decodesChecked_ = 0;
+};
+
+/**
+ * Trace-derived end-of-run check (run after GpuSystem::run, which
+ * flushes all dirty state): for every region sector, the expected
+ * value is pattern(sector, number-of-stores-to-it); both archRead()
+ * and a fresh decode of DRAM storage must agree. @p tainted sectors
+ * may decode uncorrectable; everything else must decode clean or
+ * corrected with exactly the expected bytes.
+ *
+ * @return violation strings (empty = consistent), capped like the
+ * oracle's live list.
+ */
+std::vector<std::string> verifyFinalState(const GpuSystem &gpu,
+                                          const KernelTrace &trace,
+                                          const std::set<Addr> &tainted);
+
+} // namespace verify
+} // namespace cachecraft
+
+#endif // CACHECRAFT_VERIFY_ORACLE_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Self-contained SHA-256 (FIPS 180-4) for golden-artifact pinning.
+ *
+ * The golden end-to-end regression commits the digest of a canonical
+ * serialization of the ci_smoke report tree; no external crypto
+ * dependency is available in the toolchain image, so the 64-round
+ * compression function lives here. Byte-exactness is the only
+ * requirement — this is an integrity pin, not a security boundary.
+ */
+
+#ifndef CACHECRAFT_VERIFY_SHA256_HPP
+#define CACHECRAFT_VERIFY_SHA256_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cachecraft::verify {
+
+/** Incremental SHA-256 context. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p bytes. */
+    void update(const void *bytes, std::size_t len);
+    void update(std::string_view s) { update(s.data(), s.size()); }
+
+    /** Finalize and return the 32-byte digest (context is spent). */
+    std::array<std::uint8_t, 32> digest();
+
+    /** Finalize and return the digest as 64 lowercase hex chars. */
+    std::string hexDigest();
+
+  private:
+    void compress(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::size_t bufferLen_ = 0;
+    std::uint64_t totalBytes_ = 0;
+};
+
+/** One-shot convenience: hex SHA-256 of @p data. */
+std::string sha256Hex(std::string_view data);
+
+} // namespace cachecraft::verify
+
+#endif // CACHECRAFT_VERIFY_SHA256_HPP

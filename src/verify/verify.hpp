@@ -1,0 +1,288 @@
+/**
+ * @file
+ * The differential-verification hook layer.
+ *
+ * Model components report semantically interesting moments (functional
+ * state commits, decode completions, structural-state transitions)
+ * through CACHECRAFT_VERIFY_HOOK to a per-thread verify::Listener.
+ * Checkers (the golden memory oracle, the layer invariant checker)
+ * implement Listener; production runs install none, so every hook is a
+ * thread-local load plus an untaken branch. Configuring with
+ * -DCACHECRAFT_VERIFY=OFF compiles the hooks out entirely, leaving the
+ * Release hot paths byte-identical to an unhooked build.
+ *
+ * This header is included from hot-path headers (event_queue.hpp), so
+ * it deliberately depends only on common/types.hpp: sector payloads
+ * and check fields cross the hook boundary as raw byte pointers and
+ * DecodeStatus as its underlying integer (see ecc/codec.hpp for the
+ * typed definitions the checkers reconstruct).
+ */
+
+#ifndef CACHECRAFT_VERIFY_VERIFY_HPP
+#define CACHECRAFT_VERIFY_VERIFY_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace cachecraft::verify {
+
+/**
+ * Observer interface for verification hooks. Every method has an
+ * empty default so checkers override only what they judge.
+ *
+ * Byte-pointer contract: `data` points at kSectorBytes (32) bytes,
+ * `check` at ecc::kCheckBytesPerSector (4) bytes; both are valid only
+ * for the duration of the call.
+ */
+class Listener
+{
+  public:
+    virtual ~Listener() = default;
+
+    /** @{ Functional-state commits of the protection layer. */
+    /** initializeSector encoded @p data at @p sector with @p tag. */
+    virtual void
+    onInitSector(Addr sector, const std::uint8_t *data, std::uint8_t tag)
+    {
+        (void)sector;
+        (void)data;
+        (void)tag;
+    }
+
+    /** A scheme writeSector committed @p data (dirty writeback). */
+    virtual void
+    onWriteSector(Addr sector, const std::uint8_t *data, std::uint8_t tag)
+    {
+        (void)sector;
+        (void)data;
+        (void)tag;
+    }
+
+    /**
+     * A sector read decoded and completed. @p status is
+     * ecc::DecodeStatus as its underlying integer; @p from_shadow is
+     * true when the check bytes came from the on-chip reconstructed
+     * copy (an MRC hit) rather than DRAM.
+     */
+    virtual void
+    onDecodeSector(Addr sector, std::uint8_t tag, std::uint8_t status,
+                   const std::uint8_t *data, bool from_shadow)
+    {
+        (void)sector;
+        (void)tag;
+        (void)status;
+        (void)data;
+        (void)from_shadow;
+    }
+
+    /**
+     * An MRC probe hit: the resident (shadow) check bytes about to
+     * feed the decode. The oracle recomputes the encode and flags
+     * stale cached metadata.
+     */
+    virtual void
+    onMrcResidentCheck(Addr sector, std::uint8_t tag,
+                       const std::uint8_t *check)
+    {
+        (void)sector;
+        (void)tag;
+        (void)check;
+    }
+    /** @} */
+
+    /** @{ Structural invariants. */
+    /**
+     * End-of-run drain found @p count leftover entries in
+     * @p component ("l2.slice0.mshr", "l2.slice0.waiting", ...).
+     * Anything non-zero after the event queue drained is a leak.
+     */
+    virtual void
+    onDrainResidue(const char *component, std::uint64_t count)
+    {
+        (void)component;
+        (void)count;
+    }
+
+    /** A cache way mutated; masks must satisfy dirty subset-of valid. */
+    virtual void
+    onCacheLineState(const char *cache, Addr line, std::uint8_t valid_mask,
+                     std::uint8_t dirty_mask)
+    {
+        (void)cache;
+        (void)line;
+        (void)valid_mask;
+        (void)dirty_mask;
+    }
+
+    /** An MSHR entry was created; occupancy must respect capacity. */
+    virtual void
+    onMshrAllocated(const char *mshr, std::uint64_t size,
+                    std::uint64_t capacity)
+    {
+        (void)mshr;
+        (void)size;
+        (void)capacity;
+    }
+
+    /** An MSHR release; @p present is false for a phantom release. */
+    virtual void
+    onMshrRelease(const char *mshr, Addr line, bool present)
+    {
+        (void)mshr;
+        (void)line;
+        (void)present;
+    }
+
+    /** The event-queue clock advanced from @p from to @p to. */
+    virtual void
+    onClockAdvance(Cycle from, Cycle to)
+    {
+        (void)from;
+        (void)to;
+    }
+
+    /** A DRAM transaction scheduled its completion for @p complete_at. */
+    virtual void
+    onDramCompletion(Cycle now, Cycle complete_at)
+    {
+        (void)now;
+        (void)complete_at;
+    }
+    /** @} */
+};
+
+/**
+ * The listener hooks on this thread report to (null = verification
+ * off, the production state). Thread-local so campaign worker threads
+ * verify independent points without interference.
+ */
+inline thread_local Listener *tlsActiveListener = nullptr;
+
+inline Listener *
+activeListener()
+{
+    return tlsActiveListener;
+}
+
+/** Install @p listener for the current scope (RAII; nestable). */
+class ScopedListener
+{
+  public:
+    explicit ScopedListener(Listener *listener)
+        : previous_(tlsActiveListener)
+    {
+        tlsActiveListener = listener;
+    }
+
+    ~ScopedListener() { tlsActiveListener = previous_; }
+
+    ScopedListener(const ScopedListener &) = delete;
+    ScopedListener &operator=(const ScopedListener &) = delete;
+
+  private:
+    Listener *previous_;
+};
+
+/** Fan one hook stream out to several checkers (oracle + invariants). */
+class ListenerFanout : public Listener
+{
+  public:
+    void add(Listener *listener) { listeners_[count_++] = listener; }
+
+    void
+    onInitSector(Addr sector, const std::uint8_t *data,
+                 std::uint8_t tag) override
+    {
+        for (std::size_t i = 0; i < count_; ++i)
+            listeners_[i]->onInitSector(sector, data, tag);
+    }
+    void
+    onWriteSector(Addr sector, const std::uint8_t *data,
+                  std::uint8_t tag) override
+    {
+        for (std::size_t i = 0; i < count_; ++i)
+            listeners_[i]->onWriteSector(sector, data, tag);
+    }
+    void
+    onDecodeSector(Addr sector, std::uint8_t tag, std::uint8_t status,
+                   const std::uint8_t *data, bool from_shadow) override
+    {
+        for (std::size_t i = 0; i < count_; ++i)
+            listeners_[i]->onDecodeSector(sector, tag, status, data,
+                                          from_shadow);
+    }
+    void
+    onMrcResidentCheck(Addr sector, std::uint8_t tag,
+                       const std::uint8_t *check) override
+    {
+        for (std::size_t i = 0; i < count_; ++i)
+            listeners_[i]->onMrcResidentCheck(sector, tag, check);
+    }
+    void
+    onDrainResidue(const char *component, std::uint64_t count) override
+    {
+        for (std::size_t i = 0; i < count_; ++i)
+            listeners_[i]->onDrainResidue(component, count);
+    }
+    void
+    onCacheLineState(const char *cache, Addr line, std::uint8_t valid_mask,
+                     std::uint8_t dirty_mask) override
+    {
+        for (std::size_t i = 0; i < count_; ++i)
+            listeners_[i]->onCacheLineState(cache, line, valid_mask,
+                                            dirty_mask);
+    }
+    void
+    onMshrAllocated(const char *mshr, std::uint64_t size,
+                    std::uint64_t capacity) override
+    {
+        for (std::size_t i = 0; i < count_; ++i)
+            listeners_[i]->onMshrAllocated(mshr, size, capacity);
+    }
+    void
+    onMshrRelease(const char *mshr, Addr line, bool present) override
+    {
+        for (std::size_t i = 0; i < count_; ++i)
+            listeners_[i]->onMshrRelease(mshr, line, present);
+    }
+    void
+    onClockAdvance(Cycle from, Cycle to) override
+    {
+        for (std::size_t i = 0; i < count_; ++i)
+            listeners_[i]->onClockAdvance(from, to);
+    }
+    void
+    onDramCompletion(Cycle now, Cycle complete_at) override
+    {
+        for (std::size_t i = 0; i < count_; ++i)
+            listeners_[i]->onDramCompletion(now, complete_at);
+    }
+
+  private:
+    static constexpr std::size_t kMaxListeners = 4;
+    Listener *listeners_[kMaxListeners] = {};
+    std::size_t count_ = 0;
+};
+
+} // namespace cachecraft::verify
+
+/**
+ * Report a verification event: expands to a guarded virtual call on
+ * the active listener, or to nothing when CACHECRAFT_VERIFY=OFF.
+ * Usage: CACHECRAFT_VERIFY_HOOK(onClockAdvance(now_, next));
+ */
+#if defined(CACHECRAFT_VERIFY_ENABLED)
+#define CACHECRAFT_VERIFY_HOOK(call)                                        \
+    do {                                                                    \
+        if (::cachecraft::verify::Listener *verifyListenerTmp_ =            \
+                ::cachecraft::verify::activeListener())                     \
+            verifyListenerTmp_->call;                                       \
+    } while (0)
+#else
+#define CACHECRAFT_VERIFY_HOOK(call)                                        \
+    do {                                                                    \
+    } while (0)
+#endif
+
+#endif // CACHECRAFT_VERIFY_VERIFY_HPP

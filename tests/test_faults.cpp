@@ -208,6 +208,145 @@ TEST(Faults, ManyRandomSingleBitsAllHandledByChipkill)
     EXPECT_EQ(audit.uncorrectable, 0u);
 }
 
+// --------------------------------------------------------------------
+// Fault-soak matrix: every pattern x every scheme, with the per-codec
+// reliability contract pinned explicitly.
+// --------------------------------------------------------------------
+
+/** What a codec promises against one injected pattern. */
+enum class Guarantee
+{
+    kCorrected, //!< corrected: no DUE, no SDC
+    kNoSdc,     //!< detected at worst: may DUE, never silent
+    kNone,      //!< beyond the code: anything goes
+};
+
+const char *
+toString(Guarantee g)
+{
+    switch (g) {
+      case Guarantee::kCorrected: return "corrected";
+      case Guarantee::kNoSdc: return "no-sdc";
+      case Guarantee::kNone: return "none";
+    }
+    return "?";
+}
+
+/**
+ * The pinned contract. Chipkill (RS, t=2 symbols) corrects every
+ * modeled pattern. SEC-DED operates on plain 64-bit words (no bit
+ * interleave): single bits and single ECC-region bits are corrected;
+ * an adjacent pair lands inside one word, which DED detects but
+ * cannot correct; a whole-byte error is an even-weight 8-bit flip in
+ * one word that can alias past SEC-DED entirely, so — like two random
+ * bytes — it carries no guarantee. Random double bits split across
+ * words at worst (two correctable singles) or share one (detected).
+ */
+Guarantee
+contractFor(ecc::CodecKind codec, FaultPattern pattern)
+{
+    if (codec == ecc::CodecKind::kChipkill)
+        return Guarantee::kCorrected;
+    switch (pattern) {
+      case FaultPattern::kSingleBit:
+      case FaultPattern::kEccChunkBit:
+        return Guarantee::kCorrected;
+      case FaultPattern::kDoubleBitAdjacent:
+      case FaultPattern::kDoubleBitRandom:
+        return Guarantee::kNoSdc;
+      case FaultPattern::kByteError:
+      case FaultPattern::kTwoByteError:
+        return Guarantee::kNone;
+    }
+    return Guarantee::kNone;
+}
+
+using SoakParam = std::tuple<SchemeKind, ecc::CodecKind, FaultPattern>;
+
+class FaultSoakMatrix : public ::testing::TestWithParam<SoakParam>
+{
+};
+
+TEST_P(FaultSoakMatrix, ContractHoldsThroughFullSystem)
+{
+    const auto [scheme, codec, pattern] = GetParam();
+    auto trace = smallTrace();
+    GpuSystem gpu(faultConfig(scheme, codec));
+    gpu.initialize(trace);
+    FaultInjector inj(4242);
+    const auto plan = inj.plan(pattern, trace.regions[0].base,
+                               trace.regions[0].size);
+    FaultInjector::apply(gpu, plan);
+    gpu.run(trace);
+    const auto audit = gpu.auditMemory();
+
+    // The end-of-run audit decodes every region sector, so the
+    // injected fault is judged even if the run overwrote or never
+    // touched it (overwrites clear it — the contract bounds are
+    // one-sided by design).
+    const Guarantee want = contractFor(codec, pattern);
+    SCOPED_TRACE(std::string(toString(scheme)) + " / " +
+                 ecc::toString(codec) + " / " + toString(pattern) +
+                 " -> " + toString(want));
+    switch (want) {
+      case Guarantee::kCorrected:
+        EXPECT_EQ(audit.uncorrectable, 0u);
+        EXPECT_EQ(audit.silentCorruptions, 0u);
+        break;
+      case Guarantee::kNoSdc:
+        EXPECT_EQ(audit.silentCorruptions, 0u);
+        break;
+      case Guarantee::kNone:
+        break; // must only survive the run (no crash, audit completes)
+    }
+}
+
+std::string
+soakName(const ::testing::TestParamInfo<SoakParam> &info)
+{
+    std::string s = std::string(toString(std::get<0>(info.param))) + "_" +
+                    ecc::toString(std::get<1>(info.param)) + "_" +
+                    cachecraft::toString(std::get<2>(info.param));
+    for (char &c : s)
+        if (c == '-')
+            c = '_';
+    return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtectedSchemes, FaultSoakMatrix,
+    ::testing::Combine(
+        ::testing::Values(SchemeKind::kInlineNaive, SchemeKind::kEccCache,
+                          SchemeKind::kCacheCraft),
+        ::testing::Values(ecc::CodecKind::kSecDed,
+                          ecc::CodecKind::kChipkill),
+        ::testing::ValuesIn(allFaultPatterns())),
+    soakName);
+
+TEST(FaultSoak, UnprotectedSchemeNeverReportsErrors)
+{
+    // no-ecc has no detection machinery: every pattern must flow
+    // through without a single DUE or reported correction — faults
+    // surface (if at all) only as silent corruption in the audit.
+    for (auto pattern : allFaultPatterns()) {
+        if (pattern == FaultPattern::kEccChunkBit)
+            continue; // no-ecc has no ECC region to corrupt
+        SCOPED_TRACE(toString(pattern));
+        auto trace = smallTrace();
+        GpuSystem gpu(faultConfig(SchemeKind::kNone,
+                                  ecc::CodecKind::kSecDed));
+        gpu.initialize(trace);
+        FaultInjector inj(4242);
+        const auto plan = inj.plan(pattern, trace.regions[0].base,
+                                   trace.regions[0].size);
+        FaultInjector::apply(gpu, plan);
+        const auto rs = gpu.run(trace);
+        EXPECT_EQ(rs.decodeCorrected, 0u);
+        EXPECT_EQ(rs.decodeUncorrectable, 0u);
+        EXPECT_EQ(gpu.auditMemory().uncorrectable, 0u);
+    }
+}
+
 TEST(FaultPatternNames, AllDistinct)
 {
     std::set<std::string> names;

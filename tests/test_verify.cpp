@@ -1,0 +1,502 @@
+/**
+ * @file
+ * Differential-verification subsystem tests: SHA-256 vectors, the
+ * canonical report-tree serialization, golden-oracle and invariant-
+ * checker judgements, the hook plumbing (fanout, scoped install), the
+ * fuzz JSON reproducer format, and the planted-bug self-test that
+ * proves the whole rig (detect -> minimize -> replay) end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/cachecraft.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/golden.hpp"
+#include "verify/invariants.hpp"
+#include "verify/oracle.hpp"
+#include "verify/sha256.hpp"
+#include "verify/verify.hpp"
+
+namespace cachecraft {
+namespace {
+
+namespace fs = std::filesystem;
+
+using verify::FuzzCase;
+using verify::FuzzResult;
+using verify::GoldenOracle;
+using verify::InvariantChecker;
+
+// --------------------------------------------------------------------
+// SHA-256 (NIST FIPS 180-2 vectors)
+// --------------------------------------------------------------------
+
+TEST(Sha256, KnownVectors)
+{
+    EXPECT_EQ(verify::sha256Hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(verify::sha256Hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(verify::sha256Hex("abcdbcdecdefdefgefghfghighijhijk"
+                                "ijkljklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, SensitiveToEveryByte)
+{
+    const std::string a = verify::sha256Hex("cachecraft");
+    const std::string b = verify::sha256Hex("cachecrafu");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a.size(), 64u);
+    EXPECT_EQ(verify::sha256Hex("cachecraft"), a); // deterministic
+}
+
+// --------------------------------------------------------------------
+// Canonical report tree
+// --------------------------------------------------------------------
+
+TEST(CanonicalReportTree, FlattensNumericsAndDropsManifest)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "canon_tree_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    {
+        std::ofstream out(dir / "point.json");
+        out << R"({"stats": {"reads": 42, "ipc": 1.5},)"
+            << R"( "manifest": {"wall_seconds": 3.14},)"
+            << R"( "name": "ignored-string"})";
+    }
+    const std::string tree = verify::canonicalReportTree(dir.string());
+    EXPECT_NE(tree.find("== point.json"), std::string::npos);
+    EXPECT_NE(tree.find("stats.reads=42"), std::string::npos);
+    EXPECT_NE(tree.find("stats.ipc=1.5"), std::string::npos);
+    // Host-varying manifest numerics and non-numeric leaves never
+    // enter the canonical form.
+    EXPECT_EQ(tree.find("wall_seconds"), std::string::npos);
+    EXPECT_EQ(tree.find("ignored-string"), std::string::npos);
+
+    EXPECT_EQ(verify::canonicalReportTreeHash(dir.string()),
+              verify::sha256Hex(tree));
+    fs::remove_all(dir);
+}
+
+TEST(CanonicalReportTree, BrokenFileChangesTheDigest)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "canon_tree_broken";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    {
+        std::ofstream out(dir / "a.json");
+        out << R"({"v": 1})";
+    }
+    const std::string healthy =
+        verify::canonicalReportTreeHash(dir.string());
+    {
+        std::ofstream out(dir / "b.json");
+        out << "{not json";
+    }
+    EXPECT_NE(verify::canonicalReportTreeHash(dir.string()), healthy);
+    EXPECT_NE(verify::canonicalReportTree(dir.string()).find("!! b.json"),
+              std::string::npos);
+    fs::remove_all(dir);
+}
+
+// --------------------------------------------------------------------
+// Golden oracle judgements
+// --------------------------------------------------------------------
+
+ecc::SectorData
+patternedSector(std::uint8_t base)
+{
+    ecc::SectorData data{};
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(base + i);
+    return data;
+}
+
+TEST(GoldenOracle, CleanDecodeOfCommittedDataPasses)
+{
+    auto codec = ecc::makeCodec(ecc::CodecKind::kSecDed);
+    GoldenOracle oracle(codec.get());
+    const auto data = patternedSector(0x10);
+    oracle.onInitSector(0x1000, data.data(), 3);
+    oracle.onDecodeSector(
+        0x1000, 3, static_cast<std::uint8_t>(ecc::DecodeStatus::kClean),
+        data.data(), false);
+    EXPECT_TRUE(oracle.ok()) << oracle.violations().front();
+    EXPECT_EQ(oracle.decodesChecked(), 1u);
+}
+
+TEST(GoldenOracle, StaleDataUnderCleanStatusIsAViolation)
+{
+    auto codec = ecc::makeCodec(ecc::CodecKind::kSecDed);
+    GoldenOracle oracle(codec.get());
+    oracle.onInitSector(0x1000, patternedSector(0x10).data(), 3);
+    oracle.onWriteSector(0x1000, patternedSector(0x20).data(), 3);
+    // Decode returns the pre-store bytes: a lost update.
+    oracle.onDecodeSector(
+        0x1000, 3, static_cast<std::uint8_t>(ecc::DecodeStatus::kClean),
+        patternedSector(0x10).data(), false);
+    ASSERT_EQ(oracle.violationCount(), 1u);
+    EXPECT_NE(oracle.violations()[0].find("stale/corrupt data"),
+              std::string::npos);
+}
+
+TEST(GoldenOracle, SpuriousCorrectionOnUntaintedSectorIsAViolation)
+{
+    auto codec = ecc::makeCodec(ecc::CodecKind::kSecDed);
+    GoldenOracle oracle(codec.get());
+    const auto data = patternedSector(0x30);
+    oracle.onInitSector(0x2000, data.data(), 1);
+    oracle.onDecodeSector(
+        0x2000, 1,
+        static_cast<std::uint8_t>(ecc::DecodeStatus::kCorrected),
+        data.data(), false);
+    EXPECT_EQ(oracle.violationCount(), 1u);
+}
+
+TEST(GoldenOracle, TaintLegalizesDetectedUncorrectable)
+{
+    auto codec = ecc::makeCodec(ecc::CodecKind::kSecDed);
+    GoldenOracle oracle(codec.get());
+    const auto data = patternedSector(0x40);
+    oracle.onInitSector(0x3000, data.data(), 1);
+    oracle.onDecodeSector(
+        0x3000, 1,
+        static_cast<std::uint8_t>(ecc::DecodeStatus::kUncorrectable),
+        data.data(), false);
+    EXPECT_EQ(oracle.violationCount(), 1u); // fault-free DUE: illegal
+
+    GoldenOracle tainted(codec.get());
+    tainted.onInitSector(0x3000, data.data(), 1);
+    tainted.taintSector(0x3000);
+    tainted.onDecodeSector(
+        0x3000, 1,
+        static_cast<std::uint8_t>(ecc::DecodeStatus::kUncorrectable),
+        data.data(), false);
+    EXPECT_TRUE(tainted.ok());
+}
+
+TEST(GoldenOracle, TaintChunkCoversAllEightSectors)
+{
+    auto codec = ecc::makeCodec(ecc::CodecKind::kSecDed);
+    GoldenOracle oracle(codec.get());
+    oracle.taintChunk(0x100); // chunk [0x100, 0x200)
+    for (Addr sector = 0x100; sector < 0x200; sector += kSectorBytes) {
+        const auto data = patternedSector(0x50);
+        oracle.onInitSector(sector, data.data(), 1);
+        oracle.onDecodeSector(
+            sector, 1,
+            static_cast<std::uint8_t>(ecc::DecodeStatus::kUncorrectable),
+            data.data(), false);
+    }
+    EXPECT_TRUE(oracle.ok());
+}
+
+TEST(GoldenOracle, StaleMrcResidentCheckIsAViolation)
+{
+    auto codec = ecc::makeCodec(ecc::CodecKind::kChipkill);
+    GoldenOracle oracle(codec.get());
+    const auto data = patternedSector(0x60);
+    oracle.onInitSector(0x4000, data.data(), 5);
+    const ecc::SectorCheck good = codec->encode(data, 5);
+    oracle.onMrcResidentCheck(0x4000, 5, good.data());
+    EXPECT_TRUE(oracle.ok());
+
+    ecc::SectorCheck stale = good;
+    stale[0] ^= 0xFF;
+    oracle.onMrcResidentCheck(0x4000, 5, stale.data());
+    ASSERT_EQ(oracle.violationCount(), 1u);
+    EXPECT_NE(oracle.violations()[0].find("stale MRC metadata"),
+              std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Invariant checker judgements
+// --------------------------------------------------------------------
+
+TEST(InvariantChecker, JudgesEachStructuralRule)
+{
+    InvariantChecker clean;
+    clean.onDrainResidue("l2.slice0.mshr", 0);
+    clean.onCacheLineState("l2", 0x80, 0b1111, 0b0101);
+    clean.onMshrAllocated("l2.mshr", 4, 4);
+    clean.onMshrRelease("l2.mshr", 0x80, true);
+    clean.onClockAdvance(10, 10);
+    clean.onClockAdvance(10, 25);
+    clean.onDramCompletion(100, 140);
+    EXPECT_TRUE(clean.ok());
+    EXPECT_EQ(clean.eventsChecked(), 7u);
+
+    InvariantChecker bad;
+    bad.onDrainResidue("l2.slice0.mshr", 3);       // leak
+    bad.onCacheLineState("l2", 0x80, 0b0001, 0b0011); // dirty !<= valid
+    bad.onMshrAllocated("l2.mshr", 5, 4);          // over capacity
+    bad.onMshrRelease("l2.mshr", 0x80, false);     // phantom release
+    bad.onClockAdvance(10, 5);                     // time reversal
+    bad.onDramCompletion(100, 99);                 // completes pre-issue
+    EXPECT_EQ(bad.violationCount(), 6u);
+    EXPECT_EQ(bad.violations().size(), 6u);
+}
+
+// --------------------------------------------------------------------
+// Hook plumbing
+// --------------------------------------------------------------------
+
+struct CountingListener : verify::Listener
+{
+    int inits = 0;
+    int drains = 0;
+    void
+    onInitSector(Addr, const std::uint8_t *, std::uint8_t) override
+    {
+        ++inits;
+    }
+    void
+    onDrainResidue(const char *, std::uint64_t) override
+    {
+        ++drains;
+    }
+};
+
+TEST(VerifyHooks, FanoutForwardsToEveryListener)
+{
+    CountingListener a;
+    CountingListener b;
+    verify::ListenerFanout fanout;
+    fanout.add(&a);
+    fanout.add(&b);
+    const auto data = patternedSector(0);
+    fanout.onInitSector(0x100, data.data(), 1);
+    fanout.onDrainResidue("x", 0);
+    EXPECT_EQ(a.inits, 1);
+    EXPECT_EQ(b.inits, 1);
+    EXPECT_EQ(a.drains, 1);
+    EXPECT_EQ(b.drains, 1);
+}
+
+TEST(VerifyHooks, ScopedListenerNestsAndRestores)
+{
+    EXPECT_EQ(verify::activeListener(), nullptr);
+    CountingListener outer;
+    CountingListener inner;
+    {
+        verify::ScopedListener s1(&outer);
+        EXPECT_EQ(verify::activeListener(), &outer);
+        {
+            verify::ScopedListener s2(&inner);
+            EXPECT_EQ(verify::activeListener(), &inner);
+        }
+        EXPECT_EQ(verify::activeListener(), &outer);
+    }
+    EXPECT_EQ(verify::activeListener(), nullptr);
+}
+
+// --------------------------------------------------------------------
+// Fuzz case JSON reproducers
+// --------------------------------------------------------------------
+
+TEST(FuzzJson, RoundTripsEveryScheme)
+{
+    for (SchemeKind scheme :
+         {SchemeKind::kNone, SchemeKind::kInlineNaive,
+          SchemeKind::kEccCache, SchemeKind::kCacheCraft}) {
+        const FuzzCase c = verify::generateCase(42, scheme);
+        const std::string json = verify::toJson(c);
+        FuzzCase parsed;
+        std::string error;
+        ASSERT_TRUE(verify::fromJson(json, &parsed, &error))
+            << toString(scheme) << ": " << error;
+        // Canonical-serialization equality covers every field.
+        EXPECT_EQ(verify::toJson(parsed), json) << toString(scheme);
+        EXPECT_EQ(parsed.seed, c.seed);
+        EXPECT_EQ(parsed.scheme, c.scheme);
+        EXPECT_EQ(parsed.accesses.size(), c.accesses.size());
+        EXPECT_EQ(parsed.faults.size(), c.faults.size());
+    }
+}
+
+TEST(FuzzJson, SeedSurvivesAsFull64Bits)
+{
+    FuzzCase c = verify::generateCase(1, SchemeKind::kNone);
+    c.seed = 0xFFFFFFFFFFFFFFFFull; // unrepresentable as a double
+    FuzzCase parsed;
+    ASSERT_TRUE(verify::fromJson(verify::toJson(c), &parsed, nullptr));
+    EXPECT_EQ(parsed.seed, 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(FuzzJson, RejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",
+        "{not json",
+        "[1, 2]",
+        R"({"schema": "something.else", "seed": "1"})",
+        R"({"schema": "cachecraft.fuzz_case", "scheme": "bogus"})",
+    };
+    for (const char *text : bad) {
+        FuzzCase out;
+        std::string error;
+        EXPECT_FALSE(verify::fromJson(text, &out, &error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(FuzzGenerate, IsDeterministicAndInBounds)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 99ull}) {
+        const FuzzCase a =
+            verify::generateCase(seed, SchemeKind::kCacheCraft);
+        const FuzzCase b =
+            verify::generateCase(seed, SchemeKind::kCacheCraft);
+        EXPECT_EQ(verify::toJson(a), verify::toJson(b));
+        ASSERT_FALSE(a.accesses.empty());
+        for (const verify::FuzzAccess &access : a.accesses) {
+            ASSERT_FALSE(access.lanes.empty());
+            for (Addr lane : access.lanes) {
+                EXPECT_GE(lane, a.regionBase);
+                EXPECT_LT(lane, a.regionBase + a.regionBytes);
+            }
+        }
+        for (const FaultPlan &fault : a.faults) {
+            EXPECT_GE(fault.sectorAddr, a.regionBase);
+            EXPECT_LT(fault.sectorAddr, a.regionBase + a.regionBytes);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Differential runs (need the hook layer compiled in)
+// --------------------------------------------------------------------
+
+#if defined(CACHECRAFT_VERIFY_ENABLED)
+
+TEST(FuzzRun, CleanSweepAcrossSchemes)
+{
+    for (SchemeKind scheme :
+         {SchemeKind::kNone, SchemeKind::kInlineNaive,
+          SchemeKind::kEccCache, SchemeKind::kCacheCraft}) {
+        for (std::uint64_t seed = 101; seed <= 103; ++seed) {
+            const FuzzCase c = verify::generateCase(seed, scheme);
+            const FuzzResult r = verify::runCase(c);
+            EXPECT_TRUE(r.ok)
+                << toString(scheme) << " seed " << seed << ": "
+                << (r.violations.empty() ? "?" : r.violations[0]);
+            EXPECT_GT(r.invariantEventsChecked, 0u);
+            if (scheme != SchemeKind::kNone) {
+                EXPECT_GT(r.decodesChecked, 0u)
+                    << toString(scheme) << " seed " << seed;
+            }
+        }
+    }
+}
+
+std::size_t
+totalLanes(const FuzzCase &c)
+{
+    std::size_t n = 0;
+    for (const verify::FuzzAccess &a : c.accesses)
+        n += a.lanes.size();
+    return n;
+}
+
+TEST(FuzzRun, PlantedStaleMetaBugIsCaughtMinimizedAndReplayable)
+{
+    // Self-test of the whole rig: plant the known MRC staleness bug,
+    // prove the oracle catches it, the minimizer shrinks it to a
+    // handful of accesses, and the JSON reproducer replays the exact
+    // same verdict deterministically.
+    FuzzCase c = verify::generateCase(1, SchemeKind::kCacheCraft);
+    c.plantMrcStaleMetaBug = true;
+    c.writebackMrc = true; // the path the planted bug lives on
+    const FuzzResult caught = verify::runCase(c);
+    ASSERT_FALSE(caught.ok);
+
+    unsigned runs = 0;
+    const FuzzCase minimal = verify::minimizeCase(c, &runs);
+    EXPECT_GT(runs, 0u);
+    EXPECT_LE(minimal.accesses.size(), 20u);
+    EXPECT_LE(totalLanes(minimal), totalLanes(c));
+
+    const FuzzResult first = verify::runCase(minimal);
+    const FuzzResult again = verify::runCase(minimal);
+    ASSERT_FALSE(first.ok);
+    EXPECT_EQ(first.violations, again.violations); // deterministic
+
+    FuzzCase replayed;
+    std::string error;
+    ASSERT_TRUE(
+        verify::fromJson(verify::toJson(minimal), &replayed, &error))
+        << error;
+    const FuzzResult viaJson = verify::runCase(replayed);
+    ASSERT_FALSE(viaJson.ok);
+    EXPECT_EQ(viaJson.violations, first.violations);
+}
+
+TEST(FuzzRun, RegressionL1MshrAdmissionLostWakeup)
+{
+    // Minimized reproducer of a real deadlock cachecraft_fuzz found:
+    // the SM's L1-MSHR completion handler re-admitted exactly one
+    // parked sector; when that sector hit in the just-filled L1 it
+    // consumed the admission without allocating an MSHR, starving the
+    // rest of the queue once the last fetch had completed. Needs one
+    // SM, three warps with overlapping footprints, and a 4-entry MSHR
+    // file. Fixed in SmCore::issueSector (drain while slots remain).
+    static const char *kRepro = R"({
+      "schema": "cachecraft.fuzz_case", "schema_version": 2,
+      "seed": "2", "scheme": "cachecraft", "codec": "chipkill",
+      "sms": 1, "channels": 1,
+      "l2_bytes": 4096, "l2_assoc": 2, "l2_mshrs": 4,
+      "fetch_whole_line": false,
+      "mrc_bytes": 1024, "mrc_assoc": 4,
+      "chunk_granularity": false, "writeback_mrc": true,
+      "eager_writeout": false, "fetch_on_write_miss": false,
+      "co_located": true,
+      "region_base": 512, "region_bytes": 2048, "tag": 3,
+      "plant_mrc_stale_meta_bug": false,
+      "accesses": [
+        {"warp": 1, "write": true, "lanes": [728]},
+        {"warp": 1, "write": false,
+         "lanes": [1404, 1372, 1020, 960, 2396, 2360]},
+        {"warp": 0, "write": false,
+         "lanes": [664, 2100, 1600, 1180, 2380, 2216, 740, 1800,
+                   1592, 916, 1416, 2012, 1516, 1316]},
+        {"warp": 2, "write": false,
+         "lanes": [1340, 1344, 1308, 1300, 1404]}
+      ],
+      "faults": []
+    })";
+    FuzzCase repro;
+    std::string error;
+    ASSERT_TRUE(verify::fromJson(kRepro, &repro, &error)) << error;
+    const FuzzResult r = verify::runCase(repro); // used to deadlock
+    EXPECT_TRUE(r.ok)
+        << (r.violations.empty() ? "?" : r.violations[0]);
+}
+
+TEST(FuzzRun, MinimizerPreservesPassingVerdictBoundary)
+{
+    // The minimal case must fail, but clearing the planted bug from
+    // it must pass: the reduction isolated the bug, not an artifact.
+    FuzzCase c = verify::generateCase(2, SchemeKind::kCacheCraft);
+    c.plantMrcStaleMetaBug = true;
+    c.writebackMrc = true;
+    ASSERT_FALSE(verify::runCase(c).ok);
+    FuzzCase minimal = verify::minimizeCase(c);
+    ASSERT_FALSE(verify::runCase(minimal).ok);
+    minimal.plantMrcStaleMetaBug = false;
+    EXPECT_TRUE(verify::runCase(minimal).ok);
+}
+
+#endif // CACHECRAFT_VERIFY_ENABLED
+
+} // namespace
+} // namespace cachecraft
