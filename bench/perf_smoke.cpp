@@ -34,6 +34,7 @@
 
 #include "bench_common.hpp"
 #include "common/json.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 using namespace cachecraft;
 
@@ -133,6 +134,33 @@ main(int argc, char **argv)
         }
     }
     w.endObject();
+
+    // Recorder-on rerun of one smoke point: the flight ring's
+    // deterministic accounting, plus the run's cycle count — which
+    // must stay byte-equal to the recorder-off "streaming.cachecraft"
+    // point above. Any timing leak from recording, or any drift in
+    // how many causal edges the instrumentation emits, trips the
+    // gate like a DRAM-counter regression.
+    {
+        std::fprintf(stderr, "[perf_smoke] streaming.cachecraft"
+                             " (flight recorder on)\n");
+        SystemConfig cfg = bench::configFor(SchemeKind::kCacheCraft);
+        cfg.telemetry.flightRecorderEnabled = true;
+        GpuSystem gpu(cfg);
+        const RunStats rs = gpu.run(
+            makeWorkload(WorkloadKind::kStreaming, smokeParams()));
+        const telemetry::FlightRecorder *fr =
+            gpu.telemetry().recorder();
+        w.key("flight_recorder").beginObject();
+        w.key("cycles").value(static_cast<std::uint64_t>(rs.cycles));
+        w.key("records").value(
+            fr ? static_cast<std::uint64_t>(fr->size()) : 0u);
+        w.key("dropped").value(fr ? fr->dropped() : 0u);
+        w.key("last_cycle").value(
+            fr ? static_cast<std::uint64_t>(fr->lastCycle()) : 0u);
+        w.endObject();
+    }
+
     if (with_manifest) {
         // Host-varying rates, under the prefix cachecraft_diff drops.
         w.key("manifest").beginObject();

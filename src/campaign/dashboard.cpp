@@ -272,7 +272,12 @@ renderSpeedupChart(std::ostream &os, const std::vector<Row> &rows)
           "scheme\">\n";
 
     // Gridlines at whole speedup multiples, hairline and recessive.
-    for (int grid = 1; grid <= static_cast<int>(max_value); ++grid) {
+    // When no no-ecc baseline exists the bars hold raw cycle counts,
+    // so stride up to a dozen lines instead of one per multiple.
+    const int grid_step = std::max(
+        1, static_cast<int>(max_value / 12.0 + 0.5));
+    for (int grid = grid_step; grid <= static_cast<int>(max_value);
+         grid += grid_step) {
         const double x = gutter + plot_w * grid / max_value;
         os << "<line x1=\"" << fmt(x, 1) << "\" y1=\"" << fmt(top, 1)
            << "\" x2=\"" << fmt(x, 1) << "\" y2=\""
@@ -427,6 +432,138 @@ renderStallChart(std::ostream &os, const std::vector<Row> &rows)
         os << "<text x=\"" << fmt(x + 4.0, 1) << "\" y=\""
            << fmt(y + bar_h - 3.0, 1) << "\" class=\"value\">"
            << fmtCount(total) << "</text>\n";
+        y += bar_h + row_gap;
+    }
+    os << "</svg>\n";
+}
+
+/** Fixed critical-path segment ordering (matches the analyzer's
+ *  PathSegment priority; metadata segments grouped for the legend). */
+constexpr const char *kPathSegmentOrder[] = {
+    "data_fetch",  "data_bank_row", "data_queue",
+    "meta_fetch",  "meta_bank_row", "meta_queue",
+    "mrc_wait",    "mshr_wait",     "l2_service",
+    "xbar_backpressure", "xbar_transit", "l1_service", "other"};
+
+/**
+ * Stacked critical-path bars, one per run whose flight recorder was
+ * on: each segment is the share of end-to-end request latency the
+ * critical-path analyzer attributed to that blocking edge. The
+ * per-run metadata fraction (meta_* + mrc_wait) is the headline the
+ * paper's reconstruction-cost argument rests on.
+ */
+void
+renderCriticalPathChart(std::ostream &os, const std::vector<Row> &rows)
+{
+    std::vector<const Row *> with_paths;
+    for (const Row &row : rows) {
+        if (!row.s.criticalPathCycles.empty())
+            with_paths.push_back(&row);
+    }
+    if (with_paths.empty())
+        return;
+
+    std::vector<std::string> segments(std::begin(kPathSegmentOrder),
+                                      std::end(kPathSegmentOrder));
+    std::vector<std::string> extra;
+    for (const Row *row : with_paths) {
+        for (const auto &[segment, cycles] : row->s.criticalPathCycles) {
+            if (std::find(segments.begin(), segments.end(), segment) ==
+                    segments.end() &&
+                std::find(extra.begin(), extra.end(), segment) ==
+                    extra.end())
+                extra.push_back(segment);
+        }
+    }
+    std::sort(extra.begin(), extra.end());
+    segments.insert(segments.end(), extra.begin(), extra.end());
+
+    auto cyclesFor = [](const Row &row, const std::string &segment) {
+        for (const auto &[name, cycles] : row.s.criticalPathCycles) {
+            if (name == segment)
+                return cycles;
+        }
+        return 0.0;
+    };
+
+    double max_total = 0.0;
+    for (const Row *row : with_paths) {
+        double total = 0.0;
+        for (const auto &[segment, cycles] : row->s.criticalPathCycles)
+            total += cycles;
+        max_total = std::max(max_total, total);
+    }
+    if (max_total <= 0.0)
+        return;
+
+    std::vector<std::pair<std::string, std::size_t>> legend;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        for (const Row *row : with_paths) {
+            if (cyclesFor(*row, segments[i]) > 0.0) {
+                legend.emplace_back(segments[i], i);
+                break;
+            }
+        }
+    }
+
+    const double gutter = 220.0;
+    const double plot_w = 480.0;
+    const double bar_h = 16.0;
+    const double row_gap = 8.0;
+    const double top = 6.0;
+    const double height =
+        top + with_paths.size() * (bar_h + row_gap) + 4.0;
+
+    os << "<h2>Critical path</h2>\n"
+       << "<p class=\"sub\">End-to-end request latency attributed to "
+          "one blocking edge per cycle (flight-recorder runs only); "
+          "the trailing percentage is the metadata-reconstruction "
+          "share.</p>\n";
+    renderLegend(os, legend);
+    os << "<svg class=\"chart\" viewBox=\"0 0 "
+       << fmt(gutter + plot_w + 110.0, 0) << " " << fmt(height, 0)
+       << "\" role=\"img\" aria-label=\"Critical-path cycles by "
+          "segment\">\n";
+
+    double y = top;
+    for (const Row *row : with_paths) {
+        os << "<text x=\"" << fmt(gutter - 10.0, 1) << "\" y=\""
+           << fmt(y + 12.0, 1)
+           << "\" class=\"rowlabel\" text-anchor=\"end\">"
+           << htmlEscape(row->label) << "</text>\n";
+        double total = 0.0;
+        for (const auto &[segment, cycles] : row->s.criticalPathCycles)
+            total += cycles;
+        std::vector<std::pair<std::size_t, double>> parts;
+        for (std::size_t i = 0; i < segments.size(); ++i) {
+            const double cycles = cyclesFor(*row, segments[i]);
+            if (cycles > 0.0)
+                parts.emplace_back(i, cycles);
+        }
+        double x = gutter;
+        for (std::size_t k = 0; k < parts.size(); ++k) {
+            const auto &[si, cycles] = parts[k];
+            const double w =
+                std::max(plot_w * cycles / max_total - 2.0, 1.0);
+            const bool last = k + 1 == parts.size();
+            std::ostringstream seg;
+            if (last) {
+                seg << barPath(x, y, w, bar_h, 4.0);
+            } else {
+                seg << "<rect x=\"" << fmt(x, 1) << "\" y=\""
+                    << fmt(y, 1) << "\" width=\"" << fmt(w, 1)
+                    << "\" height=\"" << fmt(bar_h, 1) << "\"";
+            }
+            os << seg.str() << " fill=\"" << slotVar(si) << "\"><title>"
+               << htmlEscape(row->label) << " &#183; "
+               << htmlEscape(segments[si]) << ": " << fmtCount(cycles)
+               << " cycles (" << fmtPct(cycles / total) << ")</title>"
+               << (last && w > 8.0 ? "</path>" : "</rect>") << "\n";
+            x += w + 2.0;
+        }
+        os << "<text x=\"" << fmt(x + 4.0, 1) << "\" y=\""
+           << fmt(y + bar_h - 3.0, 1) << "\" class=\"value\">"
+           << fmtPct(row->s.metadataFraction) << " meta</text>\n";
         y += bar_h + row_gap;
     }
     os << "</svg>\n";
@@ -899,6 +1036,7 @@ renderDashboard(const ReportSet &reports, const DashboardOptions &options)
 
     renderSpeedupChart(os, rows);
     renderStallChart(os, rows);
+    renderCriticalPathChart(os, rows);
     renderRunTable(os, rows);
     renderTrafficTables(os, rows);
     renderWarnings(os, reports, rows, summarize_errors);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -94,7 +95,8 @@ runOnePoint(const CampaignSpec &spec, const CampaignPoint &point,
         }
         telemetry::writeRunReport(out, manifest, gpu.config(), rs,
                                   gpu.statsRegistry(), gpu.sampler(),
-                                  gpu.telemetry().profiler());
+                                  gpu.telemetry().profiler(),
+                                  gpu.telemetry().recorder());
         outcome.reportFile = relative;
         outcome.status = PointStatus::kOk;
     } catch (const std::exception &e) {
@@ -195,11 +197,56 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &options)
         }
     };
 
+    // Optional heartbeat: while the pool runs, print a periodic status
+    // line even when no point has completed recently, so a sweep stuck
+    // inside one long point still shows signs of life. The monitor
+    // sleeps on a condition variable and is woken for shutdown, so an
+    // idle campaign never lingers past its last point.
+    std::mutex heartbeat_mutex;
+    std::condition_variable heartbeat_cv;
+    bool campaign_done = false;
+    std::thread heartbeat;
+    if (options.heartbeatSeconds > 0.0 && options.progress != nullptr) {
+        heartbeat = std::thread([&]() {
+            const auto interval = std::chrono::duration<double>(
+                options.heartbeatSeconds);
+            std::unique_lock<std::mutex> lock(heartbeat_mutex);
+            while (!heartbeat_cv.wait_for(
+                lock, interval, [&]() { return campaign_done; })) {
+                const std::size_t finished =
+                    done.load(std::memory_order_relaxed);
+                const double elapsed =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+                const double eta =
+                    finished ? elapsed / double(finished) *
+                                   double(spec.points.size() - finished)
+                             : 0.0;
+                std::lock_guard<std::mutex> console_lock(console);
+                std::fprintf(options.progress,
+                             "heartbeat: %zu/%zu points done, "
+                             "%.0fs elapsed, eta ~%.0fs\n",
+                             finished, spec.points.size(), elapsed, eta);
+                std::fflush(options.progress);
+            }
+        });
+    }
+
     std::vector<std::thread> pool;
     for (unsigned t = 0; t < result.jobs; ++t)
         pool.emplace_back(worker);
     for (std::thread &t : pool)
         t.join();
+
+    if (heartbeat.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(heartbeat_mutex);
+            campaign_done = true;
+        }
+        heartbeat_cv.notify_all();
+        heartbeat.join();
+    }
 
     result.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -72,6 +72,14 @@ struct RunnerOptions
     double pointTimeoutSeconds = 0.0;
     /** Stream for live progress lines; null silences progress. */
     std::FILE *progress = stderr;
+    /**
+     * Periodic heartbeat interval in seconds; 0 (the default)
+     * disables. When set, a monitor emits one status line to
+     * @ref progress every interval — points done, elapsed, ETA —
+     * even while every worker is deep inside a long point, so an
+     * unattended sweep is distinguishable from a hung one.
+     */
+    double heartbeatSeconds = 0.0;
 };
 
 /** Result of runCampaign. */

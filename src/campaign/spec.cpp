@@ -207,6 +207,12 @@ applyKnob(CampaignPoint &point, const std::string &knob,
             return false;
         }
         point.config.telemetry.profileEnabled = v.asBool();
+    } else if (knob == "flight_recorder") {
+        if (!v.isBool()) {
+            *error = "wants a boolean";
+            return false;
+        }
+        point.config.telemetry.flightRecorderEnabled = v.asBool();
     } else if (knob == "profile_interval") {
         if (!asCount(v, n, error) || n == 0) {
             *error = "wants a positive cycle interval";
@@ -234,12 +240,12 @@ std::vector<std::string>
 knownKnobs()
 {
     return {"chunk_granularity", "co_located_layout", "codec",
-            "footprint_mib",     "gto",               "l2_kib",
-            "l2_whole_line",     "mem_insts",         "mrc_kib",
-            "profile",           "profile_interval",  "sample_interval",
-            "scheme",            "seed",              "sms",
-            "system_seed",       "warps",             "workload",
-            "writeback_mrc"};
+            "flight_recorder",   "footprint_mib",     "gto",
+            "l2_kib",            "l2_whole_line",     "mem_insts",
+            "mrc_kib",           "profile",           "profile_interval",
+            "sample_interval",   "scheme",            "seed",
+            "sms",               "system_seed",       "warps",
+            "workload",          "writeback_mrc"};
 }
 
 std::optional<CampaignSpec>

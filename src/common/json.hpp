@@ -29,7 +29,7 @@ namespace cachecraft {
  * (cachecraft_diff) refuse artifacts whose versions do not match, so
  * bump this whenever an artifact's shape changes incompatibly.
  */
-inline constexpr std::int64_t kJsonSchemaVersion = 2;
+inline constexpr std::int64_t kJsonSchemaVersion = 3;
 
 /** Escape @p s for inclusion inside a JSON string literal (no quotes
  *  added). Control characters become \\u00XX. */

@@ -6,6 +6,7 @@
 #include "common/bits.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/sampler.hpp"
 
 namespace cachecraft {
@@ -62,21 +63,31 @@ GpuSystem::GpuSystem(const SystemConfig &config, EngineArenas *arenas)
     sms_.reserve(config_.numSms);
     for (unsigned s = 0; s < config_.numSms; ++s) {
         auto l2_read = [this, s](Addr addr, ecc::MemTag tag,
-                                 SmallFn done) {
+                                 SmallFn done, std::uint64_t id) {
             const SliceId slice = sliceOf(addr);
             // Park the SM-side completion with its return port in the
             // response arena; the two hop callbacks carry only the
-            // 4-byte handle instead of nesting the SmallFn.
+            // 4-byte handle instead of nesting the SmallFn. The
+            // lifecycle id rides along so both crossbar hops and the
+            // slice read land on the caller's flight-record track.
             const std::uint32_t handle = arenas_->responses.acquire(
                 PendingResponse{std::move(done), s});
-            reqXbar_->send(slice, [this, slice, addr, tag, handle]() {
-                slices_[slice]->read(addr, tag, [this, handle] {
-                    PendingResponse resp =
-                        std::move(arenas_->responses[handle]);
-                    arenas_->responses.release(handle);
-                    respXbar_->send(resp.port, std::move(resp.done));
-                });
-            });
+            reqXbar_->send(
+                slice,
+                [this, slice, addr, tag, handle, id]() {
+                    slices_[slice]->read(
+                        addr, tag,
+                        [this, handle, id] {
+                            PendingResponse resp =
+                                std::move(arenas_->responses[handle]);
+                            arenas_->responses.release(handle);
+                            respXbar_->send(resp.port,
+                                            std::move(resp.done), id,
+                                            /* response= */ true);
+                        },
+                        id);
+                },
+                id);
         };
         auto l2_write = [this](Addr addr, ecc::MemTag tag) {
             // The store's architectural value is committed at issue;
@@ -243,7 +254,7 @@ GpuSystem::run(const KernelTrace &trace)
     const Cycle prof_interval =
         prof ? std::max<Cycle>(config_.telemetry.profileInterval, 1) : 0;
     auto drain = [this, prof, prof_interval](const char *what) {
-        if (!sampler_ && !prof) {
+        if (!sampler_ && !prof && progressInterval_ == 0) {
             if (!events_.run())
                 panic(what);
             return;
@@ -256,13 +267,20 @@ GpuSystem::run(const KernelTrace &trace)
             const Cycle profile_at =
                 prof ? (now / prof_interval + 1) * prof_interval
                      : kNever;
-            if (!events_.runUntil(std::min(sample_at, profile_at)))
+            const Cycle progress_at =
+                progressInterval_
+                    ? (now / progressInterval_ + 1) * progressInterval_
+                    : kNever;
+            if (!events_.runUntil(
+                    std::min({sample_at, profile_at, progress_at})))
                 panic(what);
             if (prof && events_.now() >= profile_at)
                 prof->sampleOccupancy();
             if (sampler_ &&
                 (events_.now() >= sample_at || events_.empty()))
                 sampler_->closeEpoch(events_.now());
+            if (progressFn_ && events_.now() >= progress_at)
+                progressFn_(events_.now(), events_.executedEvents());
         }
     };
 
@@ -326,6 +344,12 @@ GpuSystem::run(const KernelTrace &trace)
         rs.warnings.push_back(
             strCat("trace ring overflowed: ", sink->dropped(),
                    " oldest events dropped (raise traceCapacity)"));
+    }
+    if (const telemetry::FlightRecorder *fr = telemetry_->recorder();
+        fr && fr->dropped() > 0) {
+        rs.warnings.push_back(
+            strCat("flight ring overflowed: ", fr->dropped(),
+                   " oldest records dropped (raise flightCapacity)"));
     }
     if (events_.valveTrips() > 0) {
         rs.warnings.push_back(

@@ -152,6 +152,21 @@ class GpuSystem
     RunStats run(const KernelTrace &trace);
 
     /**
+     * Install a periodic progress callback fired during run() every
+     * @p interval simulated cycles with (cycle, events executed so
+     * far). Purely observational: it only splits the event drain at
+     * cycle boundaries where runUntil already stops, so enabling it is
+     * timing-neutral. Call before run(); @p interval 0 disables.
+     */
+    void
+    setProgress(Cycle interval,
+                std::function<void(Cycle, std::uint64_t)> fn)
+    {
+        progressInterval_ = interval;
+        progressFn_ = std::move(fn);
+    }
+
+    /**
      * Initialize the trace's regions (golden data + encoded DRAM
      * state) without running. run() calls this automatically; tests
      * and fault campaigns call it directly to inject faults between
@@ -245,6 +260,10 @@ class GpuSystem
     std::map<Addr, std::uint64_t> writeGeneration_;
     bool initialized_ = false;
     bool ran_ = false;
+    /** @{ Progress heartbeat (see setProgress). */
+    Cycle progressInterval_ = 0;
+    std::function<void(Cycle, std::uint64_t)> progressFn_;
+    /** @} */
 };
 
 } // namespace cachecraft

@@ -1,6 +1,7 @@
 #include "dram/dram_model.hpp"
 
 #include "common/log.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 #include "verify/verify.hpp"
 
@@ -145,6 +146,31 @@ DramChannel::tryIssue()
                 (static_cast<std::uint64_t>(id_) << 48) |
                 (static_cast<std::uint64_t>(pending.coord.bank) << 32) |
                 (pending.coord.row & 0xFFFFFFFFull));
+        }
+    }
+
+    // Flight records: the transfer record carries the queue wait (a)
+    // and the bank/row penalty (b) so the analyzer can split
+    // [arrival, complete) into queue / bank-row / fetch segments; the
+    // done record pins the completion cycle. Both are written at issue
+    // time — done_at is already known — so record order is not cycle
+    // order (the analyzer pairs by id and flags, not position).
+    if (telemetry_ && pending.req.traceId != 0) {
+        if (auto *fr = telemetry_->recorder()) {
+            const std::uint8_t flags = static_cast<std::uint8_t>(
+                (static_cast<std::uint8_t>(outcome)
+                 << telemetry::kFlagRowShift) |
+                (pending.req.isEcc ? telemetry::kFlagEcc : 0) |
+                (pending.req.isWrite ? telemetry::kFlagWrite : 0));
+            fr->record(telemetry::RecordKind::kDramXfer,
+                       pending.req.traceId, now, pending.req.phys,
+                       static_cast<std::uint32_t>(now - pending.arrival),
+                       static_cast<std::uint16_t>(
+                           std::min<Cycle>(cas_at - now, 0xFFFF)),
+                       flags);
+            fr->record(telemetry::RecordKind::kDramDone,
+                       pending.req.traceId, complete_at,
+                       pending.req.phys, 0, 0, flags);
         }
     }
 

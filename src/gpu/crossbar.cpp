@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace cachecraft {
@@ -20,7 +21,8 @@ Crossbar::Crossbar(std::string name, unsigned num_ports, Cycle latency,
 }
 
 void
-Crossbar::send(unsigned port, SmallFn fn)
+Crossbar::send(unsigned port, SmallFn fn, std::uint64_t trace_id,
+               bool response)
 {
     statFlits.inc();
     const Cycle now = events_.now();
@@ -30,6 +32,13 @@ Crossbar::send(unsigned port, SmallFn fn)
         if (auto *prof = telemetry_->profiler())
             prof->chargeStall(telemetry::StallReason::kCrossbarBackpressure,
                               now, accept_at);
+        if (auto *fr = telemetry_->recorder(); fr && trace_id != 0)
+            fr->record(telemetry::RecordKind::kXbarHop, trace_id, now,
+                       port,
+                       static_cast<std::uint32_t>(accept_at - now),
+                       static_cast<std::uint16_t>(
+                           std::min<Cycle>(latency_, 0xFFFF)),
+                       response ? telemetry::kFlagResponse : 0);
     }
     portFreeAt_[port] = accept_at + 1;
     events_.schedule(accept_at + latency_, std::move(fn));

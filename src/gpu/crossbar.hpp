@@ -40,8 +40,11 @@ class Crossbar
     /**
      * Deliver @p fn at destination @p port after traversal latency,
      * respecting the port's one-per-cycle acceptance rate.
+     * @param trace_id lifecycle id for the flight recorder (0 = none)
+     * @param response true on the response-direction crossbar
      */
-    void send(unsigned port, SmallFn fn);
+    void send(unsigned port, SmallFn fn, std::uint64_t trace_id = 0,
+              bool response = false);
 
     /**
      * Deepest per-port backlog at cycle @p now, in flits (how far the

@@ -1,6 +1,7 @@
 #include "gpu/l2_slice.hpp"
 
 #include "common/log.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 #include "verify/verify.hpp"
 
@@ -54,20 +55,23 @@ L2Slice::handleEviction(const std::optional<Eviction> &ev)
 }
 
 void
-L2Slice::read(Addr sector_addr, ecc::MemTag expected_tag, SmallFn done)
+L2Slice::read(Addr sector_addr, ecc::MemTag expected_tag, SmallFn done,
+              std::uint64_t trace_id)
 {
     statReads.inc();
     if (telemetry_) {
         if (auto *prof = telemetry_->profiler())
             prof->recordSectorAccess(sector_addr);
     }
-    // Each slice-level read starts one lifecycle track: the "l2.read"
-    // span envelopes every downstream span carrying the same id. The
-    // wrapping callback cannot hold another SmallFn inline, so the
-    // inner completion parks in the arena.
-    std::uint64_t trace_id = 0;
-    if (telemetry_ && telemetry_->tracing()) {
+    // Each slice-level read continues one lifecycle track: the caller
+    // (SM/crossbar) id is reused when present so the whole request
+    // chain shares an id; direct slice reads allocate a fresh one.
+    if (telemetry_ && telemetry_->active() && trace_id == 0)
         trace_id = telemetry_->newId();
+    // The "l2.read" span envelopes every downstream span carrying the
+    // same id. The wrapping callback cannot hold another SmallFn
+    // inline, so the inner completion parks in the arena.
+    if (telemetry_ && telemetry_->tracing()) {
         const Cycle start = events_.now();
         const std::uint32_t inner =
             arenas_->parked.acquire(std::move(done));
@@ -83,12 +87,28 @@ L2Slice::read(Addr sector_addr, ecc::MemTag expected_tag, SmallFn done)
     // capture would otherwise be a SmallFn nested inside an EventFn.
     const std::uint32_t handle = arenas_->parked.acquire(std::move(done));
     const Cycle slot = serviceSlot();
+    if (telemetry_ && trace_id != 0) {
+        if (auto *fr = telemetry_->recorder())
+            fr->record(telemetry::RecordKind::kL2Queue, trace_id,
+                       events_.now(), sector_addr,
+                       static_cast<std::uint32_t>(slot - events_.now()));
+    }
     events_.schedule(slot, [this, sector_addr, expected_tag, trace_id,
                             handle]() {
         SmallFn done_fn = std::move(arenas_->parked[handle]);
         arenas_->parked.release(handle);
         const auto result = cache_.access(sector_addr,
                                           /* is_write= */ false);
+        if (telemetry_ && trace_id != 0) {
+            if (auto *fr = telemetry_->recorder())
+                fr->record(
+                    telemetry::RecordKind::kL2Probe, trace_id,
+                    events_.now(), sector_addr,
+                    result.sectorHit
+                        ? static_cast<std::uint32_t>(params_.hitLatency)
+                        : 0,
+                    0, result.sectorHit ? telemetry::kFlagHit : 0);
+        }
         if (result.sectorHit) {
             events_.scheduleAfter(params_.hitLatency,
                                   std::move(done_fn));
@@ -103,17 +123,25 @@ void
 L2Slice::handleReadMiss(Addr sector_addr, ecc::MemTag tag, SmallFn done,
                         std::uint64_t trace_id)
 {
+    telemetry::FlightRecorder *fr =
+        telemetry_ && trace_id != 0 ? telemetry_->recorder() : nullptr;
     using Outcome = MshrFile::AllocOutcome;
     const Outcome outcome = mshrs_.allocate(sector_addr, 1, 0);
     switch (outcome) {
       case Outcome::kMergedExisting:
       case Outcome::kMergedNewSector:
+        if (fr)
+            fr->record(telemetry::RecordKind::kL2MshrMerge, trace_id,
+                       events_.now(), sector_addr);
         waiting_[sector_addr].push_back(std::move(done));
         return;
       case Outcome::kFull:
         // Structural stall: park the request; it is retried when an
         // MSHR frees up (no polling).
         statMshrStallRetries.inc();
+        if (fr)
+            fr->record(telemetry::RecordKind::kL2MshrBlocked, trace_id,
+                       events_.now(), sector_addr);
         blocked_.push_back(BlockedRead{sector_addr, tag, std::move(done),
                                        trace_id, events_.now()});
         return;
@@ -153,6 +181,11 @@ L2Slice::issueFetch(Addr sector_addr, ecc::MemTag tag,
                         prof->chargeStall(
                             telemetry::StallReason::kMshrFull,
                             blocked.blockedAt, events_.now());
+                    if (auto *rec = telemetry_->recorder();
+                        rec && blocked.traceId != 0)
+                        rec->record(telemetry::RecordKind::kL2MshrAdmit,
+                                    blocked.traceId, events_.now(),
+                                    blocked.sectorAddr);
                 }
                 handleReadMiss(blocked.sectorAddr, blocked.tag,
                                std::move(blocked.done),
@@ -184,7 +217,7 @@ L2Slice::prefetchSiblings(Addr sector_addr, ecc::MemTag tag)
         statPrefetchFetches.inc();
         // Prefetches get their own lifecycle track (fresh id).
         issueFetch(sibling, tag,
-                   telemetry_ && telemetry_->tracing()
+                   telemetry_ && telemetry_->active()
                        ? telemetry_->newId()
                        : 0);
     }

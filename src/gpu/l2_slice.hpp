@@ -68,8 +68,12 @@ class L2Slice
      * Sector load. @p done fires when the sector is available at the
      * slice (the response crossbar adds its own latency on top).
      * @p expected_tag is the tag the accessing pointer carries.
+     * @p trace_id is the caller's lifecycle id (0 = allocate a fresh
+     * one when telemetry is active); flight records and the "l2.read"
+     * span carry it so the whole request chain shares one id.
      */
-    void read(Addr sector_addr, ecc::MemTag expected_tag, SmallFn done);
+    void read(Addr sector_addr, ecc::MemTag expected_tag, SmallFn done,
+              std::uint64_t trace_id = 0);
 
     /**
      * Sector store (full-sector, posted). Write-allocates without

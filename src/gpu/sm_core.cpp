@@ -1,6 +1,7 @@
 #include "gpu/sm_core.hpp"
 
 #include "common/log.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace cachecraft {
@@ -108,11 +109,16 @@ SmCore::startMemory(std::size_t w)
 {
     WarpState &warp = warps_[w];
     const WarpInst &inst = (*warp.insts)[warp.pc];
-    warp.traceId = telemetry_ && telemetry_->tracing()
-                       ? telemetry_->newId()
-                       : 0;
+    const bool active = telemetry_ && telemetry_->active();
+    warp.traceId = active ? telemetry_->newId() : 0;
     const auto sectors =
         coalesce(inst, telemetry_, warp.traceId, events_.now());
+    if (telemetry_ && !sectors.empty()) {
+        if (auto *fr = telemetry_->recorder())
+            fr->record(telemetry::RecordKind::kCoalesce, warp.traceId,
+                       events_.now(), sectors.front().sectorAddr,
+                       static_cast<std::uint32_t>(sectors.size()));
+    }
     if (sectors.empty()) {
         retire(w);
         return;
@@ -126,13 +132,28 @@ SmCore::startMemory(std::size_t w)
     warp.pendingSectors = static_cast<unsigned>(sectors.size());
     warp.memIssuedAt = events_.now();
     statSectorsAccessed.inc(sectors.size());
-    for (const SectorRequest &req : sectors)
-        issueSector(w, req, tag);
+    for (const SectorRequest &req : sectors) {
+        // Each coalesced sector gets its own lifecycle id; the flight
+        // record ties it back to the warp instruction (low id bits).
+        const std::uint64_t sid = active ? telemetry_->newId() : 0;
+        if (telemetry_) {
+            if (auto *fr = telemetry_->recorder())
+                fr->record(telemetry::RecordKind::kRequestStart, sid,
+                           events_.now(), req.sectorAddr,
+                           static_cast<std::uint32_t>(warp.traceId),
+                           0,
+                           req.isWrite ? telemetry::kFlagWrite : 0);
+        }
+        issueSector(w, req, tag, sid);
+    }
 }
 
 void
-SmCore::issueSector(std::size_t w, SectorRequest req, ecc::MemTag tag)
+SmCore::issueSector(std::size_t w, SectorRequest req, ecc::MemTag tag,
+                    std::uint64_t id)
 {
+    telemetry::FlightRecorder *fr =
+        telemetry_ ? telemetry_->recorder() : nullptr;
     if (req.isWrite) {
         // Write-through, no write-allocate: update L1 state if the
         // sector is resident (keeping it coherent), always send the
@@ -141,14 +162,19 @@ SmCore::issueSector(std::size_t w, SectorRequest req, ecc::MemTag tag)
         if (probe.sectorHit)
             l1_.access(req.sectorAddr, /* is_write= */ false);
         l2Write_(req.sectorAddr, tag);
-        sectorDone(w);
+        sectorDone(w, id);
         return;
     }
 
     const auto result = l1_.access(req.sectorAddr, /* is_write= */ false);
     if (result.sectorHit) {
+        if (fr)
+            fr->record(telemetry::RecordKind::kL1Hit, id, events_.now(),
+                       req.sectorAddr,
+                       static_cast<std::uint32_t>(params_.l1HitLatency),
+                       0, telemetry::kFlagHit);
         events_.scheduleAfter(params_.l1HitLatency,
-                              [this, w] { sectorDone(w); });
+                              [this, w, id] { sectorDone(w, id); });
         return;
     }
 
@@ -157,49 +183,73 @@ SmCore::issueSector(std::size_t w, SectorRequest req, ecc::MemTag tag)
     switch (outcome) {
       case Outcome::kMergedExisting:
       case Outcome::kMergedNewSector:
-        waiting_[req.sectorAddr].push_back([this, w] { sectorDone(w); });
+        if (fr)
+            fr->record(telemetry::RecordKind::kL1MshrMerge, id,
+                       events_.now(), req.sectorAddr);
+        waiting_[req.sectorAddr].push_back(
+            [this, w, id] { sectorDone(w, id); });
         return;
       case Outcome::kFull:
         // Park until an MSHR frees (no polling).
         statL1StallRetries.inc();
-        blocked_.push_back(BlockedSector{w, req, tag});
+        if (fr)
+            fr->record(telemetry::RecordKind::kL1MshrBlocked, id,
+                       events_.now(), req.sectorAddr);
+        blocked_.push_back(BlockedSector{w, req, tag, id});
         return;
       case Outcome::kNewEntry:
         break;
     }
 
-    waiting_[req.sectorAddr].push_back([this, w] { sectorDone(w); });
-    l2Read_(req.sectorAddr, tag, [this, addr = req.sectorAddr] {
-        // Fill the L1 (write-through L1 lines are never dirty, so the
-        // eviction needs no writeback).
-        const SectorMask bit =
-            static_cast<SectorMask>(1u << sectorInLine(addr));
-        l1_.fill(addr, bit, 0);
-        l1Mshrs_.release(addr);
-        auto node = waiting_.extract(addr);
-        if (!node.empty()) {
-            for (auto &waiter : node.mapped())
-                waiter();
-        }
-        // Re-admit parked sectors while MSHR slots remain. Admitting
-        // just one would lose a wakeup: if it hits in the L1 (its
-        // line arrived with this fill), it consumes the admission
-        // without allocating an MSHR, and — were this the last
-        // outstanding fetch — the rest of the queue would starve with
-        // an empty event queue (deadlock found by cachecraft_fuzz).
-        while (!blocked_.empty() &&
-               l1Mshrs_.size() < l1Mshrs_.capacity()) {
-            const BlockedSector blocked = blocked_.front();
-            blocked_.pop_front();
-            issueSector(blocked.warp, blocked.req, blocked.tag);
-        }
-    });
+    waiting_[req.sectorAddr].push_back(
+        [this, w, id] { sectorDone(w, id); });
+    l2Read_(
+        req.sectorAddr, tag,
+        [this, addr = req.sectorAddr] {
+            // Fill the L1 (write-through L1 lines are never dirty, so
+            // the eviction needs no writeback).
+            const SectorMask bit =
+                static_cast<SectorMask>(1u << sectorInLine(addr));
+            l1_.fill(addr, bit, 0);
+            l1Mshrs_.release(addr);
+            auto node = waiting_.extract(addr);
+            if (!node.empty()) {
+                for (auto &waiter : node.mapped())
+                    waiter();
+            }
+            // Re-admit parked sectors while MSHR slots remain.
+            // Admitting just one would lose a wakeup: if it hits in
+            // the L1 (its line arrived with this fill), it consumes
+            // the admission without allocating an MSHR, and — were
+            // this the last outstanding fetch — the rest of the queue
+            // would starve with an empty event queue (deadlock found
+            // by cachecraft_fuzz).
+            while (!blocked_.empty() &&
+                   l1Mshrs_.size() < l1Mshrs_.capacity()) {
+                const BlockedSector blocked = blocked_.front();
+                blocked_.pop_front();
+                if (telemetry_) {
+                    if (auto *rec = telemetry_->recorder())
+                        rec->record(telemetry::RecordKind::kL1MshrAdmit,
+                                    blocked.id, events_.now(),
+                                    blocked.req.sectorAddr);
+                }
+                issueSector(blocked.warp, blocked.req, blocked.tag,
+                            blocked.id);
+            }
+        },
+        id);
 }
 
 void
-SmCore::sectorDone(std::size_t w)
+SmCore::sectorDone(std::size_t w, std::uint64_t id)
 {
     WarpState &warp = warps_[w];
+    if (telemetry_ && id != 0) {
+        if (auto *fr = telemetry_->recorder())
+            fr->record(telemetry::RecordKind::kComplete, id,
+                       events_.now());
+    }
     if (--warp.pendingSectors > 0)
         return;
     statMemLatency.sample(events_.now() - warp.memIssuedAt);

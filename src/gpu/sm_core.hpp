@@ -73,8 +73,10 @@ class SmCore
   public:
     /** Issue a sector load toward L2; @p done fires on data return.
      *  The outer std::function is constructed once at system build;
-     *  only the per-request completion is capacity-bounded. */
-    using L2ReadFn = std::function<void(Addr, ecc::MemTag, SmallFn)>;
+     *  only the per-request completion is capacity-bounded. The final
+     *  argument is the request's lifecycle id (0 = untraced). */
+    using L2ReadFn =
+        std::function<void(Addr, ecc::MemTag, SmallFn, std::uint64_t)>;
     /** Issue a (posted) sector store toward L2. */
     using L2WriteFn = std::function<void(Addr, ecc::MemTag)>;
     /** Correct tag of an address (regions set by the workload). */
@@ -123,11 +125,12 @@ class SmCore
     void issueNext();
     /** Begin the memory stage of warp @p w's current instruction. */
     void startMemory(std::size_t w);
-    /** Issue one sector of warp @p w's current instruction. */
-    void issueSector(std::size_t w, SectorRequest req,
-                     ecc::MemTag tag);
-    /** A sector of warp @p w completed. */
-    void sectorDone(std::size_t w);
+    /** Issue one sector of warp @p w's current instruction.
+     *  @param id per-sector lifecycle id (0 = untraced). */
+    void issueSector(std::size_t w, SectorRequest req, ecc::MemTag tag,
+                     std::uint64_t id);
+    /** A sector of warp @p w completed (@p id its lifecycle id). */
+    void sectorDone(std::size_t w, std::uint64_t id);
     /** Retire warp @p w's current instruction and advance.
      *  @param was_memory true if a memory instruction just finished
      *  (a long stall: GTO re-queues such warps at the back). */
@@ -147,6 +150,7 @@ class SmCore
         std::size_t warp;
         SectorRequest req;
         ecc::MemTag tag;
+        std::uint64_t id;
     };
 
     SectoredCache l1_;

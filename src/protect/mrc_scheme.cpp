@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/log.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 #include "verify/verify.hpp"
 
@@ -113,6 +114,15 @@ MrcScheme::withCheckField(Addr logical, WakeFn fn,
     }
     const auto probe = mrc_.access(mrcAddr(logical),
                                    /* is_write= */ false);
+    if (ctx_.telemetry && trace_id != 0) {
+        // The probe record carries the chunk's MRC line address so the
+        // analyzer can pair a miss with the kMrcFill that resolves it.
+        if (auto *fr = ctx_.telemetry->recorder())
+            fr->record(telemetry::RecordKind::kMrcProbe, trace_id,
+                       ctx_.events->now(),
+                       alignDown(mrcAddr(logical), kEccChunkBytes), 0, 0,
+                       probe.sectorHit ? telemetry::kFlagHit : 0);
+    }
     if (probe.sectorHit) {
         stats.mrcHits.inc();
         fn(true);
@@ -156,7 +166,15 @@ MrcScheme::fetchChunk(Addr logical, WakeFn fn, std::uint64_t trace_id)
 
     issueEccTxn(
         logical, /* is_write= */ false,
-        [this, logical, line] {
+        [this, logical, line, trace_id] {
+            // The fill record is keyed by MRC line address: every miss
+            // probe of this chunk (merged waiters included) resolves
+            // against it, whatever its own lifecycle id.
+            if (ctx_.telemetry) {
+                if (auto *fr = ctx_.telemetry->recorder())
+                    fr->record(telemetry::RecordKind::kMrcFill,
+                               trace_id, ctx_.events->now(), line);
+            }
             // R1: reconstruct the whole chunk on chip; otherwise
             // retain only the 4 B field that was actually needed.
             const SectorMask mask =

@@ -4,6 +4,7 @@
 #include "protect/inline_naive.hpp"
 #include "protect/mrc_scheme.hpp"
 #include "protect/none_scheme.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 #include "verify/verify.hpp"
 
@@ -156,11 +157,14 @@ void
 traceTxn(telemetry::Telemetry *tel, telemetry::Stage stage,
          std::uint64_t trace_id, EventQueue *events, DramRequest &req)
 {
-    if (!tel || !tel->tracing())
+    // active() covers both the span sink and the flight recorder: the
+    // id stamp alone lets the channel emit flight records even when
+    // span tracing is off.
+    if (!tel || !tel->active())
         return;
     const std::uint64_t id = trace_id ? trace_id : tel->newId();
     req.traceId = id;
-    if (!req.onComplete)
+    if (!req.onComplete || !tel->tracing())
         return;
     req.traceStage = static_cast<std::uint8_t>(stage);
     req.traceStart = events->now();
@@ -302,6 +306,12 @@ ProtectionScheme::decodeSector(Addr logical, ecc::MemTag tag,
         ctx_.telemetry->instant(telemetry::Stage::kDecode, trace_id,
                                 ctx_.events->now(), "status",
                                 static_cast<double>(res.status));
+    if (ctx_.telemetry && trace_id != 0) {
+        if (auto *fr = ctx_.telemetry->recorder())
+            fr->record(telemetry::RecordKind::kDecode, trace_id,
+                       ctx_.events->now(), logical, 0, 0,
+                       static_cast<std::uint8_t>(res.status));
+    }
     CACHECRAFT_VERIFY_HOOK(onDecodeSector(
         logical, tag, static_cast<std::uint8_t>(res.status),
         res.data.data(), check_from_shadow));

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Critical-path attribution over a flight-recorder dump.
+ *
+ * For every request with both a request_start and a complete record,
+ * the analyzer rebuilds the blocking intervals its records describe
+ * (DRAM data/metadata activity split into queue, bank/row, and
+ * transfer phases; MRC metadata waits; MSHR waits; crossbar
+ * backpressure and transit; L1/L2 service) and assigns **each cycle
+ * of [start, end) to exactly one segment**: overlapping claims are
+ * resolved by a fixed priority (data fetch outranks metadata, which
+ * outranks structural waits), and unclaimed cycles fall to kOther.
+ * The per-segment sums therefore add up to the request's end-to-end
+ * latency by construction — that exactness is the contract the
+ * property tests pin — and the aggregate answers the paper's
+ * question directly: what fraction of critical-path cycles was
+ * metadata reconstruction?
+ */
+
+#ifndef CACHECRAFT_TELEMETRY_CRITICAL_PATH_HPP
+#define CACHECRAFT_TELEMETRY_CRITICAL_PATH_HPP
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/flight_recorder.hpp"
+
+namespace cachecraft::telemetry {
+
+/**
+ * Blocking-edge classes a cycle can be attributed to. Enum order IS
+ * the claim priority: when claims overlap, the lowest value wins the
+ * cycle. Data fetch outranks metadata so the metadata fraction is
+ * conservative (a cycle blocked on both counts as data).
+ */
+enum class PathSegment : std::uint8_t
+{
+    kDataFetch,        //!< DRAM data transfer (CAS -> data at controller)
+    kDataBankRow,      //!< data txn bank busy / row activate/precharge
+    kDataQueue,        //!< data txn waiting in the channel queue
+    kMetaFetch,        //!< DRAM metadata (ECC) transfer
+    kMetaBankRow,      //!< metadata txn bank/row conflict
+    kMetaQueue,        //!< metadata txn channel-queue wait
+    kMrcWait,          //!< blocked on an MRC metadata fill
+    kMshrWait,         //!< merged into / blocked behind another miss
+    kL2Service,        //!< L2 slice slot wait + probe/hit latency
+    kXbarBackpressure, //!< crossbar port busy
+    kXbarTransit,      //!< crossbar hop latency
+    kL1Service,        //!< L1 hit latency
+    kOther,            //!< cycles no recorded edge claims
+    kCount,
+};
+
+/** Stable segment name (JSON keys, report rows). */
+const char *toString(PathSegment segment);
+
+/** True for the segments that are metadata reconstruction work. */
+bool isMetadataSegment(PathSegment segment);
+
+/** One request's end-to-end latency, fully attributed. */
+struct RequestPath
+{
+    std::uint64_t id = 0;
+    std::uint64_t addr = 0;
+    Cycle start = 0;
+    Cycle end = 0;
+    /** Cycles per segment; sums exactly to end - start. */
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(PathSegment::kCount)>
+        segmentCycles{};
+    /** Bit i set iff segmentCycles[i] > 0 ("path shape"). */
+    std::uint32_t shapeMask = 0;
+    bool isWrite = false;
+
+    Cycle latency() const { return end - start; }
+};
+
+/** Latency distribution of one path shape. */
+struct ShapeBucket
+{
+    std::uint32_t shapeMask = 0;
+    std::uint64_t count = 0;
+    Cycle p50 = 0;
+    Cycle p90 = 0;
+    Cycle p99 = 0;
+    Cycle max = 0;
+};
+
+/** Human-readable "+"-joined segment list of a shape mask. */
+std::string shapeName(std::uint32_t shape_mask);
+
+/** Aggregated attribution over one dump. */
+struct CriticalPathBreakdown
+{
+    std::uint64_t requests = 0; //!< completed requests analyzed
+    /** Records whose request never completed in the dump (ring
+     *  overflow ate the start, or in-flight ids). */
+    std::uint64_t incompleteRequests = 0;
+    std::uint64_t totalLatency = 0; //!< sum of per-request latencies
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(PathSegment::kCount)>
+        totalCycles{};
+    /** The top-K slowest requests, slowest first. */
+    std::vector<RequestPath> slowest;
+    /** Latency percentiles bucketed by path shape, by count desc. */
+    std::vector<ShapeBucket> shapes;
+
+    /** Fraction of attributed cycles that were metadata work. */
+    double metadataFraction() const;
+};
+
+/**
+ * Attribute every completed request in @p records (a dump snapshot,
+ * oldest first). @p top_k bounds the slowest-request list.
+ */
+CriticalPathBreakdown
+analyzeCriticalPath(const std::vector<FlightRecord> &records,
+                    std::size_t top_k = 10);
+
+/**
+ * Per-request attribution (the analyzer's inner loop), exposed for
+ * the exactness property tests: every returned path satisfies
+ * sum(segmentCycles) == end - start.
+ */
+std::vector<RequestPath>
+attributeRequests(const std::vector<FlightRecord> &records);
+
+/**
+ * Write @p breakdown as the schema-stamped trace-analysis artifact
+ * ("cachecraft.trace_analysis/1"), diffable with cachecraft_diff.
+ * Host-varying fields go under "manifest." which diff ignores.
+ * @param source  provenance label (the dump path), manifest-only.
+ */
+void writeBreakdownJson(std::ostream &os,
+                        const CriticalPathBreakdown &breakdown,
+                        const FlightDump &dump,
+                        const std::string &source);
+
+/**
+ * Chrome trace_event export of @p breakdown's slowest requests: one
+ * async track per request, one span per attributed segment interval.
+ */
+void writeChromePathJson(std::ostream &os,
+                         const std::vector<FlightRecord> &records,
+                         const std::vector<RequestPath> &paths);
+
+} // namespace cachecraft::telemetry
+
+#endif // CACHECRAFT_TELEMETRY_CRITICAL_PATH_HPP

@@ -1,6 +1,8 @@
 #include "telemetry/report.hpp"
 
 #include "common/json.hpp"
+#include "telemetry/critical_path.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -33,7 +35,7 @@ void
 writeRunReport(std::ostream &os, const RunManifest &manifest,
                const SystemConfig &config, const RunStats &rs,
                const StatRegistry &stats, const StatSampler *sampler,
-               const Profiler *profiler)
+               const Profiler *profiler, const FlightRecorder *recorder)
 {
     JsonWriter w(os);
     w.beginObject();
@@ -120,6 +122,28 @@ writeRunReport(std::ostream &os, const RunManifest &manifest,
     if (profiler) {
         w.key("profile");
         profiler->writeJson(w);
+    }
+
+    if (recorder) {
+        // Summarized critical-path attribution (the full dump is the
+        // binary artifact; cachecraft_trace renders it in detail).
+        const CriticalPathBreakdown bd =
+            analyzeCriticalPath(recorder->snapshot());
+        w.key("critical_path").beginObject();
+        w.key("requests").value(bd.requests);
+        w.key("incomplete_requests").value(bd.incompleteRequests);
+        w.key("total_latency_cycles").value(bd.totalLatency);
+        w.key("metadata_fraction").value(bd.metadataFraction());
+        w.key("segments").beginObject();
+        for (std::size_t s = 0;
+             s < static_cast<std::size_t>(PathSegment::kCount); ++s)
+            w.key(toString(static_cast<PathSegment>(s)))
+                .value(bd.totalCycles[s]);
+        w.endObject();
+        w.key("flight_records")
+            .value(static_cast<std::uint64_t>(recorder->size()));
+        w.key("flight_dropped").value(recorder->dropped());
+        w.endObject();
     }
 
     if (sampler) {

@@ -56,13 +56,19 @@ std::string buildVersion();
  *  (telemetry::defaultIgnorePrefixes), so they can never trip CI. */
 std::string osHostname();
 
+class FlightRecorder;
+
 /** Write the full run report as one JSON object to @p os.
  *  @param sampler  may be null (no "epochs" section).
- *  @param profiler may be null (no "profile" section). */
+ *  @param profiler may be null (no "profile" section).
+ *  @param recorder may be null (no "critical_path" section): when the
+ *  flight recorder ran, its critical-path attribution is summarized
+ *  inline so campaign reports carry the breakdown per point. */
 void writeRunReport(std::ostream &os, const RunManifest &manifest,
                     const SystemConfig &config, const RunStats &rs,
                     const StatRegistry &stats, const StatSampler *sampler,
-                    const Profiler *profiler = nullptr);
+                    const Profiler *profiler = nullptr,
+                    const FlightRecorder *recorder = nullptr);
 
 } // namespace cachecraft::telemetry
 

@@ -148,6 +148,18 @@ summarizeRunReport(const JsonValue &doc, const std::string &path,
         }
     }
 
+    if (const JsonValue *critical = doc.find("critical_path")) {
+        s.metadataFraction = numberAt(*critical, "metadata_fraction");
+        if (const JsonValue *segments = critical->find("segments");
+            segments != nullptr && segments->isObject()) {
+            for (const auto &[segment, cycles] : segments->asObject()) {
+                if (cycles.isNumber())
+                    s.criticalPathCycles.emplace_back(
+                        segment, cycles.asNumber());
+            }
+        }
+    }
+
     if (const JsonValue *epochs = doc.find("epochs");
         epochs != nullptr && epochs->isArray()) {
         for (const JsonValue &epoch : epochs->asArray()) {

@@ -90,6 +90,11 @@ struct RunSummary
     std::vector<std::string> warnings;
     /** (stall reason, cycles) from the profile section, report order. */
     std::vector<std::pair<std::string, double>> stallCycles;
+    /** (path segment, cycles) from the critical_path section, report
+     *  order; empty when the run's flight recorder was off. */
+    std::vector<std::pair<std::string, double>> criticalPathCycles;
+    /** critical_path.metadata_fraction (0 when absent). */
+    double metadataFraction = 0.0;
     /** Per-epoch "instructions" deltas (empty without sampling). */
     std::vector<EpochSample> instructionEpochs;
     /** Per-epoch "dram.total_txns"-style deltas (best effort). */

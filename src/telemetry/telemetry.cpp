@@ -2,6 +2,7 @@
 
 #include "common/json.hpp"
 #include "common/log.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace cachecraft::telemetry {
 
@@ -78,6 +79,9 @@ Telemetry::Telemetry(StatRegistry *stats, const TelemetryOptions &options)
         sink_ = std::make_unique<TraceSink>(options_.traceCapacity);
     if (kTraceCompiledIn && options_.profileEnabled)
         profiler_ = std::make_unique<Profiler>(stats);
+    if (kTraceCompiledIn && options_.flightRecorderEnabled)
+        recorder_ =
+            std::make_unique<FlightRecorder>(options_.flightCapacity);
 
     stageHist_.reserve(static_cast<std::size_t>(Stage::kCount));
     for (std::size_t s = 0; s < static_cast<std::size_t>(Stage::kCount);
@@ -91,6 +95,8 @@ Telemetry::Telemetry(StatRegistry *stats, const TelemetryOptions &options)
         }
     }
 }
+
+Telemetry::~Telemetry() = default;
 
 const HistogramStat &
 Telemetry::stageHistogram(Stage stage) const

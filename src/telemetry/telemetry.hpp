@@ -111,6 +111,10 @@ struct TelemetryOptions
      * (independent of sampleInterval, which drives the stat series).
      */
     Cycle profileInterval = 4096;
+    /** Runtime gate for the binary flight recorder. */
+    bool flightRecorderEnabled = false;
+    /** Flight-recorder ring capacity in 32-byte records. */
+    std::size_t flightCapacity = 1u << 20;
 };
 
 #ifdef CACHECRAFT_TRACE_DISABLED
@@ -118,6 +122,8 @@ inline constexpr bool kTraceCompiledIn = false;
 #else
 inline constexpr bool kTraceCompiledIn = true;
 #endif
+
+class FlightRecorder;
 
 /** Per-system telemetry hub. See file comment. */
 class Telemetry
@@ -128,6 +134,7 @@ class Telemetry
      *              with (under "telemetry.stage.<name>"); may be null.
      */
     Telemetry(StatRegistry *stats, const TelemetryOptions &options);
+    ~Telemetry(); // out-of-line: FlightRecorder is incomplete here
 
     const TelemetryOptions &options() const { return options_; }
 
@@ -136,6 +143,19 @@ class Telemetry
     tracing() const
     {
         return kTraceCompiledIn && sink_ != nullptr;
+    }
+
+    /**
+     * True when any request-scoped capture is live (trace spans or
+     * flight records), i.e. when components should allocate and
+     * thread per-request ids.
+     */
+    bool
+    active() const
+    {
+        if constexpr (!kTraceCompiledIn)
+            return false;
+        return sink_ != nullptr || recorder_ != nullptr;
     }
 
     /** Allocate a fresh request id (never 0). */
@@ -183,6 +203,19 @@ class Telemetry
     }
 
     /**
+     * The binary flight recorder, or nullptr when recording is off
+     * (runtime gate) or tracing is compiled out. Same hook contract
+     * as profiler(): `if (auto *fr = tel->recorder()) fr->record(...)`.
+     */
+    FlightRecorder *
+    recorder() const
+    {
+        if constexpr (!kTraceCompiledIn)
+            return nullptr;
+        return recorder_.get();
+    }
+
+    /**
      * Emit everything retained in the ring as Chrome trace_event JSON
      * (async "b"/"e" pairs per span, "i" for instants), loadable in
      * chrome://tracing and Perfetto. One simulated cycle maps to one
@@ -197,6 +230,7 @@ class Telemetry
     TelemetryOptions options_;
     std::unique_ptr<TraceSink> sink_;
     std::unique_ptr<Profiler> profiler_;
+    std::unique_ptr<FlightRecorder> recorder_;
     std::vector<HistogramStat> stageHist_;
     std::uint64_t lastId_ = 0;
 };

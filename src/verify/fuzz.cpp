@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include "common/rng.hpp"
 #include "core/gpu_system.hpp"
 #include "ecc/codec.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "verify/invariants.hpp"
 #include "verify/oracle.hpp"
 #include "verify/verify.hpp"
@@ -194,10 +196,12 @@ generateCase(std::uint64_t seed, SchemeKind scheme)
 }
 
 FuzzResult
-runCase(const FuzzCase &c)
+runCase(const FuzzCase &c, const std::string &flight_dump_path)
 {
     FuzzResult result;
-    const SystemConfig cfg = c.toConfig();
+    SystemConfig cfg = c.toConfig();
+    if (!flight_dump_path.empty())
+        cfg.telemetry.flightRecorderEnabled = true;
     const KernelTrace trace = c.toTrace();
 
     GpuSystem gpu(cfg);
@@ -228,6 +232,16 @@ runCase(const FuzzCase &c)
     }
 
     gpu.run(trace);
+
+    if (!flight_dump_path.empty()) {
+        if (const telemetry::FlightRecorder *fr =
+                gpu.telemetry().recorder()) {
+            std::ofstream dump(flight_dump_path,
+                               std::ios::binary | std::ios::trunc);
+            if (dump)
+                fr->writeBinary(dump);
+        }
+    }
 
     for (const std::string &v : oracle.violations())
         result.violations.push_back("oracle: " + v);

@@ -101,8 +101,14 @@ FuzzCase generateCase(std::uint64_t seed, SchemeKind scheme);
  * Run @p c through GpuSystem with the golden oracle and invariant
  * checker attached, then verify final memory against the recomputed
  * architectural state.
+ *
+ * @param flight_dump_path when non-empty, the run executes with the
+ * flight recorder enabled and its ring is written there as a binary
+ * postmortem dump (cachecraft_trace reads it) — recording is
+ * timing-neutral, so the verdict is identical either way.
  */
-FuzzResult runCase(const FuzzCase &c);
+FuzzResult runCase(const FuzzCase &c,
+                   const std::string &flight_dump_path = {});
 
 /**
  * Shrink a failing case: ddmin over the access list, then per-access

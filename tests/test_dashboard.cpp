@@ -224,7 +224,7 @@ TEST(DashboardTest, CampaignFailuresSurfaceInTheWarningsPanel)
 {
     ReportSet set = twoRunSet();
     auto manifest = jsonParse(R"({
-      "schema": "cachecraft.campaign_manifest/1", "schema_version": 2,
+      "schema": "cachecraft.campaign_manifest/1", "schema_version": 3,
       "name": "m", "spec_hash": "crc32c:00000000",
       "failed_points": 1, "timeout_points": 0,
       "points": [

@@ -20,6 +20,7 @@
 
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
+#include "telemetry/telemetry.hpp"
 #include "verify/golden.hpp"
 
 namespace cachecraft {
@@ -29,7 +30,7 @@ namespace fs = std::filesystem;
 
 /** Pinned digest of the ci_smoke report tree (see file comment). */
 constexpr const char *kCiSmokeGoldenHash =
-    "c72332d6e31c2c32f2c4bb6f9e0bb36756f7aef8199b7feaab3e86233b8bd752";
+    "b2855d4b07732a850024bbcca556b2fff37a18a044ab7f69dd2d6e2e0cd6280a";
 
 std::string
 slurp(const fs::path &path)
@@ -65,6 +66,12 @@ runCiSmoke(const fs::path &out_dir, unsigned jobs)
 
 TEST(GoldenRegression, CiSmokeReportTreeMatchesPinnedDigest)
 {
+    // The pinned tree comes from the default build: ci_smoke enables
+    // the profiler, whose report section (and the telemetry.stage
+    // epoch stats) vanish when tracing is compiled out, so the digest
+    // can only be pinned for one build flavor.
+    if (!telemetry::kTraceCompiledIn)
+        GTEST_SKIP() << "tracing compiled out";
     const fs::path base = fs::path(::testing::TempDir()) / "golden_e2e";
     const std::string hash = runCiSmoke(base / "j2", /* jobs= */ 2);
     ASSERT_FALSE(hash.empty());

@@ -33,7 +33,7 @@ struct SmHarness
         params.l1HitLatency = 5;
         sm = std::make_unique<SmCore>(
             "sm0", 0, params, events,
-            [this](Addr, ecc::MemTag, SmallFn done) {
+            [this](Addr, ecc::MemTag, SmallFn done, std::uint64_t) {
                 ++l2Reads;
                 events.scheduleAfter(l2Latency, std::move(done));
             },
@@ -202,7 +202,7 @@ TEST(SmCore, GtoSchedulerCompletesAllWork)
     params.scheduler = WarpSched::kGto;
     gto.sm = std::make_unique<SmCore>(
         "sm0", 0, params, gto.events,
-        [&gto](Addr, ecc::MemTag, SmallFn done) {
+        [&gto](Addr, ecc::MemTag, SmallFn done, std::uint64_t) {
             ++gto.l2Reads;
             gto.events.scheduleAfter(gto.l2Latency, std::move(done));
         },
@@ -238,7 +238,7 @@ TEST(SmCore, GtoPrefersCurrentWarpOnComputeRetire)
     std::vector<Cycle> a_times, b_times;
     SmCore sm(
         "sm0", 0, params, events,
-        [](Addr, ecc::MemTag, SmallFn) {},
+        [](Addr, ecc::MemTag, SmallFn, std::uint64_t) {},
         [](Addr, ecc::MemTag) {}, [](Addr) { return ecc::MemTag{0}; },
         nullptr);
     std::vector<WarpInst> a{alu(1), alu(1), alu(1)};

@@ -16,6 +16,7 @@
 #include "common/json.hpp"
 #include "core/cachecraft.hpp"
 #include "telemetry/diff.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace cachecraft {
 namespace {
@@ -491,6 +492,125 @@ TEST(RunWarnings, TraceRingOverflowIsReported)
     const JsonValue *warnings = doc->find("warnings");
     ASSERT_NE(warnings, nullptr);
     EXPECT_FALSE(warnings->asArray().empty());
+}
+
+TEST(RunWarnings, FlightRingOverflowIsReported)
+{
+    if (!telemetry::kTraceCompiledIn)
+        GTEST_SKIP() << "tracing compiled out";
+
+    // Same contract as the trace ring: a too-small flight ring must
+    // overflow, count the drops exactly, and surface a warning that
+    // round-trips into the JSON report — alongside the critical-path
+    // section the recorder feeds.
+    SystemConfig cfg = tracedConfig();
+    cfg.telemetry.traceEnabled = false;
+    cfg.telemetry.flightRecorderEnabled = true;
+    cfg.telemetry.flightCapacity = 8;
+    GpuSystem gpu(cfg);
+    const RunStats rs = gpu.run(
+        makeWorkload(WorkloadKind::kStreaming, tinyWorkload()));
+
+    const telemetry::FlightRecorder *fr = gpu.telemetry().recorder();
+    ASSERT_NE(fr, nullptr);
+    EXPECT_EQ(fr->size(), 8u);
+    EXPECT_GT(fr->dropped(), 0u);
+
+    ASSERT_FALSE(rs.warnings.empty());
+    bool found = false;
+    for (const std::string &w : rs.warnings)
+        found = found || w.find("flight ring overflowed") !=
+                             std::string::npos;
+    EXPECT_TRUE(found);
+
+    std::ostringstream os;
+    telemetry::writeRunReport(os, telemetry::RunManifest{},
+                              gpu.config(), rs, gpu.statsRegistry(),
+                              gpu.sampler(), nullptr, fr);
+    std::string err;
+    const auto doc = jsonParse(os.str(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    const JsonValue *warnings = doc->find("warnings");
+    ASSERT_NE(warnings, nullptr);
+    bool inReport = false;
+    for (const JsonValue &w : warnings->asArray())
+        inReport = inReport ||
+                   (w.isString() &&
+                    w.asString().find("flight ring overflowed") !=
+                        std::string::npos);
+    EXPECT_TRUE(inReport);
+    const JsonValue *critical = doc->find("critical_path");
+    ASSERT_NE(critical, nullptr);
+    const JsonValue *dropped = critical->find("flight_dropped");
+    ASSERT_NE(dropped, nullptr);
+    EXPECT_GT(dropped->asNumber(), 0.0);
+}
+
+TEST(FlightRecorderOverhead, RecordingLeavesReportBytesUntouched)
+{
+    if (!telemetry::kTraceCompiledIn)
+        GTEST_SKIP() << "tracing compiled out";
+
+    // The tentpole timing-neutrality contract, strengthened to byte
+    // identity: with the recorder running (big enough ring: no
+    // overflow warning), every stat, cycle count, and histogram in
+    // the report is byte-for-byte what the plain run produces. Only
+    // the opt-in "critical_path" section may differ, so both reports
+    // here are written without it.
+    SystemConfig off = tracedConfig();
+    off.telemetry.traceEnabled = false;
+    off.telemetry.sampleInterval = 0;
+    SystemConfig on = off;
+    on.telemetry.flightRecorderEnabled = true;
+    GpuSystem a(on);
+    GpuSystem b(off);
+    const auto trace =
+        makeWorkload(WorkloadKind::kStreaming, tinyWorkload());
+    RunStats ra = a.run(trace);
+    RunStats rb = b.run(trace);
+
+    ASSERT_NE(a.telemetry().recorder(), nullptr);
+    EXPECT_GT(a.telemetry().recorder()->size(), 0u);
+    EXPECT_EQ(a.telemetry().recorder()->dropped(), 0u);
+
+    // Host wall-clock throughput is the one intentionally
+    // non-deterministic report section; everything simulated must
+    // already match (events executed included), so pin only the
+    // wall-clock-derived rates before comparing bytes.
+    EXPECT_EQ(ra.simThroughput.eventsExecuted,
+              rb.simThroughput.eventsExecuted);
+    ra.simThroughput = rb.simThroughput = SimThroughput{};
+
+    std::ostringstream osa;
+    std::ostringstream osb;
+    telemetry::writeRunReport(osa, telemetry::RunManifest{}, a.config(),
+                              ra, a.statsRegistry(), a.sampler());
+    telemetry::writeRunReport(osb, telemetry::RunManifest{}, b.config(),
+                              rb, b.statsRegistry(), b.sampler());
+    EXPECT_EQ(osa.str(), osb.str());
+}
+
+TEST(FlightRecorderOverhead, RecorderOnDoesNotChangeTiming)
+{
+    if (!telemetry::kTraceCompiledIn)
+        GTEST_SKIP() << "tracing compiled out";
+
+    // Recording is observational: enabling the flight recorder must
+    // not move a single simulated cycle or DRAM transaction.
+    SystemConfig off = tracedConfig();
+    off.telemetry.traceEnabled = false;
+    off.telemetry.sampleInterval = 0;
+    SystemConfig on = off;
+    on.telemetry.flightRecorderEnabled = true;
+    GpuSystem a(off);
+    GpuSystem b(on);
+    const auto trace =
+        makeWorkload(WorkloadKind::kStreaming, tinyWorkload());
+    const RunStats ra = a.run(trace);
+    const RunStats rb = b.run(trace);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.dramTotalTxns, rb.dramTotalTxns);
+    EXPECT_EQ(ra.instructions, rb.instructions);
 }
 
 TEST(TracedOverhead, TracingOffMatchesBaselineCycles)

@@ -451,7 +451,7 @@ TEST(FuzzRun, RegressionL1MshrAdmissionLostWakeup)
     // SM, three warps with overlapping footprints, and a 4-entry MSHR
     // file. Fixed in SmCore::issueSector (drain while slots remain).
     static const char *kRepro = R"({
-      "schema": "cachecraft.fuzz_case", "schema_version": 2,
+      "schema": "cachecraft.fuzz_case", "schema_version": 3,
       "seed": "2", "scheme": "cachecraft", "codec": "chipkill",
       "sms": 1, "channels": 1,
       "l2_bytes": 4096, "l2_assoc": 2, "l2_mshrs": 4,

@@ -65,13 +65,16 @@ usage()
         "  --out DIR        reproducer output directory (default .)\n"
         "  --no-minimize    write the raw failing case unminimized\n"
         "  --replay FILE    run one JSON reproducer and exit\n"
+        "  --flight FILE    with --replay: also write the run's flight\n"
+        "                   ring to FILE (analyze with cachecraft_trace)\n"
         "  --quiet          only print the final summary\n"
         "\n"
         "exit codes: 0 consistent, 1 violation found, 2 usage error\n");
 }
 
 int
-replay(const std::string &path, bool quiet)
+replay(const std::string &path, const std::string &flight_path,
+       bool quiet)
 {
     std::ifstream in(path);
     if (!in) {
@@ -88,7 +91,10 @@ replay(const std::string &path, bool quiet)
                      error.c_str());
         return 2;
     }
-    const verify::FuzzResult result = verify::runCase(fuzzCase);
+    const verify::FuzzResult result =
+        verify::runCase(fuzzCase, flight_path);
+    if (!flight_path.empty() && !quiet)
+        std::printf("flight dump: %s\n", flight_path.c_str());
     if (!quiet) {
         std::printf("replay %s: scheme=%s codec=%s accesses=%zu "
                     "faults=%zu decodes=%llu invariant_events=%llu\n",
@@ -118,6 +124,7 @@ main(int argc, char **argv)
     std::string plantArg;
     std::string outDir = ".";
     std::string replayPath;
+    std::string flightPath;
     bool minimize = true;
     bool quiet = false;
 
@@ -149,6 +156,8 @@ main(int argc, char **argv)
             minimize = false;
         } else if (flag == "--replay") {
             replayPath = need_value(i);
+        } else if (flag == "--flight") {
+            flightPath = need_value(i);
         } else if (flag == "--quiet") {
             quiet = true;
         } else {
@@ -160,7 +169,13 @@ main(int argc, char **argv)
     }
 
     if (!replayPath.empty())
-        return replay(replayPath, quiet);
+        return replay(replayPath, flightPath, quiet);
+    if (!flightPath.empty()) {
+        std::fprintf(stderr,
+                     "cachecraft_fuzz: --flight needs --replay "
+                     "(sweeps write postmortems automatically)\n");
+        return 2;
+    }
 
     bool plantStaleMeta = false;
     if (!plantArg.empty()) {
@@ -252,6 +267,16 @@ main(int argc, char **argv)
                 std::printf("reproducer: %s\n", firstReproPath.c_str());
                 std::printf("replay with: cachecraft_fuzz --replay %s\n",
                             firstReproPath.c_str());
+                // Postmortem: re-run the minimized case with the
+                // flight recorder on and drop the binary ring next to
+                // the reproducer — recording is timing-neutral, so
+                // this replays the identical failure.
+                const std::string postmortem =
+                    firstReproPath + ".flight";
+                verify::runCase(repro, postmortem);
+                std::printf("postmortem: %s (analyze with: "
+                            "cachecraft_trace %s)\n",
+                            postmortem.c_str(), postmortem.c_str());
             } else {
                 std::fprintf(stderr,
                              "cachecraft_fuzz: cannot write %s\n",

@@ -22,6 +22,7 @@
 
 #include "core/cachecraft.hpp"
 #include "stats/energy.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "workloads/trace_io.hpp"
 
 using namespace cachecraft;
@@ -81,7 +82,16 @@ usage()
         "  --profile-interval N poll occupancy gauges every N cycles\n"
         "                      (default 4096)\n"
         "  --report-json FILE  write the full machine-readable run\n"
-        "                      report (manifest + config + stats)\n");
+        "                      report (manifest + config + stats)\n"
+        "  --flight-record FILE enable the binary flight recorder and\n"
+        "                      write its dump (analyze with\n"
+        "                      cachecraft_trace); adds a\n"
+        "                      \"critical_path\" report section\n"
+        "  --flight-capacity N flight ring size in records (1048576)\n"
+        "  --progress N        heartbeat: print cycles and events/s to\n"
+        "                      stderr every N simulated cycles (off by\n"
+        "                      default; output is stderr-only so\n"
+        "                      reports stay byte-identical)\n");
 }
 
 std::optional<SchemeKind>
@@ -147,6 +157,8 @@ main(int argc, char **argv)
     std::string trace_json_path;
     std::string report_json_path;
     std::string epochs_csv_path;
+    std::string flight_path;
+    Cycle progress_interval = 0;
     bool want_energy = false;
     bool quiet = false;
     bool list_stats = false;
@@ -236,6 +248,18 @@ main(int argc, char **argv)
                 fatal("--profile-interval must be positive");
         } else if (flag == "--report-json") {
             report_json_path = need_value(i);
+        } else if (flag == "--flight-record") {
+            flight_path = need_value(i);
+            config.telemetry.flightRecorderEnabled = true;
+        } else if (flag == "--flight-capacity") {
+            config.telemetry.flightCapacity =
+                std::stoull(need_value(i));
+            if (config.telemetry.flightCapacity == 0)
+                fatal("--flight-capacity must be positive");
+        } else if (flag == "--progress") {
+            progress_interval = std::stoull(need_value(i));
+            if (progress_interval == 0)
+                fatal("--progress must be positive");
         } else if (flag == "--log-level") {
             const auto level = parseLogLevel(need_value(i));
             if (!level)
@@ -290,9 +314,13 @@ main(int argc, char **argv)
     if (config.telemetry.profileEnabled && !telemetry::kTraceCompiledIn)
         warn("tracing was compiled out (CACHECRAFT_DISABLE_TRACING); "
              "--profile has no effect");
+    if (!flight_path.empty() && !telemetry::kTraceCompiledIn)
+        warn("tracing was compiled out (CACHECRAFT_DISABLE_TRACING); "
+             "the flight dump will be empty");
     // Fail on unwritable output paths now, not after a long run.
     for (const std::string &path :
-         {epochs_csv_path, trace_json_path, report_json_path}) {
+         {epochs_csv_path, trace_json_path, report_json_path,
+          flight_path}) {
         if (path.empty())
             continue;
         std::ofstream probe(path, std::ios::app);
@@ -306,6 +334,24 @@ main(int argc, char **argv)
 
     GpuSystem gpu(config);
     const auto wall_start = std::chrono::steady_clock::now();
+    if (progress_interval > 0) {
+        gpu.setProgress(
+            progress_interval,
+            [wall_start](Cycle cycle, std::uint64_t events) {
+                const double elapsed =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+                std::fprintf(
+                    stderr,
+                    "progress: cycle %llu, %llu events (%.0f ev/s)\n",
+                    static_cast<unsigned long long>(cycle),
+                    static_cast<unsigned long long>(events),
+                    elapsed > 0.0
+                        ? static_cast<double>(events) / elapsed
+                        : 0.0);
+            });
+    }
     const RunStats rs = gpu.run(trace);
     const double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -400,6 +446,20 @@ main(int argc, char **argv)
                         sink ? sink->dropped() : 0));
     }
 
+    if (!flight_path.empty()) {
+        std::ofstream out(flight_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("cannot write " + flight_path);
+        const telemetry::FlightRecorder *fr = gpu.telemetry().recorder();
+        if (fr)
+            fr->writeBinary(out);
+        std::printf("wrote %s (%zu records, %llu dropped)\n",
+                    flight_path.c_str(), fr ? fr->size() : 0,
+                    static_cast<unsigned long long>(fr ? fr->dropped()
+                                                       : 0));
+    }
+
     if (!report_json_path.empty()) {
         std::ofstream out(report_json_path);
         if (!out)
@@ -411,7 +471,8 @@ main(int argc, char **argv)
         manifest.wallSeconds = wall_seconds;
         telemetry::writeRunReport(out, manifest, gpu.config(), rs,
                                   gpu.statsRegistry(), gpu.sampler(),
-                                  gpu.telemetry().profiler());
+                                  gpu.telemetry().profiler(),
+                                  gpu.telemetry().recorder());
         std::printf("wrote %s\n", report_json_path.c_str());
     }
     return 0;

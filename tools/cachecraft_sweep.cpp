@@ -49,6 +49,9 @@ usage()
         "                      unlimited)\n"
         "  --dry-run           print the expanded points and exit\n"
         "  --quiet             no live progress lines\n"
+        "  --progress S        also emit a heartbeat status line every\n"
+        "                      S seconds (points done, elapsed, ETA)\n"
+        "                      even while all workers are mid-point\n"
         "  --list-knobs        print the knob names base/grid accept\n"
         "\n"
         "exit codes: 0 all points ok, 1 failed/timeout points,\n"
@@ -90,6 +93,14 @@ main(int argc, char **argv)
             dry_run = true;
         } else if (flag == "--quiet") {
             options.progress = nullptr;
+        } else if (flag == "--progress") {
+            options.heartbeatSeconds = std::stod(need_value(i));
+            if (options.heartbeatSeconds <= 0.0) {
+                std::fprintf(stderr,
+                             "cachecraft_sweep: --progress wants a "
+                             "positive interval in seconds\n");
+                return 2;
+            }
         } else if (flag == "--list-knobs") {
             for (const std::string &knob : campaign::knownKnobs())
                 std::printf("%s\n", knob.c_str());
