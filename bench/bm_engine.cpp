@@ -24,6 +24,7 @@
 #include "core/cachecraft.hpp"
 #include "gpu/event_queue.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/reuse_dist.hpp"
 
 using namespace cachecraft;
 
@@ -253,6 +254,76 @@ BENCHMARK(BM_SimFlightRecorder)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->ArgNames({"recorder"});
+
+/**
+ * Hot cost of one reuse-monitor access: a Fenwick-tree stack-distance
+ * query plus histogram and epoch bookkeeping. This is the per-access
+ * price every monitored cache pays when reuse profiling is on; it is
+ * O(log live-lines), so the steady-state working set below keeps the
+ * measurement honest.
+ */
+void
+BM_ReuseAccess(benchmark::State &state)
+{
+    telemetry::ReuseGeometry geom;
+    geom.numSets = 64;
+    geom.numWays = 8;
+    geom.lineBytes = 32;
+    geom.sectorsPerLine = 8;
+    telemetry::CacheReuseMonitor monitor("bench", "mrc", geom,
+                                         telemetry::ReuseOptions{});
+    SplitMix64 rng(7);
+    cachecraft::CacheAccessResult res;
+    res.lineHit = true;
+    res.sectorHit = true;
+    for (auto _ : state) {
+        const std::uint64_t r = rng.next();
+        // ~1K distinct lines over 64 sets: constant compaction churn.
+        const Addr line = (r % 1024) * geom.lineBytes;
+        monitor.onAccess(line, (line / geom.lineBytes) % geom.numSets,
+                         static_cast<unsigned>(r >> 32) % 8, res,
+                         false);
+    }
+    benchmark::DoNotOptimize(monitor);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_ReuseAccess);
+
+/**
+ * End-to-end reuse-profiling overhead: an identical small full-system
+ * run with the profiler off vs on, mirroring BM_SimFlightRecorder.
+ * Simulated cycles are identical by contract (observation only); the
+ * host-time ratio is the overhead the acceptance gate budgets.
+ */
+void
+BM_SimReuseProfile(benchmark::State &state)
+{
+    const bool enabled = state.range(0) != 0;
+    WorkloadParams params;
+    params.footprintBytes = 256 * 1024;
+    params.numWarps = 32;
+    params.memInstsPerWarp = 16;
+    params.seed = 7;
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        SystemConfig cfg;
+        cfg.scheme = SchemeKind::kCacheCraft;
+        cfg.telemetry.reuseProfileEnabled = enabled;
+        GpuSystem gpu(cfg);
+        cycles +=
+            gpu.run(makeWorkload(WorkloadKind::kStreaming, params))
+                .cycles;
+    }
+    benchmark::DoNotOptimize(cycles);
+}
+
+BENCHMARK(BM_SimReuseProfile)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"reuse"});
 
 } // namespace
 

@@ -35,6 +35,7 @@
 #include "bench_common.hpp"
 #include "common/json.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/reuse_dist.hpp"
 
 using namespace cachecraft;
 
@@ -158,6 +159,53 @@ main(int argc, char **argv)
         w.key("dropped").value(fr ? fr->dropped() : 0u);
         w.key("last_cycle").value(
             fr ? static_cast<std::uint64_t>(fr->lastCycle()) : 0u);
+        w.endObject();
+    }
+
+    // Reuse-profiler-on rerun of the same smoke point: cycles must
+    // stay byte-equal to the profiler-off "streaming.cachecraft"
+    // point (observation is free), and the one-pass curve counts are
+    // deterministic integers — a drift in either the instrumentation
+    // points or the stack-distance math trips the gate.
+    {
+        std::fprintf(stderr, "[perf_smoke] streaming.cachecraft"
+                             " (reuse profile on)\n");
+        SystemConfig cfg = bench::configFor(SchemeKind::kCacheCraft);
+        cfg.telemetry.reuseProfileEnabled = true;
+        GpuSystem gpu(cfg);
+        const RunStats rs = gpu.run(
+            makeWorkload(WorkloadKind::kStreaming, smokeParams()));
+        const telemetry::ReuseProfiler *rp = gpu.telemetry().reuse();
+        w.key("reuse_profile").beginObject();
+        w.key("cycles").value(static_cast<std::uint64_t>(rs.cycles));
+        std::uint64_t monitors = 0;
+        std::uint64_t accesses = 0;
+        std::uint64_t cold = 0;
+        std::uint64_t mrc_misses_1w = 0;
+        std::uint64_t mrc_misses_8w = 0;
+        std::uint64_t l2_misses_1w = 0;
+        std::uint64_t l2_misses_16w = 0;
+        if (rp) {
+            for (const auto &m : rp->monitors()) {
+                ++monitors;
+                accesses += m->accesses();
+                cold += m->coldMisses();
+                if (m->kind() == "mrc") {
+                    mrc_misses_1w += m->missesAtWays(1);
+                    mrc_misses_8w += m->missesAtWays(8);
+                } else if (m->kind() == "l2") {
+                    l2_misses_1w += m->missesAtWays(1);
+                    l2_misses_16w += m->missesAtWays(16);
+                }
+            }
+        }
+        w.key("monitors").value(monitors);
+        w.key("accesses").value(accesses);
+        w.key("cold_misses").value(cold);
+        w.key("mrc_misses_at_1w").value(mrc_misses_1w);
+        w.key("mrc_misses_at_8w").value(mrc_misses_8w);
+        w.key("l2_misses_at_1w").value(l2_misses_1w);
+        w.key("l2_misses_at_16w").value(l2_misses_16w);
         w.endObject();
     }
 

@@ -93,8 +93,12 @@ SectoredCache::access(Addr addr, bool is_write)
     const std::size_t set = setIndex(line);
     const int w = findWay(set, line);
     CacheAccessResult res;
+    const unsigned sector = static_cast<unsigned>(
+        offsetIn(addr, params_.lineBytes) / params_.sectorBytes);
     if (w < 0) {
         statLineMisses.inc();
+        if (observer_)
+            observer_->onAccess(line, set, sector, res, is_write);
         return res;
     }
     res.lineHit = true;
@@ -116,6 +120,8 @@ SectoredCache::access(Addr addr, bool is_write)
         // Touching the line keeps it warm even on a sector miss.
         repl_->onHit(set, static_cast<unsigned>(w));
     }
+    if (observer_)
+        observer_->onAccess(line, set, sector, res, is_write);
     return res;
 }
 
@@ -127,6 +133,7 @@ SectoredCache::fill(Addr addr, SectorMask fill_mask, SectorMask dirty_mask)
     const std::size_t set = setIndex(line);
     int w = findWay(set, line);
     std::optional<Eviction> evicted;
+    const bool allocated = w < 0;
 
     if (w < 0) {
         // Prefer an invalid way; otherwise ask the policy.
@@ -148,6 +155,8 @@ SectoredCache::fill(Addr addr, SectorMask fill_mask, SectorMask dirty_mask)
             statEvictions.inc();
             if (ev.dirtyMask)
                 statDirtyEvictions.inc();
+            if (observer_)
+                observer_->onEvict(ev.lineAddr, set, ev.validMask);
         }
         Way &way = ways_[base + w];
         way.valid = true;
@@ -162,6 +171,8 @@ SectoredCache::fill(Addr addr, SectorMask fill_mask, SectorMask dirty_mask)
     way.dirtyMask |= static_cast<SectorMask>(dirty_mask & fill_mask);
     CACHECRAFT_VERIFY_HOOK(onCacheLineState(name_.c_str(), line,
                                             way.validMask, way.dirtyMask));
+    if (observer_)
+        observer_->onFill(line, set, allocated);
     return evicted;
 }
 
@@ -184,6 +195,8 @@ SectoredCache::invalidate(Addr addr)
     way.dirtyMask = 0;
     repl_->onInvalidate(set, static_cast<unsigned>(w));
     statInvalidates.inc();
+    if (observer_)
+        observer_->onEvict(ev.lineAddr, set, ev.validMask);
     return ev;
 }
 

@@ -67,6 +67,42 @@ struct CacheAccessResult
 };
 
 /**
+ * Observer of one cache's access/fill/eviction stream. The cache layer
+ * stays free of telemetry dependencies: observers are attached from
+ * above (the reuse-distance profiler implements this interface) and
+ * every callback is a null-checked virtual call, paid only when a
+ * profiler is actually attached.
+ */
+class CacheEventObserver
+{
+  public:
+    virtual ~CacheEventObserver() = default;
+
+    /**
+     * An access touched sector @p sector of line @p line_addr in set
+     * @p set; @p result is what the tag array answered.
+     */
+    virtual void onAccess(Addr line_addr, std::size_t set,
+                          unsigned sector, const CacheAccessResult &result,
+                          bool is_write) = 0;
+
+    /**
+     * A fill touched @p line_addr; @p allocated is true when a way was
+     * (re)claimed for the line, false when it only extended a resident
+     * line's sector masks.
+     */
+    virtual void onFill(Addr line_addr, std::size_t set,
+                        bool allocated) = 0;
+
+    /**
+     * @p line_addr left the cache — capacity eviction or explicit
+     * invalidation — with @p valid_mask sectors valid at departure.
+     */
+    virtual void onEvict(Addr line_addr, std::size_t set,
+                         SectorMask valid_mask) = 0;
+};
+
+/**
  * The tag array. All addresses passed in are full byte addresses;
  * the cache aligns internally.
  */
@@ -123,6 +159,12 @@ class SectoredCache
     /** Number of valid lines currently resident. */
     std::size_t numResidentLines() const;
 
+    /**
+     * Attach (or detach, with nullptr) the single event observer.
+     * Not owned; the caller keeps it alive for the cache's lifetime.
+     */
+    void setObserver(CacheEventObserver *observer) { observer_ = observer; }
+
     std::size_t numSets() const { return numSets_; }
     unsigned numWays() const { return params_.assoc; }
     std::size_t sectorsPerLine() const { return sectorsPerLine_; }
@@ -162,6 +204,7 @@ class SectoredCache
     std::size_t sectorsPerLine_;
     std::vector<Way> ways_; // numSets_ * assoc, row-major by set
     std::unique_ptr<ReplacementPolicy> repl_;
+    CacheEventObserver *observer_ = nullptr;
 };
 
 } // namespace cachecraft

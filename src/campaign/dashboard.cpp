@@ -569,6 +569,223 @@ renderCriticalPathChart(std::ostream &os, const std::vector<Row> &rows)
     os << "</svg>\n";
 }
 
+/** "16 KiB" / "512 B" style capacity tick labels. */
+std::string
+fmtCapacity(double bytes)
+{
+    const auto b = static_cast<std::uint64_t>(std::llround(bytes));
+    char buf[32];
+    if (b >= 1024 * 1024 && b % (1024 * 1024) == 0)
+        std::snprintf(buf, sizeof buf, "%llu MiB",
+                      static_cast<unsigned long long>(b >> 20));
+    else if (b >= 1024 && b % 1024 == 0)
+        std::snprintf(buf, sizeof buf, "%llu KiB",
+                      static_cast<unsigned long long>(b >> 10));
+    else
+        std::snprintf(buf, sizeof buf, "%llu B",
+                      static_cast<unsigned long long>(b));
+    return buf;
+}
+
+/**
+ * MRC miss-ratio curves: one polyline per reuse-profiled run, all on
+ * one log-capacity plot, so the capacity sensitivity of the metadata
+ * cache can be compared across schemes without a sweep. Runs whose
+ * reuse profiler was off simply contribute no line.
+ */
+void
+renderCurveChart(std::ostream &os, const std::vector<Row> &rows)
+{
+    struct Series
+    {
+        const Row *row;
+        const telemetry::KindCurveSummary *curve;
+    };
+    std::vector<Series> series;
+    for (const Row &row : rows) {
+        for (const telemetry::KindCurveSummary &k : row.s.kindCurves) {
+            if (k.kind == "mrc" && k.points.size() >= 2 &&
+                k.accesses > 0.0)
+                series.push_back({&row, &k});
+        }
+    }
+    if (series.empty())
+        return;
+
+    double min_cap = 0.0;
+    double max_cap = 0.0;
+    for (const Series &s : series) {
+        for (const telemetry::CurveSample &p : s.curve->points) {
+            if (p.capacityBytes <= 0.0)
+                continue;
+            if (min_cap == 0.0 || p.capacityBytes < min_cap)
+                min_cap = p.capacityBytes;
+            max_cap = std::max(max_cap, p.capacityBytes);
+        }
+    }
+    if (max_cap <= 0.0)
+        return;
+
+    const double gutter = 56.0;
+    const double plot_w = 520.0;
+    const double plot_h = 180.0;
+    const double top = 6.0;
+    const double height = top + plot_h + 34.0;
+    const double lmin = std::log2(min_cap);
+    const double lmax = std::log2(std::max(max_cap, min_cap * 2.0));
+    auto xOf = [&](double cap) {
+        return gutter + plot_w * (std::log2(cap) - lmin) / (lmax - lmin);
+    };
+    auto yOf = [&](double ratio) { return top + plot_h * (1.0 - ratio); };
+
+    std::vector<std::pair<std::string, std::size_t>> legend;
+    for (std::size_t i = 0; i < series.size(); ++i)
+        legend.emplace_back(series[i].row->label, i);
+
+    os << "<h2>MRC miss-ratio curves</h2>\n"
+       << "<p class=\"sub\">Exact single-pass reuse-distance curves: "
+          "the miss ratio the run's MRC access stream would see at "
+          "every capacity, from one profiled run "
+          "(reuse-profile-enabled runs only).</p>\n";
+    renderLegend(os, legend);
+    os << "<svg class=\"chart\" viewBox=\"0 0 "
+       << fmt(gutter + plot_w + 20.0, 0) << " " << fmt(height, 0)
+       << "\" role=\"img\" aria-label=\"MRC miss ratio versus "
+          "capacity\">\n";
+
+    for (int pct = 0; pct <= 100; pct += 25) {
+        const double y = yOf(pct / 100.0);
+        os << "<line x1=\"" << fmt(gutter, 1) << "\" y1=\"" << fmt(y, 1)
+           << "\" x2=\"" << fmt(gutter + plot_w, 1) << "\" y2=\""
+           << fmt(y, 1) << "\" class=\"grid\"/><text x=\""
+           << fmt(gutter - 6.0, 1) << "\" y=\"" << fmt(y + 4.0, 1)
+           << "\" class=\"tick\" text-anchor=\"end\">" << pct
+           << "%</text>\n";
+    }
+    for (double lc = std::ceil(lmin); lc <= lmax; lc += 1.0) {
+        const double x = gutter + plot_w * (lc - lmin) / (lmax - lmin);
+        os << "<line x1=\"" << fmt(x, 1) << "\" y1=\"" << fmt(top, 1)
+           << "\" x2=\"" << fmt(x, 1) << "\" y2=\""
+           << fmt(top + plot_h, 1) << "\" class=\"grid\"/><text x=\""
+           << fmt(x, 1) << "\" y=\"" << fmt(top + plot_h + 14.0, 1)
+           << "\" class=\"tick\" text-anchor=\"middle\">"
+           << fmtCapacity(std::exp2(lc)) << "</text>\n";
+    }
+
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const Series &s = series[i];
+        os << "<polyline fill=\"none\" stroke=\"" << slotVar(i)
+           << "\" stroke-width=\"2\" stroke-linejoin=\"round\" "
+              "points=\"";
+        bool first = true;
+        for (const telemetry::CurveSample &p : s.curve->points) {
+            if (p.capacityBytes <= 0.0)
+                continue;
+            os << (first ? "" : " ") << fmt(xOf(p.capacityBytes), 1)
+               << "," << fmt(yOf(std::clamp(p.missRatio, 0.0, 1.0)), 1);
+            first = false;
+        }
+        os << "\"><title>" << htmlEscape(s.row->label) << ": "
+           << fmtCount(s.curve->accesses) << " MRC accesses over "
+           << fmtCount(s.curve->caches) << " slices</title>"
+           << "</polyline>\n";
+    }
+    os << "</svg>\n";
+}
+
+/**
+ * Set-residency heatmaps: occupancy of the first profiled MRC slice
+ * over time (columns = access-count epochs, rows = set groups), one
+ * small multiple per reuse-profiled run. Hot rows expose set-index
+ * skew that the aggregate hit rate hides. Downsampled to at most
+ * 32x32 cells so dashboards stay small.
+ */
+void
+renderHeatmapChart(std::ostream &os, const std::vector<Row> &rows)
+{
+    std::vector<const Row *> with_heatmaps;
+    for (const Row &row : rows) {
+        if (!row.s.mrcHeatmap.occupancy.empty() &&
+            row.s.mrcHeatmap.setsPerGroup > 0.0 &&
+            row.s.mrcHeatmap.ways > 0.0)
+            with_heatmaps.push_back(&row);
+    }
+    if (with_heatmaps.empty())
+        return;
+
+    constexpr std::size_t kMaxRendered = 6;
+    constexpr std::size_t kMaxCells = 32;
+    os << "<h2>MRC set residency</h2>\n"
+       << "<p class=\"sub\">Occupancy of the first MRC slice over "
+          "time: columns are access epochs, rows are set groups, "
+          "darker means fuller. Uniform columns mean the metadata "
+          "working set spreads across sets; hot rows mean index "
+          "skew.</p>\n";
+
+    std::size_t rendered = 0;
+    for (const Row *row : with_heatmaps) {
+        if (rendered == kMaxRendered) {
+            os << "<p class=\"muted\">&#8230; "
+               << with_heatmaps.size() - rendered
+               << " more reuse-profiled run"
+               << (with_heatmaps.size() - rendered == 1 ? "" : "s")
+               << " elided.</p>\n";
+            break;
+        }
+        ++rendered;
+        const telemetry::HeatmapSummary &hm = row->s.mrcHeatmap;
+        const std::size_t epochs = hm.occupancy.size();
+        std::size_t groups = 0;
+        for (const std::vector<double> &col : hm.occupancy)
+            groups = std::max(groups, col.size());
+        if (groups == 0)
+            continue;
+        // Downsample by averaging fill fractions over merged cells.
+        const std::size_t ew = (epochs + kMaxCells - 1) / kMaxCells;
+        const std::size_t gw = (groups + kMaxCells - 1) / kMaxCells;
+        const std::size_t cols = (epochs + ew - 1) / ew;
+        const std::size_t cell_rows = (groups + gw - 1) / gw;
+        const double full = hm.setsPerGroup * hm.ways;
+
+        const double cell = 10.0;
+        const double width = 2.0 + cols * cell;
+        const double height = 2.0 + cell_rows * cell;
+        os << "<p class=\"sub\">" << htmlEscape(row->label) << " &#183; "
+           << htmlEscape(hm.cache) << "</p>\n"
+           << "<svg class=\"heatmap\" viewBox=\"0 0 " << fmt(width, 0)
+           << " " << fmt(height, 0)
+           << "\" role=\"img\" aria-label=\""
+           << htmlEscape(row->label)
+           << " MRC set occupancy over time\">\n";
+        for (std::size_t gc = 0; gc < cell_rows; ++gc) {
+            for (std::size_t ec = 0; ec < cols; ++ec) {
+                double sum = 0.0;
+                std::size_t n = 0;
+                for (std::size_t e = ec * ew;
+                     e < std::min(epochs, (ec + 1) * ew); ++e) {
+                    const std::vector<double> &col = hm.occupancy[e];
+                    for (std::size_t g = gc * gw;
+                         g < std::min(groups, (gc + 1) * gw); ++g) {
+                        sum += g < col.size() ? col[g] : 0.0;
+                        ++n;
+                    }
+                }
+                const double frac =
+                    n > 0 ? std::clamp(sum / (double(n) * full), 0.0,
+                                       1.0)
+                          : 0.0;
+                os << "<rect x=\"" << fmt(1.0 + ec * cell, 1)
+                   << "\" y=\"" << fmt(1.0 + gc * cell, 1)
+                   << "\" width=\"" << fmt(cell, 1) << "\" height=\""
+                   << fmt(cell, 1)
+                   << "\" fill=\"var(--s1)\" fill-opacity=\""
+                   << fmt(frac, 2) << "\"/>\n";
+            }
+        }
+        os << "</svg>\n";
+    }
+}
+
 /** 140x30 sparkline polyline of one epoch series. */
 std::string
 sparkline(const std::vector<telemetry::EpochSample> &series,
@@ -913,6 +1130,9 @@ svg.chart .value { fill: var(--ink2);
 svg.chart .tick { fill: var(--muted); }
 svg.chart .grid { stroke: var(--grid); stroke-width: 1; }
 svg.spark { width: 140px; height: 30px; vertical-align: middle; }
+svg.heatmap { max-width: 420px; height: auto; display: block;
+  background: var(--page); border: 1px solid var(--border);
+  border-radius: 4px; }
 table { border-collapse: collapse; width: 100%; margin: 8px 0; }
 th, td { text-align: left; padding: 4px 10px 4px 0;
   border-bottom: 1px solid var(--grid); }
@@ -1037,6 +1257,8 @@ renderDashboard(const ReportSet &reports, const DashboardOptions &options)
     renderSpeedupChart(os, rows);
     renderStallChart(os, rows);
     renderCriticalPathChart(os, rows);
+    renderCurveChart(os, rows);
+    renderHeatmapChart(os, rows);
     renderRunTable(os, rows);
     renderTrafficTables(os, rows);
     renderWarnings(os, reports, rows, summarize_errors);

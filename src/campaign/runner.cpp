@@ -96,7 +96,8 @@ runOnePoint(const CampaignSpec &spec, const CampaignPoint &point,
         telemetry::writeRunReport(out, manifest, gpu.config(), rs,
                                   gpu.statsRegistry(), gpu.sampler(),
                                   gpu.telemetry().profiler(),
-                                  gpu.telemetry().recorder());
+                                  gpu.telemetry().recorder(),
+                                  gpu.telemetry().reuse());
         outcome.reportFile = relative;
         outcome.status = PointStatus::kOk;
     } catch (const std::exception &e) {

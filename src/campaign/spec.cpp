@@ -220,6 +220,12 @@ applyKnob(CampaignPoint &point, const std::string &knob,
         }
         point.config.telemetry.profileEnabled = true;
         point.config.telemetry.profileInterval = n;
+    } else if (knob == "reuse_profile") {
+        if (!v.isBool()) {
+            *error = "wants a boolean";
+            return false;
+        }
+        point.config.telemetry.reuseProfileEnabled = v.asBool();
     } else {
         *error = "unknown knob";
         return false;
@@ -243,9 +249,9 @@ knownKnobs()
             "flight_recorder",   "footprint_mib",     "gto",
             "l2_kib",            "l2_whole_line",     "mem_insts",
             "mrc_kib",           "profile",           "profile_interval",
-            "sample_interval",   "scheme",            "seed",
-            "sms",               "system_seed",       "warps",
-            "workload",          "writeback_mrc"};
+            "reuse_profile",     "sample_interval",   "scheme",
+            "seed",              "sms",               "system_seed",
+            "warps",             "workload",          "writeback_mrc"};
 }
 
 std::optional<CampaignSpec>

@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/reuse_dist.hpp"
 #include "telemetry/telemetry.hpp"
 #include "verify/verify.hpp"
 
@@ -27,6 +28,16 @@ L2Slice::L2Slice(std::string name, SliceId id, const L2SliceParams &params,
                                &statMshrStallRetries);
         stats->registerCounter(name_ + ".prefetch_fetches",
                                &statPrefetchFetches);
+    }
+    if (telemetry_) {
+        if (auto *rp = telemetry_->reuse()) {
+            telemetry::ReuseGeometry geom;
+            geom.numSets = cache_.numSets();
+            geom.numWays = cache_.numWays();
+            geom.lineBytes = cache_.params().lineBytes;
+            geom.sectorsPerLine = cache_.sectorsPerLine();
+            cache_.setObserver(rp->attach(cache_.name(), "l2", geom));
+        }
     }
 }
 

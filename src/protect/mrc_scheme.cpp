@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/reuse_dist.hpp"
 #include "telemetry/telemetry.hpp"
 #include "verify/verify.hpp"
 
@@ -32,6 +33,16 @@ MrcScheme::MrcScheme(const SchemeContext &ctx, const MrcOptions &options,
       mrc_(ctx.name + ".mrc", mrcParams(options, ctx.channel + 1),
            ctx.stats)
 {
+    if (ctx_.telemetry) {
+        if (auto *rp = ctx_.telemetry->reuse()) {
+            telemetry::ReuseGeometry geom;
+            geom.numSets = mrc_.numSets();
+            geom.numWays = mrc_.numWays();
+            geom.lineBytes = mrc_.params().lineBytes;
+            geom.sectorsPerLine = mrc_.sectorsPerLine();
+            mrc_.setObserver(rp->attach(mrc_.name(), "mrc", geom));
+        }
+    }
 }
 
 Addr

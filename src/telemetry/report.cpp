@@ -1,6 +1,7 @@
 #include "telemetry/report.hpp"
 
 #include "common/json.hpp"
+#include "telemetry/cache_curves.hpp"
 #include "telemetry/critical_path.hpp"
 #include "telemetry/flight_recorder.hpp"
 
@@ -35,7 +36,8 @@ void
 writeRunReport(std::ostream &os, const RunManifest &manifest,
                const SystemConfig &config, const RunStats &rs,
                const StatRegistry &stats, const StatSampler *sampler,
-               const Profiler *profiler, const FlightRecorder *recorder)
+               const Profiler *profiler, const FlightRecorder *recorder,
+               const ReuseProfiler *reuse)
 {
     JsonWriter w(os);
     w.beginObject();
@@ -144,6 +146,15 @@ writeRunReport(std::ostream &os, const RunManifest &manifest,
             .value(static_cast<std::uint64_t>(recorder->size()));
         w.key("flight_dropped").value(recorder->dropped());
         w.endObject();
+    }
+
+    if (reuse) {
+        // One-pass reuse-distance products (miss-ratio curves,
+        // residency heatmaps, locality histograms). The section — and
+        // its knobs — exist only when profiling ran, so reports with
+        // it off stay byte-identical to pre-observatory ones.
+        w.key("curves");
+        writeCurvesJson(w, *reuse);
     }
 
     if (sampler) {

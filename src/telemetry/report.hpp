@@ -57,18 +57,25 @@ std::string buildVersion();
 std::string osHostname();
 
 class FlightRecorder;
+class ReuseProfiler;
 
 /** Write the full run report as one JSON object to @p os.
  *  @param sampler  may be null (no "epochs" section).
  *  @param profiler may be null (no "profile" section).
  *  @param recorder may be null (no "critical_path" section): when the
  *  flight recorder ran, its critical-path attribution is summarized
- *  inline so campaign reports carry the breakdown per point. */
+ *  inline so campaign reports carry the breakdown per point.
+ *  @param reuse    may be null (no "curves" section): when reuse
+ *  profiling ran, the one-pass miss-ratio curves, residency heatmaps,
+ *  and locality histograms are embedded per cache. A disabled profiler
+ *  leaves the report byte-identical to one written before the section
+ *  existed. */
 void writeRunReport(std::ostream &os, const RunManifest &manifest,
                     const SystemConfig &config, const RunStats &rs,
                     const StatRegistry &stats, const StatSampler *sampler,
                     const Profiler *profiler = nullptr,
-                    const FlightRecorder *recorder = nullptr);
+                    const FlightRecorder *recorder = nullptr,
+                    const ReuseProfiler *reuse = nullptr);
 
 } // namespace cachecraft::telemetry
 

@@ -185,6 +185,64 @@ summarizeRunReport(const JsonValue &doc, const std::string &path,
             s.dramEpochs.push_back({cycle_end, dram});
         }
     }
+
+    if (const JsonValue *curves = doc.find("curves");
+        curves != nullptr && curves->isObject()) {
+        if (const JsonValue *kinds = curves->find("kinds");
+            kinds != nullptr && kinds->isArray()) {
+            for (const JsonValue &kind : kinds->asArray()) {
+                if (!kind.isObject())
+                    continue;
+                KindCurveSummary k;
+                k.kind = stringAt(kind, "kind");
+                k.caches = numberAt(kind, "caches");
+                k.accesses = numberAt(kind, "accesses");
+                if (const JsonValue *curve = kind.find("curve");
+                    curve != nullptr && curve->isArray()) {
+                    for (const JsonValue &p : curve->asArray()) {
+                        if (!p.isObject())
+                            continue;
+                        k.points.push_back(
+                            {numberAt(p, "capacity_bytes"),
+                             numberAt(p, "miss_ratio")});
+                    }
+                }
+                s.kindCurves.push_back(std::move(k));
+            }
+        }
+        // The heatmap panel shows one representative slice: the first
+        // profiled MRC (report order is the deterministic attach
+        // order, so every same-config run picks the same slice).
+        if (const JsonValue *caches = curves->find("caches");
+            caches != nullptr && caches->isArray()) {
+            for (const JsonValue &cache : caches->asArray()) {
+                if (!cache.isObject() ||
+                    stringAt(cache, "kind") != "mrc")
+                    continue;
+                const JsonValue *heatmap = cache.find("heatmap");
+                if (heatmap == nullptr || !heatmap->isObject())
+                    continue;
+                s.mrcHeatmap.cache = stringAt(cache, "name");
+                s.mrcHeatmap.ways = numberAt(cache, "ways");
+                s.mrcHeatmap.setsPerGroup =
+                    numberAt(*heatmap, "sets_per_group");
+                if (const JsonValue *occ = heatmap->find("occupancy");
+                    occ != nullptr && occ->isArray()) {
+                    for (const JsonValue &col : occ->asArray()) {
+                        if (!col.isArray())
+                            continue;
+                        std::vector<double> column;
+                        for (const JsonValue &v : col.asArray())
+                            column.push_back(
+                                v.isNumber() ? v.asNumber() : 0.0);
+                        s.mrcHeatmap.occupancy.push_back(
+                            std::move(column));
+                    }
+                }
+                break;
+            }
+        }
+    }
     return s;
 }
 

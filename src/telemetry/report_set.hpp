@@ -66,6 +66,36 @@ struct EpochSample
     double value = 0.0;
 };
 
+/** One (capacity, miss ratio) sample of a parsed miss-ratio curve. */
+struct CurveSample
+{
+    double capacityBytes = 0.0;
+    double missRatio = 0.0;
+};
+
+/** A per-kind aggregate curve from a report's "curves" section. */
+struct KindCurveSummary
+{
+    std::string kind; //!< "mrc" or "l2"
+    double caches = 0.0;
+    double accesses = 0.0;
+    std::vector<CurveSample> points;
+};
+
+/**
+ * One cache's set-residency heatmap from the "curves" section:
+ * occupancy[epoch][group] = lines resident in that set group at the
+ * epoch boundary. Full when every set holds `ways` lines, so the
+ * displayable fill fraction is value / (setsPerGroup * ways).
+ */
+struct HeatmapSummary
+{
+    std::string cache; //!< source slice name ("protect.slice0.mrc")
+    double setsPerGroup = 0.0;
+    double ways = 0.0;
+    std::vector<std::vector<double>> occupancy;
+};
+
 /** The fields the dashboard renders from one run report. */
 struct RunSummary
 {
@@ -99,6 +129,12 @@ struct RunSummary
     std::vector<EpochSample> instructionEpochs;
     /** Per-epoch "dram.total_txns"-style deltas (best effort). */
     std::vector<EpochSample> dramEpochs;
+    /** Per-kind miss-ratio curves from the "curves" section, report
+     *  order; empty when the run's reuse profiler was off. */
+    std::vector<KindCurveSummary> kindCurves;
+    /** Residency heatmap of the first profiled MRC slice (occupancy
+     *  empty when the run carried no curves section). */
+    HeatmapSummary mrcHeatmap;
 };
 
 /**

@@ -1,0 +1,267 @@
+#include "telemetry/reuse_dist.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace cachecraft::telemetry {
+
+namespace {
+
+/** Initial Fenwick slot capacity per set (grows on demand). */
+constexpr std::uint32_t kInitialSlots = 64;
+
+/** Heatmap column cap: at this many epochs, adjacent columns merge
+ *  and the epoch length doubles, bounding report size for any run. */
+constexpr std::size_t kMaxEpochColumns = 64;
+
+} // namespace
+
+StackDistanceSet::StackDistanceSet() : tree_(kInitialSlots + 1, 0) {}
+
+void
+StackDistanceSet::mark(std::uint32_t slot, int delta)
+{
+    for (std::uint32_t i = slot + 1; i <= capacity(); i += i & (0u - i))
+        tree_[i] = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(tree_[i]) + delta);
+}
+
+std::uint32_t
+StackDistanceSet::prefix(std::uint32_t count) const
+{
+    std::uint32_t sum = 0;
+    for (std::uint32_t i = count; i > 0; i -= i & (0u - i))
+        sum += tree_[i];
+    return sum;
+}
+
+void
+StackDistanceSet::compact()
+{
+    // Reassign the live slots 0..n-1 in their current order; pick a
+    // capacity that leaves at least as much headroom as live lines, so
+    // the per-access compaction cost stays amortized O(1).
+    std::vector<std::pair<std::uint32_t, Addr>> order;
+    order.reserve(last_.size());
+    for (const auto &[line, slot] : last_)
+        order.emplace_back(slot, line);
+    std::sort(order.begin(), order.end());
+
+    std::uint32_t cap = kInitialSlots;
+    while (cap < 2 * (order.size() + 1))
+        cap *= 2;
+    tree_.assign(cap + 1, 0);
+    next_ = 0;
+    for (const auto &[slot, line] : order) {
+        last_[line] = next_;
+        mark(next_, +1);
+        ++next_;
+    }
+}
+
+std::uint64_t
+StackDistanceSet::touch(Addr line)
+{
+    if (next_ == capacity())
+        compact();
+    const std::uint32_t slot = next_++;
+    const auto it = last_.find(line);
+    if (it == last_.end()) {
+        last_.emplace(line, slot);
+        mark(slot, +1);
+        return kCold;
+    }
+    // Marked slots strictly after the previous one = distinct lines
+    // touched since; every live line holds exactly one mark.
+    const std::uint64_t dist =
+        last_.size() - prefix(it->second + 1);
+    mark(it->second, -1);
+    it->second = slot;
+    mark(slot, +1);
+    return dist;
+}
+
+CacheReuseMonitor::CacheReuseMonitor(std::string name, std::string kind,
+                                     const ReuseGeometry &geometry,
+                                     const ReuseOptions &options)
+    : name_(std::move(name)), kind_(std::move(kind)),
+      geometry_(geometry), options_(options)
+{
+    if (geometry_.numSets == 0)
+        fatal("reuse monitor needs a non-empty cache geometry");
+    if (options_.maxAssoc == 0)
+        options_.maxAssoc = 1;
+    if (options_.setGroups == 0)
+        options_.setGroups = 1;
+    if (options_.epochAccesses == 0)
+        options_.epochAccesses = 1;
+
+    setsPerGroup_ =
+        (geometry_.numSets + options_.setGroups - 1) / options_.setGroups;
+    const std::size_t groups =
+        (geometry_.numSets + setsPerGroup_ - 1) / setsPerGroup_;
+
+    sets_.resize(geometry_.numSets);
+    hist_.resize(groups);
+    for (ReuseHistogram &h : hist_)
+        h.bins.assign(options_.maxAssoc, 0);
+
+    epochLen_ = options_.epochAccesses;
+    epochAccess_.assign(groups, 0);
+    resident_.assign(groups, 0);
+    servedHist_.assign(geometry_.sectorsPerLine + 1, 0);
+}
+
+void
+CacheReuseMonitor::closeEpoch()
+{
+    accessCols_.push_back(epochAccess_);
+    occupancyCols_.push_back(resident_);
+    std::fill(epochAccess_.begin(), epochAccess_.end(), 0);
+    epochFill_ = 0;
+    if (accessCols_.size() < kMaxEpochColumns)
+        return;
+    // Halve the resolution: access counts sum; occupancy keeps the
+    // second snapshot (residency at the merged epoch's end).
+    for (std::size_t i = 0; i + 1 < accessCols_.size(); i += 2) {
+        for (std::size_t g = 0; g < accessCols_[i].size(); ++g)
+            accessCols_[i][g] += accessCols_[i + 1][g];
+        occupancyCols_[i] = std::move(occupancyCols_[i + 1]);
+    }
+    for (std::size_t i = 1, j = 2; j < accessCols_.size(); ++i, j += 2) {
+        accessCols_[i] = std::move(accessCols_[j]);
+        occupancyCols_[i] = std::move(occupancyCols_[j]);
+    }
+    accessCols_.resize(accessCols_.size() / 2);
+    occupancyCols_.resize(accessCols_.size());
+    epochLen_ *= 2;
+}
+
+void
+CacheReuseMonitor::onAccess(Addr line_addr, std::size_t set,
+                            unsigned sector,
+                            const CacheAccessResult &result, bool is_write)
+{
+    (void)is_write;
+    const std::size_t group = groupOf(set);
+    ReuseHistogram &h = hist_[group];
+    ++h.accesses;
+    ++accesses_;
+
+    const std::uint64_t dist = sets_[set].touch(line_addr);
+    if (dist == StackDistanceSet::kCold)
+        ++h.cold;
+    else if (dist >= options_.maxAssoc)
+        ++h.tail;
+    else
+        ++h.bins[static_cast<std::size_t>(dist)];
+
+    ++epochAccess_[group];
+    if (++epochFill_ >= epochLen_)
+        closeEpoch();
+
+    if (result.sectorHit) {
+        // A resident line served one more (possibly repeated) sector;
+        // the mask keeps the count distinct.
+        served_[line_addr] |=
+            static_cast<SectorMask>(1u << (sector & 7u));
+    }
+
+    if (options_.retainStream)
+        stream_.push_back(line_addr);
+}
+
+void
+CacheReuseMonitor::onFill(Addr line_addr, std::size_t set, bool allocated)
+{
+    if (!allocated)
+        return;
+    ++resident_[groupOf(set)];
+    // A fresh residency starts a fresh service mask (the address may
+    // recur after an eviction already folded its previous tenure in).
+    served_[line_addr] = 0;
+}
+
+void
+CacheReuseMonitor::onEvict(Addr line_addr, std::size_t set,
+                           SectorMask valid_mask)
+{
+    (void)valid_mask;
+    const std::size_t group = groupOf(set);
+    if (resident_[group] > 0)
+        --resident_[group];
+    const auto it = served_.find(line_addr);
+    if (it == served_.end())
+        return;
+    ++servedHist_[static_cast<std::size_t>(popcount64(it->second))];
+    served_.erase(it);
+}
+
+std::uint64_t
+CacheReuseMonitor::coldMisses() const
+{
+    std::uint64_t cold = 0;
+    for (const ReuseHistogram &h : hist_)
+        cold += h.cold;
+    return cold;
+}
+
+std::uint64_t
+CacheReuseMonitor::missesAtWays(unsigned ways) const
+{
+    if (ways == 0 || ways > options_.maxAssoc)
+        fatal("missesAtWays: associativity outside the profiled range");
+    std::uint64_t misses = 0;
+    for (const ReuseHistogram &h : hist_) {
+        misses += h.cold + h.tail;
+        for (std::size_t d = ways; d < h.bins.size(); ++d)
+            misses += h.bins[d];
+    }
+    return misses;
+}
+
+std::vector<std::vector<std::uint64_t>>
+CacheReuseMonitor::accessColumns() const
+{
+    std::vector<std::vector<std::uint64_t>> cols = accessCols_;
+    if (epochFill_ > 0)
+        cols.push_back(epochAccess_);
+    return cols;
+}
+
+std::vector<std::vector<std::uint64_t>>
+CacheReuseMonitor::occupancyColumns() const
+{
+    std::vector<std::vector<std::uint64_t>> cols = occupancyCols_;
+    if (epochFill_ > 0)
+        cols.push_back(resident_);
+    return cols;
+}
+
+std::vector<std::uint64_t>
+CacheReuseMonitor::sectorsServedHistogram() const
+{
+    std::vector<std::uint64_t> hist = servedHist_;
+    for (const auto &[line, mask] : served_)
+        ++hist[static_cast<std::size_t>(popcount64(mask))];
+    return hist;
+}
+
+ReuseProfiler::ReuseProfiler(const ReuseOptions &options)
+    : options_(options)
+{
+}
+
+CacheReuseMonitor *
+ReuseProfiler::attach(const std::string &name, const std::string &kind,
+                      const ReuseGeometry &geometry)
+{
+    monitors_.push_back(std::make_unique<CacheReuseMonitor>(
+        name, kind, geometry, options_));
+    return monitors_.back().get();
+}
+
+} // namespace cachecraft::telemetry

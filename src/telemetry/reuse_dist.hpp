@@ -1,0 +1,255 @@
+/**
+ * @file
+ * One-pass reuse-distance profiling of sectored-cache access streams.
+ *
+ * Mattson's stack algorithm, per set: for an LRU cache, an access hits
+ * an A-way configuration exactly when fewer than A distinct lines of
+ * the same set were touched since the previous access to its line (the
+ * *stack distance*). Recording a histogram of stack distances during
+ * ONE simulation therefore yields the exact miss count — and so the
+ * full miss-ratio curve — for EVERY associativity up to a bound, with
+ * capacity(A) = num_sets * A * line_bytes. The inclusion property of
+ * LRU makes the curves exact, not sampled; cache_curves.hpp carries a
+ * brute-force re-simulation that asserts exactly that in tests and CI.
+ *
+ * The profiled object is the *access stream* seen by the tag array
+ * (SectoredCache::access), replayed against a hypothetical
+ * allocate-on-access LRU cache of the same geometry. That is the
+ * standard what-if model; it is deliberately NOT the live cache's own
+ * hit counters, which depend on asynchronous fill timing and MSHR
+ * merges that no capacity sweep could reproduce anyway.
+ *
+ * Three products per monitored cache:
+ *  - per-set-group reuse-distance histograms (exact bins below the
+ *    associativity bound, one tail bucket above it, plus cold misses),
+ *  - per-set-group residency/occupancy heatmaps over access-count
+ *    epochs (deterministic: the simulator has no single cache clock),
+ *  - metadata-locality attribution: for each line that was resident,
+ *    how many distinct sectors (data chunks, for the MRC) it served.
+ *
+ * Distance queries run in O(log n) via a Fenwick order-statistics tree
+ * over access-time slots; slot space is compacted amortized-O(1) when
+ * it outgrows the live line count. Gating follows the flight-recorder
+ * idiom: a null ReuseProfiler pointer when disabled at runtime, and
+ * the whole layer compiled out under CACHECRAFT_TRACE_DISABLED.
+ */
+
+#ifndef CACHECRAFT_TELEMETRY_REUSE_DIST_HPP
+#define CACHECRAFT_TELEMETRY_REUSE_DIST_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/sectored_cache.hpp"
+#include "common/types.hpp"
+
+namespace cachecraft::telemetry {
+
+/** Knobs of the reuse-distance layer (subset of TelemetryOptions). */
+struct ReuseOptions
+{
+    /** Exact-bin bound: curves cover associativities 1..maxAssoc. */
+    unsigned maxAssoc = 64;
+    /** Upper bound on set groups per cache (heatmap rows). */
+    unsigned setGroups = 64;
+    /** Initial heatmap epoch length, in accesses to the cache. */
+    std::uint64_t epochAccesses = 4096;
+    /**
+     * Retain the raw line-address access stream for brute-force
+     * validation (cache_curves). Memory-proportional to the run;
+     * meant for tests and the --validate CLI mode, not campaigns.
+     */
+    bool retainStream = false;
+};
+
+/** Geometry of the monitored cache, captured at attach time. */
+struct ReuseGeometry
+{
+    std::size_t numSets = 0;
+    unsigned numWays = 0;
+    std::size_t lineBytes = 0;
+    std::size_t sectorsPerLine = 0;
+};
+
+/** Reuse-distance histogram of one set group. */
+struct ReuseHistogram
+{
+    std::uint64_t accesses = 0;
+    /** First-touch accesses (infinite distance; miss at any size). */
+    std::uint64_t cold = 0;
+    /** Distances >= maxAssoc (miss at every profiled size). */
+    std::uint64_t tail = 0;
+    /** bins[d] = accesses at stack distance d, d in [0, maxAssoc). */
+    std::vector<std::uint64_t> bins;
+};
+
+/**
+ * Per-set order-statistics tree answering "how many distinct lines
+ * were touched since the previous access to this line" in O(log n).
+ *
+ * Each access occupies a monotonically increasing time slot; the most
+ * recent slot of every live line is marked in a Fenwick tree, so the
+ * stack distance of a reaccess is the count of marked slots after the
+ * line's previous one. When the slot space fills, live slots are
+ * compacted order-preservingly (amortized constant per access).
+ */
+class StackDistanceSet
+{
+  public:
+    /** touch() result for a first-touch (cold) access. */
+    static constexpr std::uint64_t kCold = ~std::uint64_t{0};
+
+    StackDistanceSet();
+
+    /** Record an access to @p line; returns its stack distance. */
+    std::uint64_t touch(Addr line);
+
+    /** Distinct lines ever touched and still tracked. */
+    std::size_t live() const { return last_.size(); }
+
+  private:
+    std::uint32_t capacity() const
+    {
+        return static_cast<std::uint32_t>(tree_.size() - 1);
+    }
+    void mark(std::uint32_t slot, int delta);
+    /** Marked slots in [0, count). */
+    std::uint32_t prefix(std::uint32_t count) const;
+    void compact();
+
+    std::unordered_map<Addr, std::uint32_t> last_; //!< line -> last slot
+    std::vector<std::uint32_t> tree_; //!< Fenwick, 1-indexed
+    std::uint32_t next_ = 0;          //!< next free slot
+};
+
+/**
+ * The per-cache observer: consumes the access/fill/evict stream of one
+ * SectoredCache and maintains the three products described in the file
+ * comment. Created via ReuseProfiler::attach and wired with
+ * SectoredCache::setObserver.
+ */
+class CacheReuseMonitor final : public CacheEventObserver
+{
+  public:
+    CacheReuseMonitor(std::string name, std::string kind,
+                      const ReuseGeometry &geometry,
+                      const ReuseOptions &options);
+
+    void onAccess(Addr line_addr, std::size_t set, unsigned sector,
+                  const CacheAccessResult &result, bool is_write) override;
+    void onFill(Addr line_addr, std::size_t set, bool allocated) override;
+    void onEvict(Addr line_addr, std::size_t set,
+                 SectorMask valid_mask) override;
+
+    const std::string &name() const { return name_; }
+    /** Coarse cache class for aggregation: "l2" or "mrc". */
+    const std::string &kind() const { return kind_; }
+    const ReuseGeometry &geometry() const { return geometry_; }
+    const ReuseOptions &options() const { return options_; }
+
+    /** @{ Reuse-distance histograms. */
+    std::size_t numGroups() const { return hist_.size(); }
+    std::size_t setsPerGroup() const { return setsPerGroup_; }
+    const ReuseHistogram &groupHistogram(std::size_t group) const
+    {
+        return hist_[group];
+    }
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t coldMisses() const;
+    /**
+     * Exact miss count of a hypothetical @p ways-way LRU cache with
+     * this geometry's set count, from the one-pass histograms.
+     * @p ways must be in [1, options().maxAssoc].
+     */
+    std::uint64_t missesAtWays(unsigned ways) const;
+    /** @} */
+
+    /** @{ Residency heatmap (rows = set groups, columns = epochs). */
+    std::uint64_t epochLength() const { return epochLen_; }
+    /** Access counts per group per epoch, partial last epoch included. */
+    std::vector<std::vector<std::uint64_t>> accessColumns() const;
+    /** Resident-line counts per group at each epoch's end (the last
+     *  column is the current residency). */
+    std::vector<std::vector<std::uint64_t>> occupancyColumns() const;
+    /** @} */
+
+    /**
+     * Locality attribution: histogram over how many distinct sectors
+     * each line served while resident (index = sector count, 0 ..
+     * sectorsPerLine). Evicted lines are folded in as they leave;
+     * still-resident lines are counted at call time, so this is safe
+     * to query mid-run and at the end without a finalize step.
+     */
+    std::vector<std::uint64_t> sectorsServedHistogram() const;
+
+    /** The raw line-address stream (empty unless retainStream). */
+    const std::vector<Addr> &retainedStream() const { return stream_; }
+
+  private:
+    std::size_t groupOf(std::size_t set) const
+    {
+        return set / setsPerGroup_;
+    }
+    void closeEpoch();
+
+    std::string name_;
+    std::string kind_;
+    ReuseGeometry geometry_;
+    ReuseOptions options_;
+    std::size_t setsPerGroup_ = 1;
+
+    std::vector<StackDistanceSet> sets_;
+    std::vector<ReuseHistogram> hist_;
+    std::uint64_t accesses_ = 0;
+
+    std::uint64_t epochLen_ = 1;
+    std::uint64_t epochFill_ = 0; //!< accesses in the open epoch
+    std::vector<std::uint64_t> epochAccess_;   //!< open column
+    std::vector<std::uint64_t> resident_;      //!< live lines per group
+    std::vector<std::vector<std::uint64_t>> accessCols_;
+    std::vector<std::vector<std::uint64_t>> occupancyCols_;
+
+    std::unordered_map<Addr, SectorMask> served_; //!< resident lines
+    std::vector<std::uint64_t> servedHist_; //!< by popcount, evicted
+
+    std::vector<Addr> stream_;
+};
+
+/**
+ * The hub owned by Telemetry (null pointer when reuse profiling is
+ * off): hands out one CacheReuseMonitor per instrumented cache, in
+ * deterministic construction order, and keeps them alive for report
+ * emission.
+ */
+class ReuseProfiler
+{
+  public:
+    explicit ReuseProfiler(const ReuseOptions &options);
+
+    /**
+     * Create a monitor for cache @p name of class @p kind. The caller
+     * attaches the returned observer to its cache; the profiler keeps
+     * ownership.
+     */
+    CacheReuseMonitor *attach(const std::string &name,
+                              const std::string &kind,
+                              const ReuseGeometry &geometry);
+
+    const std::vector<std::unique_ptr<CacheReuseMonitor>> &
+    monitors() const
+    {
+        return monitors_;
+    }
+    const ReuseOptions &options() const { return options_; }
+
+  private:
+    ReuseOptions options_;
+    std::vector<std::unique_ptr<CacheReuseMonitor>> monitors_;
+};
+
+} // namespace cachecraft::telemetry
+
+#endif // CACHECRAFT_TELEMETRY_REUSE_DIST_HPP

@@ -3,6 +3,7 @@
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/reuse_dist.hpp"
 
 namespace cachecraft::telemetry {
 
@@ -82,6 +83,14 @@ Telemetry::Telemetry(StatRegistry *stats, const TelemetryOptions &options)
     if (kTraceCompiledIn && options_.flightRecorderEnabled)
         recorder_ =
             std::make_unique<FlightRecorder>(options_.flightCapacity);
+    if (kTraceCompiledIn && options_.reuseProfileEnabled) {
+        ReuseOptions ro;
+        ro.maxAssoc = options_.reuseMaxAssoc;
+        ro.setGroups = options_.reuseSetGroups;
+        ro.epochAccesses = options_.reuseEpochAccesses;
+        ro.retainStream = options_.reuseRetainStream;
+        reuse_ = std::make_unique<ReuseProfiler>(ro);
+    }
 
     stageHist_.reserve(static_cast<std::size_t>(Stage::kCount));
     for (std::size_t s = 0; s < static_cast<std::size_t>(Stage::kCount);

@@ -115,6 +115,16 @@ struct TelemetryOptions
     bool flightRecorderEnabled = false;
     /** Flight-recorder ring capacity in 32-byte records. */
     std::size_t flightCapacity = 1u << 20;
+    /** Runtime gate for one-pass reuse-distance profiling. */
+    bool reuseProfileEnabled = false;
+    /** Curve bound: miss-ratio points at 1..reuseMaxAssoc ways. */
+    unsigned reuseMaxAssoc = 64;
+    /** Upper bound on set groups per cache (heatmap rows). */
+    unsigned reuseSetGroups = 64;
+    /** Initial heatmap epoch length in cache accesses. */
+    std::uint64_t reuseEpochAccesses = 4096;
+    /** Retain raw access streams for brute-force curve validation. */
+    bool reuseRetainStream = false;
 };
 
 #ifdef CACHECRAFT_TRACE_DISABLED
@@ -124,6 +134,7 @@ inline constexpr bool kTraceCompiledIn = true;
 #endif
 
 class FlightRecorder;
+class ReuseProfiler;
 
 /** Per-system telemetry hub. See file comment. */
 class Telemetry
@@ -216,6 +227,20 @@ class Telemetry
     }
 
     /**
+     * The reuse-distance profiler, or nullptr when reuse profiling is
+     * off (runtime gate) or tracing is compiled out. Cache owners
+     * null-check and attach: `if (auto *rp = tel->reuse())
+     * cache.setObserver(rp->attach(...))`.
+     */
+    ReuseProfiler *
+    reuse() const
+    {
+        if constexpr (!kTraceCompiledIn)
+            return nullptr;
+        return reuse_.get();
+    }
+
+    /**
      * Emit everything retained in the ring as Chrome trace_event JSON
      * (async "b"/"e" pairs per span, "i" for instants), loadable in
      * chrome://tracing and Perfetto. One simulated cycle maps to one
@@ -231,6 +256,7 @@ class Telemetry
     std::unique_ptr<TraceSink> sink_;
     std::unique_ptr<Profiler> profiler_;
     std::unique_ptr<FlightRecorder> recorder_;
+    std::unique_ptr<ReuseProfiler> reuse_;
     std::vector<HistogramStat> stageHist_;
     std::uint64_t lastId_ = 0;
 };

@@ -16,6 +16,7 @@
 
 #include "campaign/dashboard.hpp"
 #include "common/json.hpp"
+#include "telemetry/diff.hpp"
 #include "telemetry/report_set.hpp"
 
 namespace cachecraft {
@@ -161,6 +162,184 @@ TEST(ReportSetTest, SummarizeExtractsTheDashboardFields)
     EXPECT_DOUBLE_EQ(s->dramEpochs[0].value, 9.0);
 }
 
+/** A "curves" section as the reuse profiler writes it (one MRC). */
+std::string
+curvesSectionText()
+{
+    return R"("curves": {
+      "options": {"max_assoc": 4, "set_groups": 2,
+                  "epoch_accesses": 4096, "retain_stream": false},
+      "caches": [
+        {"name": "protect.slice0.mrc", "kind": "mrc", "num_sets": 4,
+         "ways": 2, "line_bytes": 32, "sectors_per_line": 8,
+         "accesses": 100, "cold_misses": 10,
+         "curve": [
+           {"ways": 1, "capacity_bytes": 128, "misses": 60,
+            "miss_ratio": 0.6},
+           {"ways": 2, "capacity_bytes": 256, "misses": 30,
+            "miss_ratio": 0.3}],
+         "heatmap": {"sets_per_group": 2, "groups": 2,
+                     "epoch_accesses": 4096,
+                     "accesses": [[50, 30], [10, 10]],
+                     "occupancy": [[4, 3], [4, 4]]},
+         "sector_locality": [0, 5, 9]}],
+      "kinds": [
+        {"kind": "mrc", "caches": 1, "num_sets": 4, "line_bytes": 32,
+         "accesses": 100, "cold_misses": 10,
+         "curve": [
+           {"ways": 1, "capacity_bytes": 128, "misses": 60,
+            "miss_ratio": 0.6},
+           {"ways": 2, "capacity_bytes": 256, "misses": 30,
+            "miss_ratio": 0.3}]}]})";
+}
+
+/** runReportText with a trailing "curves" section spliced in. */
+std::string
+curvedRunReportText(const std::string &workload,
+                    const std::string &scheme, double cycles)
+{
+    std::string text = runReportText(workload, scheme, cycles);
+    text.insert(text.size() - 1, "," + curvesSectionText());
+    return text;
+}
+
+// --------------------------------------------------------------------
+// Loader edge cases
+// --------------------------------------------------------------------
+
+TEST(ReportSetTest, EmptyDirectoryLoadsAnEmptySet)
+{
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "report_set_empty";
+    fs::remove_all(root);
+    fs::create_directories(root);
+    const ReportSet set = telemetry::loadReportTree(root.string());
+    EXPECT_TRUE(set.runs.empty());
+    EXPECT_TRUE(set.others.empty());
+    EXPECT_TRUE(set.errors.empty());
+    EXPECT_FALSE(set.campaignManifest.has_value());
+}
+
+TEST(ReportSetTest, NonReportJsonIsRetainedAsOtherNotAnError)
+{
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "report_set_other";
+    fs::remove_all(root);
+    std::ostringstream table;
+    table << R"({"schema": "cachecraft.result_table/1",)"
+          << R"("schema_version": )" << kJsonSchemaVersion
+          << R"(, "rows": [["a", "1"]]})";
+    writeFile(root / "table.json", table.str());
+
+    const ReportSet set = telemetry::loadReportTree(root.string());
+    EXPECT_TRUE(set.runs.empty());
+    ASSERT_EQ(set.others.size(), 1u);
+    EXPECT_EQ(set.others[0].path, "table.json");
+    EXPECT_TRUE(set.errors.empty());
+
+    // summarizeRunReport must refuse it with a diagnostic, not parse
+    // garbage fields out of it.
+    std::string error;
+    const auto s = telemetry::summarizeRunReport(set.others[0].doc,
+                                                 "table.json", &error);
+    EXPECT_FALSE(s.has_value());
+    EXPECT_NE(error.find("table.json"), std::string::npos);
+}
+
+TEST(ReportSetTest, DuplicateRelativePathsDiffDeterministically)
+{
+    // A hand-built (or symlink-aliased) set can carry the same
+    // relative path twice. The baseline join consumes each baseline
+    // doc once, so the duplicate surfaces as a structural difference
+    // instead of being double-compared — and rendering stays
+    // deterministic.
+    ReportSet current;
+    auto add = [&current](const std::string &text) {
+        auto doc = jsonParse(text);
+        ASSERT_TRUE(doc.has_value());
+        current.runs.push_back(
+            {"reports/dup.json", std::move(*doc)});
+    };
+    add(runReportText("streaming", "no-ecc", 1000));
+    add(runReportText("streaming", "no-ecc", 2000));
+
+    ReportSet baseline;
+    auto doc = jsonParse(runReportText("streaming", "no-ecc", 1000));
+    ASSERT_TRUE(doc.has_value());
+    baseline.runs.push_back({"reports/dup.json", std::move(*doc)});
+
+    DashboardOptions options;
+    options.baseline = &baseline;
+    options.baselineLabel = "base/";
+    const std::string a = renderDashboard(current, options);
+    const std::string b = renderDashboard(current, options);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("1 files compared"), std::string::npos);
+    EXPECT_NE(a.find("only in this tree"), std::string::npos);
+}
+
+TEST(ReportSetTest, SummarizeParsesTheCurvesSection)
+{
+    auto doc =
+        jsonParse(curvedRunReportText("gemm", "cachecraft", 4000));
+    ASSERT_TRUE(doc.has_value());
+    std::string error;
+    const auto s =
+        telemetry::summarizeRunReport(*doc, "c.json", &error);
+    ASSERT_TRUE(s.has_value()) << error;
+
+    ASSERT_EQ(s->kindCurves.size(), 1u);
+    EXPECT_EQ(s->kindCurves[0].kind, "mrc");
+    EXPECT_DOUBLE_EQ(s->kindCurves[0].accesses, 100.0);
+    ASSERT_EQ(s->kindCurves[0].points.size(), 2u);
+    EXPECT_DOUBLE_EQ(s->kindCurves[0].points[1].capacityBytes, 256.0);
+    EXPECT_DOUBLE_EQ(s->kindCurves[0].points[1].missRatio, 0.3);
+
+    EXPECT_EQ(s->mrcHeatmap.cache, "protect.slice0.mrc");
+    EXPECT_DOUBLE_EQ(s->mrcHeatmap.setsPerGroup, 2.0);
+    EXPECT_DOUBLE_EQ(s->mrcHeatmap.ways, 2.0);
+    ASSERT_EQ(s->mrcHeatmap.occupancy.size(), 2u);
+    EXPECT_EQ(s->mrcHeatmap.occupancy[1],
+              (std::vector<double>{4.0, 4.0}));
+}
+
+TEST(ReportSetTest, RunsWithoutCurvesLeaveTheNewFieldsEmpty)
+{
+    auto doc = jsonParse(runReportText("gemm", "cachecraft", 4000));
+    ASSERT_TRUE(doc.has_value());
+    std::string error;
+    const auto s =
+        telemetry::summarizeRunReport(*doc, "c.json", &error);
+    ASSERT_TRUE(s.has_value()) << error;
+    EXPECT_TRUE(s->kindCurves.empty());
+    EXPECT_TRUE(s->mrcHeatmap.occupancy.empty());
+}
+
+TEST(DiffIgnoreTest, CurvesSectionDropsUnderAnExplicitIgnorePrefix)
+{
+    // Trees profiled with different reuse settings should still be
+    // comparable on their real metrics: "curves." as an ignore prefix
+    // must drop the whole section, the same mechanism that drops
+    // "manifest." provenance by default.
+    auto before = jsonParse(runReportText("gemm", "cachecraft", 4000));
+    auto after =
+        jsonParse(curvedRunReportText("gemm", "cachecraft", 4000));
+    ASSERT_TRUE(before.has_value());
+    ASSERT_TRUE(after.has_value());
+
+    const telemetry::DiffResult noisy = telemetry::diffReports(
+        *before, *after, telemetry::DiffTolerances{});
+    EXPECT_FALSE(noisy.onlyAfter.empty()); // curves.* is new
+
+    std::vector<std::string> ignore =
+        telemetry::defaultIgnorePrefixes();
+    ignore.push_back("curves.");
+    const telemetry::DiffResult clean = telemetry::diffReports(
+        *before, *after, telemetry::DiffTolerances{}, ignore);
+    EXPECT_TRUE(clean.onlyAfter.empty());
+    EXPECT_FALSE(clean.regression());
+}
+
 // --------------------------------------------------------------------
 // Dashboard rendering
 // --------------------------------------------------------------------
@@ -218,6 +397,79 @@ TEST(DashboardTest, EmptyTreeStillRenders)
     EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
     EXPECT_NE(html.find("0 run reports"), std::string::npos);
     EXPECT_NE(html.find("No warnings"), std::string::npos);
+}
+
+TEST(DashboardTest, CurvePanelsAppearOnlyWhenARunCarriesCurves)
+{
+    // Without curves: neither panel.
+    const std::string plain =
+        renderDashboard(twoRunSet(), DashboardOptions{});
+    EXPECT_EQ(plain.find("MRC miss-ratio curves"), std::string::npos);
+    EXPECT_EQ(plain.find("MRC set residency"), std::string::npos);
+
+    // With a curves section: both panels, with the run's data in them.
+    ReportSet set = twoRunSet();
+    auto doc = jsonParse(
+        curvedRunReportText("streaming", "cachecraft", 1250));
+    ASSERT_TRUE(doc.has_value());
+    set.runs[1].doc = std::move(*doc);
+    const std::string html = renderDashboard(set, DashboardOptions{});
+    EXPECT_NE(html.find("MRC miss-ratio curves"), std::string::npos);
+    EXPECT_NE(html.find("MRC set residency"), std::string::npos);
+    EXPECT_NE(html.find("svg class=\"heatmap\""), std::string::npos);
+    EXPECT_NE(html.find("protect.slice0.mrc"), std::string::npos);
+}
+
+TEST(DashboardTest, HostileNamesStayEscapedInCellsAndSvgTitles)
+{
+    // Regression guard for every interpolation path: a workload or
+    // scheme name full of markup must reach table cells, SVG <title>
+    // tooltips, and the new curve/heatmap captions escaped, never as
+    // raw tags. The raw sequences below must not appear anywhere.
+    const std::string hostile_workload = "str<eam>&\"ing'";
+    const std::string hostile_warning = "<svg onload=evil> & \"q\"";
+    ReportSet set;
+    auto add = [&set](const std::string &path,
+                      const std::string &text) {
+        auto doc = jsonParse(text);
+        ASSERT_TRUE(doc.has_value());
+        set.runs.push_back({path, std::move(*doc)});
+    };
+    // JSON-escape the quotes when splicing into the document.
+    std::string workload_json = "str<eam>&\\\"ing'";
+    std::string warning_json = "<svg onload=evil> & \\\"q\\\"";
+    add("reports/a<b>.json",
+        runReportText(workload_json, "no-ecc", 1000));
+    add("reports/p1.json",
+        runReportText(workload_json, "cachecraft", 1250,
+                      warning_json));
+    {
+        // And hostile content in a curves section's cache name, which
+        // flows into the heatmap caption.
+        std::string text =
+            curvedRunReportText(workload_json, "ecc-cache", 1100);
+        const std::string from = "protect.slice0.mrc";
+        for (std::size_t at = text.find(from);
+             at != std::string::npos; at = text.find(from))
+            text.replace(at, from.size(), "mrc<slice>&0");
+        add("reports/p2.json", text);
+    }
+
+    DashboardOptions options;
+    options.title = "t<i>tle & \"quotes\"";
+    const std::string html = renderDashboard(set, options);
+
+    EXPECT_EQ(html.find(hostile_workload), std::string::npos);
+    EXPECT_EQ(html.find(hostile_warning), std::string::npos);
+    EXPECT_EQ(html.find("mrc<slice>"), std::string::npos);
+    EXPECT_EQ(html.find("t<i>tle"), std::string::npos);
+    EXPECT_EQ(html.find("<svg onload"), std::string::npos);
+    // The escaped forms are present (content survives, inert).
+    EXPECT_NE(html.find("str&lt;eam&gt;&amp;&quot;ing&#39;"),
+              std::string::npos);
+    EXPECT_NE(html.find("mrc&lt;slice&gt;&amp;0"), std::string::npos);
+    // Still well-formed enough to be self-contained.
+    EXPECT_EQ(html.find("<script"), std::string::npos);
 }
 
 TEST(DashboardTest, CampaignFailuresSurfaceInTheWarningsPanel)

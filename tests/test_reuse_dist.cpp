@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Tests for the one-pass reuse-distance layer (telemetry/reuse_dist):
+ * StackDistanceSet against a naive recency-stack oracle (including
+ * slot-space compaction stress), CacheReuseMonitor histogram math,
+ * heatmap epoch mechanics with column merging, and the sector-locality
+ * attribution histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "telemetry/reuse_dist.hpp"
+
+namespace cachecraft::telemetry {
+namespace {
+
+/**
+ * Naive oracle: an explicit MRU-first recency stack. The stack
+ * distance of a reaccess is the line's index in the stack (distinct
+ * lines touched since), kCold on first touch.
+ */
+class NaiveStack
+{
+  public:
+    std::uint64_t touch(Addr line)
+    {
+        const auto it =
+            std::find(stack_.begin(), stack_.end(), line);
+        if (it == stack_.end()) {
+            stack_.insert(stack_.begin(), line);
+            return StackDistanceSet::kCold;
+        }
+        const auto dist =
+            static_cast<std::uint64_t>(it - stack_.begin());
+        stack_.erase(it);
+        stack_.insert(stack_.begin(), line);
+        return dist;
+    }
+
+  private:
+    std::vector<Addr> stack_;
+};
+
+// --------------------------------------------------------------------
+// StackDistanceSet
+// --------------------------------------------------------------------
+
+TEST(StackDistanceSet, FirstTouchesAreColdAndTracked)
+{
+    StackDistanceSet s;
+    EXPECT_EQ(s.touch(0x000), StackDistanceSet::kCold);
+    EXPECT_EQ(s.touch(0x100), StackDistanceSet::kCold);
+    EXPECT_EQ(s.touch(0x200), StackDistanceSet::kCold);
+    EXPECT_EQ(s.live(), 3u);
+}
+
+TEST(StackDistanceSet, KnownStreamHasKnownDistances)
+{
+    StackDistanceSet s;
+    s.touch(0xa00);                 // a: cold
+    s.touch(0xb00);                 // b: cold
+    EXPECT_EQ(s.touch(0xa00), 1u); // since a: {b}
+    EXPECT_EQ(s.touch(0xa00), 0u); // immediate reuse
+    s.touch(0xc00);                 // c: cold
+    s.touch(0xb00);                 // b: since b: {a, c} = 2
+    EXPECT_EQ(s.touch(0xa00), 2u); // since a: {c, b}
+    // A line re-touched in between counts once, not per touch (b's
+    // last touch predates a's, so only c separates them).
+    s.touch(0xc00);
+    s.touch(0xc00);
+    EXPECT_EQ(s.touch(0xa00), 1u); // since a: {c}
+}
+
+TEST(StackDistanceSet, MatchesNaiveOracleOnRandomStreams)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        StackDistanceSet fast;
+        NaiveStack naive;
+        Xoshiro256 rng(seed);
+        for (int i = 0; i < 20000; ++i) {
+            // 96 distinct lines: dense reuse at every distance.
+            const Addr line = (rng.next() % 96) * 128;
+            ASSERT_EQ(fast.touch(line), naive.touch(line))
+                << "seed " << seed << " access " << i;
+        }
+    }
+}
+
+TEST(StackDistanceSet, CompactionPreservesDistancesUnderGrowth)
+{
+    // Working sets far beyond the initial 64-slot Fenwick capacity
+    // force repeated compactions; the oracle must still agree.
+    StackDistanceSet fast;
+    NaiveStack naive;
+    Xoshiro256 rng(99);
+    for (int i = 0; i < 30000; ++i) {
+        const Addr line = (rng.next() % 2000) * 64;
+        ASSERT_EQ(fast.touch(line), naive.touch(line)) << "access " << i;
+    }
+    EXPECT_GT(fast.live(), 1000u);
+}
+
+// --------------------------------------------------------------------
+// CacheReuseMonitor
+// --------------------------------------------------------------------
+
+ReuseGeometry
+smallGeometry()
+{
+    ReuseGeometry g;
+    g.numSets = 4;
+    g.numWays = 2;
+    g.lineBytes = 32;
+    g.sectorsPerLine = 4;
+    return g;
+}
+
+/** Feed one access; line address also selects the set (low bits). */
+void
+access(CacheReuseMonitor &m, Addr line, bool sector_hit = false,
+       unsigned sector = 0)
+{
+    CacheAccessResult res;
+    res.lineHit = sector_hit;
+    res.sectorHit = sector_hit;
+    m.onAccess(line, static_cast<std::size_t>((line / 32) % 4), sector,
+               res, false);
+}
+
+TEST(CacheReuseMonitor, HistogramCountsColdAndReuses)
+{
+    ReuseOptions opt;
+    opt.maxAssoc = 4;
+    opt.setGroups = 4;
+    CacheReuseMonitor m("c", "l2", smallGeometry(), opt);
+
+    // Set 0 stream: A B A -> cold, cold, distance 1.
+    access(m, 0x000);
+    access(m, 0x080);
+    access(m, 0x000);
+    EXPECT_EQ(m.accesses(), 3u);
+    EXPECT_EQ(m.coldMisses(), 2u);
+    // 1 way misses the reuse (distance 1 >= 1); 2+ ways hit it.
+    EXPECT_EQ(m.missesAtWays(1), 3u);
+    EXPECT_EQ(m.missesAtWays(2), 2u);
+    EXPECT_EQ(m.missesAtWays(4), 2u);
+}
+
+TEST(CacheReuseMonitor, TailBucketCatchesDistancesBeyondTheBound)
+{
+    ReuseOptions opt;
+    opt.maxAssoc = 2;
+    CacheReuseMonitor m("c", "l2", smallGeometry(), opt);
+    // Set 0: touch A, then 3 other lines, then A again: distance 3,
+    // beyond maxAssoc=2, so it must miss at every profiled size.
+    access(m, 0x000);
+    access(m, 0x080);
+    access(m, 0x100);
+    access(m, 0x180);
+    access(m, 0x000);
+    EXPECT_EQ(m.missesAtWays(2), 5u); // 4 cold + 1 tail
+    EXPECT_EQ(m.coldMisses(), 4u);
+}
+
+TEST(CacheReuseMonitor, SetsAreIndependent)
+{
+    ReuseOptions opt;
+    opt.maxAssoc = 4;
+    CacheReuseMonitor m("c", "l2", smallGeometry(), opt);
+    // Same tag in two different sets: both cold, no cross-talk.
+    access(m, 0x000); // set 0
+    access(m, 0x020); // set 1
+    access(m, 0x000); // set 0 reuse at distance 0
+    EXPECT_EQ(m.coldMisses(), 2u);
+    EXPECT_EQ(m.missesAtWays(1), 2u); // the reuse hits even at 1 way
+}
+
+TEST(CacheReuseMonitor, MissesAtWaysAreMonotoneNonIncreasing)
+{
+    ReuseOptions opt;
+    opt.maxAssoc = 16;
+    CacheReuseMonitor m("c", "l2", smallGeometry(), opt);
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 4000; ++i)
+        access(m, (rng.next() % 64) * 32);
+    for (unsigned ways = 2; ways <= opt.maxAssoc; ++ways)
+        EXPECT_LE(m.missesAtWays(ways), m.missesAtWays(ways - 1))
+            << "ways " << ways;
+    // Never below the compulsory floor.
+    EXPECT_GE(m.missesAtWays(opt.maxAssoc), m.coldMisses());
+}
+
+TEST(CacheReuseMonitor, RetainedStreamIsOptIn)
+{
+    ReuseOptions off;
+    CacheReuseMonitor m1("c", "l2", smallGeometry(), off);
+    access(m1, 0x000);
+    EXPECT_TRUE(m1.retainedStream().empty());
+
+    ReuseOptions on;
+    on.retainStream = true;
+    CacheReuseMonitor m2("c", "l2", smallGeometry(), on);
+    access(m2, 0x000);
+    access(m2, 0x080);
+    const std::vector<Addr> expected = {0x000, 0x080};
+    EXPECT_EQ(m2.retainedStream(), expected);
+}
+
+// --------------------------------------------------------------------
+// Heatmap epochs
+// --------------------------------------------------------------------
+
+TEST(CacheReuseMonitor, EpochColumnsTrackAccessesAndOccupancy)
+{
+    ReuseOptions opt;
+    opt.setGroups = 4;      // one set per group
+    opt.epochAccesses = 2; // tiny epochs
+    CacheReuseMonitor m("c", "l2", smallGeometry(), opt);
+
+    m.onFill(0x000, 0, true); // set 0 gains a line
+    access(m, 0x000);
+    access(m, 0x020); // set 1
+    // First epoch closed: counts [1,1,0,0], occupancy [1,0,0,0].
+    access(m, 0x040); // set 2, opens a partial second epoch
+
+    const auto acc = m.accessColumns();
+    const auto occ = m.occupancyColumns();
+    ASSERT_EQ(acc.size(), 2u);
+    EXPECT_EQ(acc[0], (std::vector<std::uint64_t>{1, 1, 0, 0}));
+    EXPECT_EQ(acc[1], (std::vector<std::uint64_t>{0, 0, 1, 0}));
+    ASSERT_EQ(occ.size(), 2u);
+    EXPECT_EQ(occ[0], (std::vector<std::uint64_t>{1, 0, 0, 0}));
+
+    m.onEvict(0x000, 0, 0);
+    EXPECT_EQ(m.occupancyColumns().back(),
+              (std::vector<std::uint64_t>{0, 0, 0, 0}));
+}
+
+TEST(CacheReuseMonitor, EpochMergeBoundsColumnsAndPreservesTotals)
+{
+    ReuseOptions opt;
+    opt.setGroups = 1;
+    opt.epochAccesses = 1; // every access is an epoch: forces merging
+    CacheReuseMonitor m("c", "l2", smallGeometry(), opt);
+    constexpr std::uint64_t kAccesses = 1000;
+    for (std::uint64_t i = 0; i < kAccesses; ++i)
+        access(m, static_cast<Addr>((i % 8) * 32));
+
+    const auto acc = m.accessColumns();
+    EXPECT_LE(acc.size(), 64u);
+    EXPECT_GT(m.epochLength(), 1u);
+    std::uint64_t total = 0;
+    for (const auto &col : acc)
+        total = std::accumulate(col.begin(), col.end(), total);
+    EXPECT_EQ(total, kAccesses); // merging sums, never drops
+    EXPECT_EQ(m.occupancyColumns().size(), acc.size());
+}
+
+// --------------------------------------------------------------------
+// Sector-locality attribution
+// --------------------------------------------------------------------
+
+TEST(CacheReuseMonitor, SectorLocalityCountsDistinctSectorsPerTenure)
+{
+    ReuseOptions opt;
+    CacheReuseMonitor m("c", "mrc", smallGeometry(), opt);
+
+    // Line A resident, serves sectors 0, 2, 2 -> 2 distinct.
+    m.onFill(0x000, 0, true);
+    access(m, 0x000, true, 0);
+    access(m, 0x000, true, 2);
+    access(m, 0x000, true, 2);
+    // Line B resident, serves sector 1 only.
+    m.onFill(0x080, 0, true);
+    access(m, 0x080, true, 1);
+
+    // Still-resident lines are counted at query time.
+    auto hist = m.sectorsServedHistogram();
+    ASSERT_EQ(hist.size(), 5u); // 0..sectorsPerLine
+    EXPECT_EQ(hist[1], 1u);
+    EXPECT_EQ(hist[2], 1u);
+
+    // Evicting folds the tenure in permanently; a later refill of the
+    // same address starts a fresh mask.
+    m.onEvict(0x000, 0, 0);
+    m.onFill(0x000, 0, true);
+    access(m, 0x000, true, 3);
+    hist = m.sectorsServedHistogram();
+    EXPECT_EQ(hist[1], 2u); // B resident + refilled A (1 sector each)
+    EXPECT_EQ(hist[2], 1u); // A's first tenure, now frozen
+}
+
+TEST(CacheReuseMonitor, MissesDoNotMarkServedSectors)
+{
+    ReuseOptions opt;
+    CacheReuseMonitor m("c", "mrc", smallGeometry(), opt);
+    m.onFill(0x000, 0, true);
+    access(m, 0x000, false, 1); // sector miss: nothing served yet
+    const auto hist = m.sectorsServedHistogram();
+    EXPECT_EQ(hist[0], 1u);
+    EXPECT_EQ(hist[1], 0u);
+}
+
+// --------------------------------------------------------------------
+// ReuseProfiler hub
+// --------------------------------------------------------------------
+
+TEST(ReuseProfiler, AttachHandsOutMonitorsInOrder)
+{
+    ReuseOptions opt;
+    opt.maxAssoc = 8;
+    ReuseProfiler p(opt);
+    CacheReuseMonitor *a = p.attach("l2.slice0", "l2", smallGeometry());
+    CacheReuseMonitor *b = p.attach("l2.slice1", "l2", smallGeometry());
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a, b);
+    ASSERT_EQ(p.monitors().size(), 2u);
+    EXPECT_EQ(p.monitors()[0].get(), a);
+    EXPECT_EQ(p.monitors()[1].get(), b);
+    EXPECT_EQ(a->options().maxAssoc, 8u);
+}
+
+} // namespace
+} // namespace cachecraft::telemetry

@@ -88,6 +88,14 @@ usage()
         "                      cachecraft_trace); adds a\n"
         "                      \"critical_path\" report section\n"
         "  --flight-capacity N flight ring size in records (1048576)\n"
+        "  --reuse-profile     enable one-pass reuse-distance\n"
+        "                      profiling of the L2 and MRC access\n"
+        "                      streams (miss-ratio curves, residency\n"
+        "                      heatmaps, locality attribution; adds a\n"
+        "                      \"curves\" report section; see also the\n"
+        "                      dedicated cachecraft_curves tool)\n"
+        "  --reuse-max-assoc N curve bound: miss-ratio points at\n"
+        "                      1..N ways (default 64)\n"
         "  --progress N        heartbeat: print cycles and events/s to\n"
         "                      stderr every N simulated cycles (off by\n"
         "                      default; output is stderr-only so\n"
@@ -256,6 +264,14 @@ main(int argc, char **argv)
                 std::stoull(need_value(i));
             if (config.telemetry.flightCapacity == 0)
                 fatal("--flight-capacity must be positive");
+        } else if (flag == "--reuse-profile") {
+            config.telemetry.reuseProfileEnabled = true;
+        } else if (flag == "--reuse-max-assoc") {
+            config.telemetry.reuseMaxAssoc = static_cast<unsigned>(
+                std::stoul(need_value(i)));
+            if (config.telemetry.reuseMaxAssoc == 0)
+                fatal("--reuse-max-assoc must be positive");
+            config.telemetry.reuseProfileEnabled = true;
         } else if (flag == "--progress") {
             progress_interval = std::stoull(need_value(i));
             if (progress_interval == 0)
@@ -317,6 +333,10 @@ main(int argc, char **argv)
     if (!flight_path.empty() && !telemetry::kTraceCompiledIn)
         warn("tracing was compiled out (CACHECRAFT_DISABLE_TRACING); "
              "the flight dump will be empty");
+    if (config.telemetry.reuseProfileEnabled &&
+        !telemetry::kTraceCompiledIn)
+        warn("tracing was compiled out (CACHECRAFT_DISABLE_TRACING); "
+             "--reuse-profile has no effect");
     // Fail on unwritable output paths now, not after a long run.
     for (const std::string &path :
          {epochs_csv_path, trace_json_path, report_json_path,
@@ -350,6 +370,9 @@ main(int argc, char **argv)
                     elapsed > 0.0
                         ? static_cast<double>(events) / elapsed
                         : 0.0);
+                // Heartbeats must survive block-buffered pipes
+                // (tee, CI log capture), so flush every line.
+                std::fflush(stderr);
             });
     }
     const RunStats rs = gpu.run(trace);
@@ -472,7 +495,8 @@ main(int argc, char **argv)
         telemetry::writeRunReport(out, manifest, gpu.config(), rs,
                                   gpu.statsRegistry(), gpu.sampler(),
                                   gpu.telemetry().profiler(),
-                                  gpu.telemetry().recorder());
+                                  gpu.telemetry().recorder(),
+                                  gpu.telemetry().reuse());
         std::printf("wrote %s\n", report_json_path.c_str());
     }
     return 0;
