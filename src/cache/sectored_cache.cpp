@@ -2,6 +2,7 @@
 
 #include "common/bits.hpp"
 #include "common/log.hpp"
+#include "telemetry/host_profiler.hpp"
 #include "verify/verify.hpp"
 
 namespace cachecraft {
@@ -88,6 +89,7 @@ SectoredCache::probe(Addr addr) const
 CacheAccessResult
 SectoredCache::access(Addr addr, bool is_write)
 {
+    CC_HOST_ZONE("cache.access");
     statAccesses.inc();
     const Addr line = alignDown(addr, params_.lineBytes);
     const std::size_t set = setIndex(line);
@@ -128,6 +130,7 @@ SectoredCache::access(Addr addr, bool is_write)
 std::optional<Eviction>
 SectoredCache::fill(Addr addr, SectorMask fill_mask, SectorMask dirty_mask)
 {
+    CC_HOST_ZONE("cache.fill");
     statFills.inc();
     const Addr line = alignDown(addr, params_.lineBytes);
     const std::size_t set = setIndex(line);

@@ -900,6 +900,94 @@ renderTrafficTables(std::ostream &os, const std::vector<Row> &rows)
 }
 
 /**
+ * Host-cost panel: where the *simulator's own* wall clock and memory
+ * went, from the campaign manifest's provenance section. Rendered
+ * only for campaign trees whose sweep recorded per-point host stats;
+ * standalone report sets skip it silently.
+ */
+void
+renderHostCostPanel(std::ostream &os, const ReportSet &set)
+{
+    if (!set.campaignManifest)
+        return;
+    const JsonValue *manifest = set.campaignManifest->find("manifest");
+    if (manifest == nullptr || !manifest->isObject())
+        return;
+    const JsonValue *walls = manifest->find("point_wall_seconds");
+    if (walls == nullptr || !walls->isObject())
+        return;
+
+    struct PointCost
+    {
+        std::string label;
+        double wallSeconds = 0.0;
+        double eventsPerSec = 0.0;
+        double arenaPeakSlots = 0.0;
+    };
+    const JsonValue *evs = manifest->find("point_events_per_sec");
+    const JsonValue *peaks = manifest->find("point_arena_peak_slots");
+    std::vector<PointCost> points;
+    double max_wall = 0.0;
+    for (const auto &[label, wall] : walls->asObject()) {
+        PointCost p;
+        p.label = label;
+        p.wallSeconds = wall.isNumber() ? wall.asNumber() : 0.0;
+        if (evs != nullptr && evs->isObject())
+            p.eventsPerSec = numberAt(*evs, label);
+        if (peaks != nullptr && peaks->isObject())
+            p.arenaPeakSlots = numberAt(*peaks, label);
+        max_wall = std::max(max_wall, p.wallSeconds);
+        points.push_back(std::move(p));
+    }
+    if (points.empty() || max_wall <= 0.0)
+        return;
+    std::sort(points.begin(), points.end(),
+              [](const PointCost &a, const PointCost &b) {
+                  return a.wallSeconds != b.wallSeconds
+                             ? a.wallSeconds > b.wallSeconds
+                             : a.label < b.label;
+              });
+
+    os << "<h2>Host cost</h2>\n<p class=\"sub\">Simulator wall clock "
+          "and memory per campaign point (host-side telemetry from "
+          "the sweep, not simulated time). Total wall "
+       << fmt(numberAt(*manifest, "wall_seconds"), 2) << "s across "
+       << fmtCount(numberAt(*manifest, "jobs")) << " job(s)";
+    const double rss = numberAt(*manifest, "rss_kib");
+    const double peak_rss = numberAt(*manifest, "peak_rss_kib");
+    if (peak_rss > 0.0) {
+        os << "; RSS " << fmt(rss / 1024.0, 1) << " MiB, peak "
+           << fmt(peak_rss / 1024.0, 1) << " MiB";
+    }
+    os << ".</p>\n";
+
+    os << "<table>\n<thead><tr><th>point</th>"
+          "<th class=\"num\">wall s</th><th>share</th>"
+          "<th class=\"num\">host Mev/s</th>"
+          "<th class=\"num\">arena peak slots</th></tr></thead>\n"
+          "<tbody>\n";
+    constexpr double kBarWidth = 220.0;
+    for (const PointCost &p : points) {
+        const double w = kBarWidth * p.wallSeconds / max_wall;
+        os << "<tr><td>" << htmlEscape(p.label)
+           << "</td><td class=\"num\">" << fmt(p.wallSeconds, 3)
+           << "</td><td><svg width=\"" << fmtCount(kBarWidth)
+           << "\" height=\"12\" role=\"img\" aria-label=\""
+           << htmlEscape(p.label) << " host wall share\">"
+           << barPath(0.0, 1.0, w, 10.0, 4.0) << " fill=\"var(--s6)\">"
+           << "<title>" << htmlEscape(p.label) << " "
+           << fmt(p.wallSeconds, 3) << "s</title>"
+           << (w <= 8.0 ? "</rect>" : "</path>") << "</svg></td>"
+           << "<td class=\"num\">"
+           << (p.eventsPerSec > 0.0 ? fmt(p.eventsPerSec / 1e6, 2)
+                                    : std::string("n/a"))
+           << "</td><td class=\"num\">" << fmtCount(p.arenaPeakSlots)
+           << "</td></tr>\n";
+    }
+    os << "</tbody>\n</table>\n";
+}
+
+/**
  * Warnings panel: campaign-manifest failures first (critical), then
  * per-run RunStats warnings (warning), then tree load errors
  * (serious). Icon + label always pair with the color.
@@ -1261,6 +1349,7 @@ renderDashboard(const ReportSet &reports, const DashboardOptions &options)
     renderHeatmapChart(os, rows);
     renderRunTable(os, rows);
     renderTrafficTables(os, rows);
+    renderHostCostPanel(os, reports);
     renderWarnings(os, reports, rows, summarize_errors);
     renderBaselineDiff(os, reports, options);
 

@@ -15,6 +15,7 @@
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "core/cachecraft.hpp"
+#include "telemetry/host_profiler.hpp"
 #include "telemetry/report.hpp"
 
 namespace fs = std::filesystem;
@@ -58,6 +59,7 @@ runOnePoint(const CampaignSpec &spec, const CampaignPoint &point,
 {
     PointOutcome outcome;
     const auto t0 = std::chrono::steady_clock::now();
+    CC_HOST_ZONE_COUNTED("campaign.point");
     try {
         GpuSystem gpu(point.config, arenas);
         const KernelTrace trace =
@@ -67,6 +69,7 @@ runOnePoint(const CampaignSpec &spec, const CampaignPoint &point,
         outcome.warnings = rs.warnings;
         outcome.eventsExecuted = rs.simThroughput.eventsExecuted;
         outcome.hostEventsPerSec = rs.simThroughput.eventsPerSec;
+        outcome.arenaPeakSlots = gpu.arenas().peakLiveTotal();
         // Zero the host-varying throughput fields before the report is
         // written: per-point report bytes must not depend on the host
         // or on --jobs. The measured rates go only into the campaign
@@ -93,11 +96,14 @@ runOnePoint(const CampaignSpec &spec, const CampaignPoint &point,
             outcome.error = "cannot write " + path.string();
             return outcome;
         }
-        telemetry::writeRunReport(out, manifest, gpu.config(), rs,
-                                  gpu.statsRegistry(), gpu.sampler(),
-                                  gpu.telemetry().profiler(),
-                                  gpu.telemetry().recorder(),
-                                  gpu.telemetry().reuse());
+        {
+            CC_HOST_ZONE("campaign.report");
+            telemetry::writeRunReport(out, manifest, gpu.config(), rs,
+                                      gpu.statsRegistry(), gpu.sampler(),
+                                      gpu.telemetry().profiler(),
+                                      gpu.telemetry().recorder(),
+                                      gpu.telemetry().reuse());
+        }
         outcome.reportFile = relative;
         outcome.status = PointStatus::kOk;
     } catch (const std::exception &e) {
@@ -144,6 +150,10 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &options)
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> done{0};
     std::mutex console;
+    // Mean host events/sec over completed points, for the heartbeat.
+    // Guarded by `console` (both writers and the reader hold it).
+    double evs_sum = 0.0;
+    std::size_t evs_count = 0;
 
     auto report_progress = [&](const CampaignPoint &point,
                                const PointOutcome &outcome) {
@@ -154,17 +164,25 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &options)
                                    std::chrono::steady_clock::now() - t0)
                                    .count();
         const std::size_t remaining = spec.points.size() - finished;
+        // ETA extrapolates the mean wall time of *completed* points
+        // over what is left, so it tightens as evidence accumulates.
         const double eta = finished
                                ? elapsed / double(finished) *
                                      double(remaining)
                                : 0.0;
         std::lock_guard<std::mutex> lock(console);
+        if (outcome.hostEventsPerSec > 0.0) {
+            evs_sum += outcome.hostEventsPerSec;
+            ++evs_count;
+        }
         std::fprintf(options.progress,
-                     "[%zu/%zu] %-7s %s (cycles=%llu, %.2fs)%s eta ~%.0fs\n",
+                     "[%zu/%zu] %-7s %s (cycles=%llu, %.2fs, "
+                     "%.2fM ev/s)%s eta ~%.0fs\n",
                      finished, spec.points.size(),
                      toString(outcome.status), point.label.c_str(),
                      static_cast<unsigned long long>(outcome.cycles),
                      outcome.wallSeconds,
+                     outcome.hostEventsPerSec / 1e6,
                      outcome.error.empty()
                          ? ""
                          : strCat(" [", outcome.error, "]").c_str(),
@@ -194,6 +212,9 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &options)
                 outcome = runOnePoint(spec, point, options, &arenas);
             }
             result.outcomes[i] = std::move(outcome);
+            // One RSS sample per completed point: a campaign-long
+            // memory trace with no background sampler thread.
+            telemetry::HostProfiler::sampleMemory();
             report_progress(point, result.outcomes[i]);
         }
     };
@@ -225,10 +246,14 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &options)
                                    double(spec.points.size() - finished)
                              : 0.0;
                 std::lock_guard<std::mutex> console_lock(console);
+                const double mean_evs =
+                    evs_count ? evs_sum / double(evs_count) : 0.0;
                 std::fprintf(options.progress,
                              "heartbeat: %zu/%zu points done, "
-                             "%.0fs elapsed, eta ~%.0fs\n",
-                             finished, spec.points.size(), elapsed, eta);
+                             "%.0fs elapsed, avg %.2fM ev/s, "
+                             "eta ~%.0fs\n",
+                             finished, spec.points.size(), elapsed,
+                             mean_evs / 1e6, eta);
                 std::fflush(options.progress);
             }
         });
@@ -332,6 +357,13 @@ renderCampaignManifest(const CampaignSpec &spec,
         w.key(spec.points[i].label)
             .value(result.outcomes[i].hostEventsPerSec);
     w.endObject();
+    w.key("point_arena_peak_slots").beginObject();
+    for (std::size_t i = 0; i < spec.points.size(); ++i)
+        w.key(spec.points[i].label)
+            .value(result.outcomes[i].arenaPeakSlots);
+    w.endObject();
+    w.key("rss_kib").value(telemetry::hostCurrentRssKib());
+    w.key("peak_rss_kib").value(telemetry::hostPeakRssKib());
     w.endObject();
 
     w.endObject();

@@ -52,6 +52,8 @@ struct PointOutcome
     Cycle cycles = 0;       //!< simulated cycles (0 when not run)
     std::uint64_t eventsExecuted = 0;  //!< engine events of the run
     double hostEventsPerSec = 0.0;     //!< host-varying throughput
+    /** Slab-arena high-water mark of the run (slots, deterministic). */
+    std::uint64_t arenaPeakSlots = 0;
     std::string reportFile; //!< tree-relative path; empty when not run
     std::vector<std::string> warnings; //!< RunStats.warnings of the run
 };

@@ -9,6 +9,7 @@
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "ecc/crc32.hpp"
+#include "telemetry/options.hpp"
 
 namespace cachecraft::campaign {
 
@@ -195,40 +196,18 @@ applyKnob(CampaignPoint &point, const std::string &knob,
             return false;
         }
         point.config.l2.fetchWholeLine = v.asBool();
-    } else if (knob == "sample_interval") {
-        if (!asCount(v, n, error) || n == 0) {
-            *error = "wants a positive cycle interval";
-            return false;
-        }
-        point.config.telemetry.sampleInterval = n;
-    } else if (knob == "profile") {
-        if (!v.isBool()) {
-            *error = "wants a boolean";
-            return false;
-        }
-        point.config.telemetry.profileEnabled = v.asBool();
-    } else if (knob == "flight_recorder") {
-        if (!v.isBool()) {
-            *error = "wants a boolean";
-            return false;
-        }
-        point.config.telemetry.flightRecorderEnabled = v.asBool();
-    } else if (knob == "profile_interval") {
-        if (!asCount(v, n, error) || n == 0) {
-            *error = "wants a positive cycle interval";
-            return false;
-        }
-        point.config.telemetry.profileEnabled = true;
-        point.config.telemetry.profileInterval = n;
-    } else if (knob == "reuse_profile") {
-        if (!v.isBool()) {
-            *error = "wants a boolean";
-            return false;
-        }
-        point.config.telemetry.reuseProfileEnabled = v.asBool();
     } else {
-        *error = "unknown knob";
-        return false;
+        // Every telemetry knob (profiling gates, capacities, the host
+        // profiler) parses through the shared TelemetryOptions parser
+        // so CLI flags and spec knobs agree on names and validation.
+        const auto telemetry_knobs = telemetry::telemetryKnobNames();
+        if (std::find(telemetry_knobs.begin(), telemetry_knobs.end(),
+                      knob) == telemetry_knobs.end()) {
+            *error = "unknown knob";
+            return false;
+        }
+        return telemetry::applyTelemetryKnob(point.config.telemetry,
+                                             knob, v, error);
     }
     return true;
 }
@@ -245,13 +224,17 @@ knownKnob(const std::string &name)
 std::vector<std::string>
 knownKnobs()
 {
-    return {"chunk_granularity", "co_located_layout", "codec",
-            "flight_recorder",   "footprint_mib",     "gto",
-            "l2_kib",            "l2_whole_line",     "mem_insts",
-            "mrc_kib",           "profile",           "profile_interval",
-            "reuse_profile",     "sample_interval",   "scheme",
-            "seed",              "sms",               "system_seed",
-            "warps",             "workload",          "writeback_mrc"};
+    std::vector<std::string> all = {
+        "chunk_granularity", "co_located_layout", "codec",
+        "footprint_mib",     "gto",               "l2_kib",
+        "l2_whole_line",     "mem_insts",         "mrc_kib",
+        "scheme",            "seed",              "sms",
+        "system_seed",       "warps",             "workload",
+        "writeback_mrc"};
+    for (std::string &knob : telemetry::telemetryKnobNames())
+        all.push_back(std::move(knob));
+    std::sort(all.begin(), all.end());
+    return all;
 }
 
 std::optional<CampaignSpec>

@@ -59,6 +59,8 @@ class SlabArena
             T(std::move(value));
         live_[h] = 1;
         ++liveCount_;
+        if (liveCount_ > peakLive_)
+            peakLive_ = liveCount_;
         return h;
     }
 
@@ -107,10 +109,13 @@ class SlabArena
             freeList_.push_back(static_cast<Handle>(i));
         std::fill(live_.begin(), live_.end(), std::uint8_t{0});
         liveCount_ = 0;
+        peakLive_ = 0;
     }
 
     std::size_t liveCount() const { return liveCount_; }
     std::size_t capacity() const { return live_.size(); }
+    /** High-water live-slot mark since construction or reset(). */
+    std::size_t peakLive() const { return peakLive_; }
 
   private:
     static constexpr std::size_t kChunkSlots = 256;
@@ -165,6 +170,7 @@ class SlabArena
     std::vector<std::uint8_t> live_;
     std::vector<Handle> freeList_; //!< LIFO; back() is handed out next
     std::size_t liveCount_ = 0;
+    std::size_t peakLive_ = 0;
 };
 
 /**
@@ -209,6 +215,15 @@ struct EngineArenas
         parkedWakes.reset();
         reads.reset();
         responses.reset();
+    }
+
+    /** Combined high-water mark across the four slabs (slots, not
+     *  bytes — a cheap, deterministic footprint proxy per point). */
+    std::size_t
+    peakLiveTotal() const
+    {
+        return parked.peakLive() + parkedWakes.peakLive() +
+               reads.peakLive() + responses.peakLive();
     }
 };
 

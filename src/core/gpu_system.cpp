@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/host_profiler.hpp"
 #include "telemetry/sampler.hpp"
 
 namespace cachecraft {
@@ -207,6 +208,7 @@ GpuSystem::initialize(const KernelTrace &trace)
     if (initialized_)
         panic("GpuSystem initialized twice");
     initialized_ = true;
+    CC_HOST_ZONE_COUNTED("sim.init");
 
     regions_ = trace.regions;
     for (const TaggedRegion &region : regions_) {
@@ -254,6 +256,7 @@ GpuSystem::run(const KernelTrace &trace)
     const Cycle prof_interval =
         prof ? std::max<Cycle>(config_.telemetry.profileInterval, 1) : 0;
     auto drain = [this, prof, prof_interval](const char *what) {
+        CC_HOST_ZONE_COUNTED("engine.drain");
         if (!sampler_ && !prof && progressInterval_ == 0) {
             if (!events_.run())
                 panic(what);
@@ -384,6 +387,7 @@ GpuSystem::run(const KernelTrace &trace)
 AuditResult
 GpuSystem::auditMemory() const
 {
+    CC_HOST_ZONE_COUNTED("sim.audit");
     AuditResult audit;
     for (const TaggedRegion &region : regions_) {
         for (Addr addr = region.base; addr < region.base + region.size;

@@ -191,6 +191,10 @@ class GpuSystem
      */
     AuditResult auditMemory() const;
 
+    /** The arena bundle this system allocates from (owned or
+     *  injected); exposes the per-run slab high-water marks. */
+    const EngineArenas &arenas() const { return *arenas_; }
+
     /** Golden (architectural) bytes of the sector at @p addr. */
     ecc::SectorData archRead(Addr sector_addr) const;
 

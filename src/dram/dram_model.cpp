@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/host_profiler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "verify/verify.hpp"
 
@@ -31,6 +32,7 @@ DramChannel::DramChannel(std::string name, ChannelId id,
 void
 DramChannel::enqueue(DramRequest request)
 {
+    CC_HOST_ZONE("dram.enqueue");
     Pending pending;
     pending.coord = map_.coordOf(id_, request.phys);
     pending.req = std::move(request);
@@ -75,6 +77,7 @@ DramChannel::pickNext() const
 void
 DramChannel::tryIssue()
 {
+    CC_HOST_ZONE("dram.try_issue");
     issueScheduled_ = false;
     if (queue_.empty())
         return;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/host_profiler.hpp"
+
 namespace cachecraft::ecc {
 
 AftEccCodec::AftEccCodec()
@@ -14,6 +16,7 @@ AftEccCodec::AftEccCodec()
 SectorCheck
 AftEccCodec::encode(const SectorData &data, MemTag tag) const
 {
+    CC_HOST_ZONE("ecc.aft.encode");
     std::vector<GfElem> message(rs_.k());
     std::copy(data.begin(), data.end(), message.begin());
     message[kTagPosition] = tag;
@@ -27,6 +30,7 @@ DecodeResult
 AftEccCodec::decode(const SectorData &data, const SectorCheck &check,
                     MemTag tag) const
 {
+    CC_HOST_ZONE("ecc.aft.decode");
     // Reconstitute the virtual codeword with the tag the accessor
     // *expects*; a stored-tag mismatch then appears as a symbol error
     // at the (known) tag position.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "telemetry/host_profiler.hpp"
 
 namespace cachecraft::ecc {
 
@@ -221,6 +222,7 @@ ChipkillCodec::ChipkillCodec()
 SectorCheck
 ChipkillCodec::encode(const SectorData &data, MemTag /* tag */) const
 {
+    CC_HOST_ZONE("ecc.chipkill.encode");
     const auto parity = rs_.encodeParity(
         std::span<const GfElem>(data.data(), data.size()));
     SectorCheck check{};
@@ -232,6 +234,7 @@ DecodeResult
 ChipkillCodec::decode(const SectorData &data, const SectorCheck &check,
                       MemTag /* tag */) const
 {
+    CC_HOST_ZONE("ecc.chipkill.decode");
     std::vector<GfElem> received(rs_.n());
     std::copy(data.begin(), data.end(), received.begin());
     std::copy(check.begin(), check.end(), received.begin() + data.size());

@@ -6,6 +6,7 @@
 #include "common/bits.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "telemetry/host_profiler.hpp"
 
 namespace cachecraft::ecc {
 
@@ -172,6 +173,7 @@ SecBadaec7264::decode(std::uint64_t data, std::uint8_t check)
 SectorCheck
 SecBadaecCodec::encode(const SectorData &data, MemTag /* tag */) const
 {
+    CC_HOST_ZONE("ecc.badaec.encode");
     SectorCheck check{};
     for (std::size_t w = 0; w < kCheckBytesPerSector; ++w) {
         const std::uint64_t word =
@@ -185,6 +187,7 @@ DecodeResult
 SecBadaecCodec::decode(const SectorData &data, const SectorCheck &check,
                        MemTag /* tag */) const
 {
+    CC_HOST_ZONE("ecc.badaec.decode");
     DecodeResult res;
     res.data = data;
     for (std::size_t w = 0; w < kCheckBytesPerSector; ++w) {

@@ -4,6 +4,7 @@
 
 #include "common/bits.hpp"
 #include "common/log.hpp"
+#include "telemetry/host_profiler.hpp"
 
 namespace cachecraft::ecc {
 
@@ -98,6 +99,7 @@ Hsiao7264::decode(std::uint64_t data, std::uint8_t check)
 SectorCheck
 SecDedCodec::encode(const SectorData &data, MemTag /* tag */) const
 {
+    CC_HOST_ZONE("ecc.secded.encode");
     SectorCheck check{};
     for (std::size_t w = 0; w < kCheckBytesPerSector; ++w) {
         const std::uint64_t word =
@@ -111,6 +113,7 @@ DecodeResult
 SecDedCodec::decode(const SectorData &data, const SectorCheck &check,
                     MemTag /* tag */) const
 {
+    CC_HOST_ZONE("ecc.secded.decode");
     DecodeResult res;
     res.data = data;
     for (std::size_t w = 0; w < kCheckBytesPerSector; ++w) {

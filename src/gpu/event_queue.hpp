@@ -30,6 +30,7 @@
 #include "common/inplace_function.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "telemetry/host_profiler.hpp"
 #include "verify/verify.hpp"
 
 namespace cachecraft {
@@ -99,6 +100,9 @@ class EventQueue
     bool
     runUntil(Cycle limit, std::uint64_t max_events = 2'000'000'000ull)
     {
+        // One drain chunk per call (epoch-sized), so the zone cost is
+        // per chunk, never per event.
+        CC_HOST_ZONE("events.run_until");
         if (now_ > limit)
             return true;
         std::uint64_t budget = max_events;

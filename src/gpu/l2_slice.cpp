@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/host_profiler.hpp"
 #include "telemetry/reuse_dist.hpp"
 #include "telemetry/telemetry.hpp"
 #include "verify/verify.hpp"
@@ -69,6 +70,7 @@ void
 L2Slice::read(Addr sector_addr, ecc::MemTag expected_tag, SmallFn done,
               std::uint64_t trace_id)
 {
+    CC_HOST_ZONE("l2.read");
     statReads.inc();
     if (telemetry_) {
         if (auto *prof = telemetry_->profiler())
@@ -237,6 +239,7 @@ L2Slice::prefetchSiblings(Addr sector_addr, ecc::MemTag tag)
 void
 L2Slice::write(Addr sector_addr, ecc::MemTag /* expected_tag */)
 {
+    CC_HOST_ZONE("l2.write");
     statWrites.inc();
     const Cycle slot = serviceSlot();
     events_.schedule(slot, [this, sector_addr] {

@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/host_profiler.hpp"
 #include "telemetry/reuse_dist.hpp"
 #include "telemetry/telemetry.hpp"
 #include "verify/verify.hpp"
@@ -163,6 +164,7 @@ MrcScheme::withCheckField(Addr logical, WakeFn fn,
 void
 MrcScheme::fetchChunk(Addr logical, WakeFn fn, std::uint64_t trace_id)
 {
+    CC_HOST_ZONE("protect.fetch_chunk");
     const Addr line = alignDown(mrcAddr(logical), kEccChunkBytes);
     auto it = pendingFetch_.find(line);
     if (it != pendingFetch_.end()) {
@@ -209,6 +211,7 @@ void
 MrcScheme::readSector(Addr logical, ecc::MemTag tag, FetchCallback done,
                       std::uint64_t trace_id)
 {
+    CC_HOST_ZONE("protect.read_sector");
     // Data txn and check-field probe join in the read arena; the last
     // arrival decodes and completes.
     const std::uint32_t handle =
@@ -245,6 +248,7 @@ void
 MrcScheme::writeSector(Addr logical, const ecc::SectorData &data,
                        ecc::MemTag tag)
 {
+    CC_HOST_ZONE("protect.write_sector");
     // Functional state first: data to DRAM, fresh check field to the
     // shadow (the on-chip reconstructed value).
     CACHECRAFT_VERIFY_HOOK(onWriteSector(logical, data.data(), tag));

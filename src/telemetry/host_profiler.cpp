@@ -1,0 +1,787 @@
+#include "telemetry/host_profiler.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "telemetry/report.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace cachecraft::telemetry {
+
+namespace {
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** The four hardware events sampled per counted zone, group order. */
+constexpr int kNumCounters = 4;
+
+/**
+ * One per-thread perf_event counter group: cycles leads, the other
+ * three are siblings, so one read() returns a consistent 4-tuple.
+ */
+struct PerfGroup
+{
+    bool opened = false;
+    int fds[kNumCounters] = {-1, -1, -1, -1};
+
+    ~PerfGroup() { close(); }
+
+    bool
+    open(std::string *error)
+    {
+#if defined(__linux__)
+        static const std::uint64_t kConfigs[kNumCounters] = {
+            PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+            PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+        for (int i = 0; i < kNumCounters; ++i) {
+            perf_event_attr attr;
+            std::memset(&attr, 0, sizeof attr);
+            attr.size = sizeof attr;
+            attr.type = PERF_TYPE_HARDWARE;
+            attr.config = kConfigs[i];
+            attr.disabled = i == 0 ? 1 : 0;
+            attr.exclude_kernel = 1;
+            attr.exclude_hv = 1;
+            attr.read_format = PERF_FORMAT_GROUP;
+            const int fd = static_cast<int>(
+                syscall(SYS_perf_event_open, &attr, 0, -1,
+                        i == 0 ? -1 : fds[0], 0));
+            if (fd < 0) {
+                if (error)
+                    *error = strCat("perf_event_open failed: ",
+                                    std::strerror(errno),
+                                    " (likely perf_event_paranoid)");
+                close();
+                return false;
+            }
+            fds[i] = fd;
+        }
+        ioctl(fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+        ioctl(fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+        opened = true;
+        return true;
+#else
+        if (error)
+            *error = "hardware counters need Linux perf_event_open";
+        return false;
+#endif
+    }
+
+    bool
+    read(std::uint64_t out[kNumCounters]) const
+    {
+#if defined(__linux__)
+        if (!opened)
+            return false;
+        struct
+        {
+            std::uint64_t nr;
+            std::uint64_t values[kNumCounters];
+        } buf;
+        const ssize_t n = ::read(fds[0], &buf, sizeof buf);
+        if (n != static_cast<ssize_t>(sizeof buf) ||
+            buf.nr != kNumCounters)
+            return false;
+        for (int i = 0; i < kNumCounters; ++i)
+            out[i] = buf.values[i];
+        return true;
+#else
+        (void)out;
+        return false;
+#endif
+    }
+
+    void
+    close()
+    {
+#if defined(__linux__)
+        for (int &fd : fds) {
+            if (fd >= 0)
+                ::close(fd);
+            fd = -1;
+        }
+#endif
+        opened = false;
+    }
+};
+
+/** One live (pre-merge) zone node of a thread's tree. */
+struct Node
+{
+    const char *name = "";
+    std::vector<Node *> children; //!< storage owned by ThreadState
+    std::uint64_t count = 0;
+    std::uint64_t inclusiveNs = 0;
+    std::uint64_t counterReads = 0;
+    std::uint64_t ctr[kNumCounters] = {};
+};
+
+/** One entry of a thread's zone stack. */
+struct Frame
+{
+    Node *node = nullptr;
+    std::uint64_t startNs = 0;
+    std::uint64_t ctrEnter[kNumCounters] = {};
+    bool counted = false; //!< counters sampled at enter
+};
+
+struct ThreadState
+{
+    Node root;
+    std::deque<Node> pool; //!< stable-address node storage
+    std::vector<Frame> stack;
+    PerfGroup perf;
+    bool perfTried = false;
+
+    ThreadState() { root.name = "host"; }
+};
+
+struct GlobalData
+{
+    std::vector<std::unique_ptr<ThreadState>> threads;
+    bool countersTried = false;
+    bool countersAvailable = false;
+    std::string countersError;
+    std::uint64_t startNs = 0;
+    std::vector<HostMemorySample> rssSamples;
+};
+
+std::mutex g_mutex;
+GlobalData *g_data = nullptr;
+int g_refs = 0;
+/** Bumped by reset() so cached thread-local pointers invalidate. */
+std::atomic<std::uint64_t> g_generation{1};
+/** Whether counted zones should try to open/read HW counters. */
+std::atomic<bool> g_wantCounters{true};
+
+struct TlsRef
+{
+    ThreadState *state = nullptr;
+    std::uint64_t gen = 0;
+};
+thread_local TlsRef t_ref;
+
+/** This thread's state, registering it on first use; null when the
+ *  profiler has no live data (e.g. reset() raced a stale retain). */
+ThreadState *
+currentThreadState()
+{
+    if (t_ref.state != nullptr &&
+        t_ref.gen == g_generation.load(std::memory_order_relaxed))
+        return t_ref.state;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_data == nullptr)
+        return nullptr;
+    g_data->threads.push_back(std::make_unique<ThreadState>());
+    t_ref.state = g_data->threads.back().get();
+    t_ref.gen = g_generation.load(std::memory_order_relaxed);
+    return t_ref.state;
+}
+
+void
+noteCounterOutcome(bool ok, const std::string &error)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_data == nullptr)
+        return;
+    if (ok) {
+        g_data->countersTried = true;
+        g_data->countersAvailable = true;
+        g_data->countersError.clear();
+    } else if (!g_data->countersTried) {
+        g_data->countersTried = true;
+        g_data->countersError = error;
+    }
+}
+
+void
+mergeNode(HostZoneNode &dst, const Node &src)
+{
+    dst.count += src.count;
+    dst.inclusiveNs += src.inclusiveNs;
+    dst.counterReads += src.counterReads;
+    dst.cycles += src.ctr[0];
+    dst.instructions += src.ctr[1];
+    dst.cacheMisses += src.ctr[2];
+    dst.branchMisses += src.ctr[3];
+    for (const Node *child : src.children) {
+        HostZoneNode *slot = nullptr;
+        for (HostZoneNode &existing : dst.children) {
+            if (existing.name == child->name) {
+                slot = &existing;
+                break;
+            }
+        }
+        if (slot == nullptr) {
+            dst.children.emplace_back();
+            slot = &dst.children.back();
+            slot->name = child->name;
+        }
+        mergeNode(*slot, *child);
+    }
+}
+
+/** Sort children, derive exclusive time, and roll the root up. */
+void
+finalizeNode(HostZoneNode &node)
+{
+    std::sort(node.children.begin(), node.children.end(),
+              [](const HostZoneNode &a, const HostZoneNode &b) {
+                  return a.name < b.name;
+              });
+    std::uint64_t child_ns = 0;
+    for (HostZoneNode &child : node.children) {
+        finalizeNode(child);
+        child_ns += child.inclusiveNs;
+    }
+    if (node.name == "host" && node.count == 0) {
+        // Synthetic root: it was never entered, so its inclusive time
+        // is by definition the sum of the top-level zones.
+        node.inclusiveNs = child_ns;
+        node.exclusiveNs = 0;
+    } else {
+        node.exclusiveNs =
+            node.inclusiveNs > child_ns ? node.inclusiveNs - child_ns
+                                        : 0;
+    }
+}
+
+/** Read one numeric field (in KiB) out of a /proc status-style file. */
+std::uint64_t
+readProcKib(const char *path, const char *field)
+{
+#if defined(__linux__)
+    std::FILE *f = std::fopen(path, "r");
+    if (f == nullptr)
+        return 0;
+    char line[256];
+    std::uint64_t kib = 0;
+    const std::size_t field_len = std::strlen(field);
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+        if (std::strncmp(line, field, field_len) == 0) {
+            kib = std::strtoull(line + field_len, nullptr, 10);
+            break;
+        }
+    }
+    std::fclose(f);
+    return kib;
+#else
+    (void)path;
+    (void)field;
+    return 0;
+#endif
+}
+
+} // namespace
+
+std::atomic<bool> HostProfiler::recording_{false};
+
+void
+HostProfiler::retain(const HostProfileOptions &options)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_data == nullptr) {
+        g_data = new GlobalData;
+        g_data->startNs = nowNs();
+        g_wantCounters.store(options.counters,
+                             std::memory_order_relaxed);
+    }
+    ++g_refs;
+    recording_.store(true, std::memory_order_relaxed);
+}
+
+void
+HostProfiler::release()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_refs > 0)
+        --g_refs;
+    if (g_refs == 0)
+        recording_.store(false, std::memory_order_relaxed);
+}
+
+void
+HostProfiler::reset()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    recording_.store(false, std::memory_order_relaxed);
+    g_refs = 0;
+    g_generation.fetch_add(1, std::memory_order_relaxed);
+    delete g_data;
+    g_data = nullptr;
+}
+
+bool
+HostProfiler::started()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return g_data != nullptr;
+}
+
+HostProfileSnapshot
+HostProfiler::snapshot()
+{
+    HostProfileSnapshot s;
+    s.root.name = "host";
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_data == nullptr)
+        return s;
+    for (const auto &thread : g_data->threads) {
+        for (const Node *top : thread->root.children) {
+            HostZoneNode *slot = nullptr;
+            for (HostZoneNode &existing : s.root.children) {
+                if (existing.name == top->name) {
+                    slot = &existing;
+                    break;
+                }
+            }
+            if (slot == nullptr) {
+                s.root.children.emplace_back();
+                slot = &s.root.children.back();
+                slot->name = top->name;
+            }
+            mergeNode(*slot, *top);
+        }
+    }
+    finalizeNode(s.root);
+    s.threads = g_data->threads.size();
+    s.countersAvailable = g_data->countersAvailable;
+    s.countersError = g_data->countersError;
+    s.rssKib = hostCurrentRssKib();
+    s.peakRssKib = hostPeakRssKib();
+    s.rssSamples = g_data->rssSamples;
+    return s;
+}
+
+void
+HostProfiler::sampleMemory()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_data == nullptr)
+        return;
+    g_data->rssSamples.push_back(
+        {nowNs() - g_data->startNs, hostCurrentRssKib()});
+}
+
+void
+HostZone::enter(const char *name, bool counted)
+{
+    ThreadState *ts = currentThreadState();
+    if (ts == nullptr)
+        return;
+    Node *parent =
+        ts->stack.empty() ? &ts->root : ts->stack.back().node;
+    Node *node = nullptr;
+    for (Node *child : parent->children) {
+        // Pointer equality first: zone names are string literals, so
+        // repeat visits from the same site resolve without strcmp.
+        if (child->name == name ||
+            std::strcmp(child->name, name) == 0) {
+            node = child;
+            break;
+        }
+    }
+    if (node == nullptr) {
+        ts->pool.emplace_back();
+        node = &ts->pool.back();
+        node->name = name;
+        parent->children.push_back(node);
+    }
+    Frame frame;
+    frame.node = node;
+    if (counted && g_wantCounters.load(std::memory_order_relaxed)) {
+        if (!ts->perfTried) {
+            ts->perfTried = true;
+            std::string error;
+            const bool ok = ts->perf.open(&error);
+            noteCounterOutcome(ok, error);
+        }
+        if (ts->perf.read(frame.ctrEnter))
+            frame.counted = true;
+    }
+    // Clock read last: the counter-open/read cost above lands in the
+    // parent's exclusive time, not this zone's.
+    frame.startNs = nowNs();
+    ts->stack.push_back(frame);
+    state_ = ts;
+}
+
+void
+HostZone::leave()
+{
+    auto *ts = static_cast<ThreadState *>(state_);
+    const std::uint64_t end_ns = nowNs();
+    Frame frame = ts->stack.back();
+    ts->stack.pop_back();
+    frame.node->count += 1;
+    frame.node->inclusiveNs += end_ns - frame.startNs;
+    if (frame.counted) {
+        std::uint64_t now[kNumCounters];
+        if (ts->perf.read(now)) {
+            for (int i = 0; i < kNumCounters; ++i)
+                frame.node->ctr[i] += now[i] - frame.ctrEnter[i];
+            frame.node->counterReads += 1;
+        }
+    }
+}
+
+std::uint64_t
+hostCurrentRssKib()
+{
+#if defined(__linux__)
+    // statm field 2 is resident pages; cheaper to parse than status.
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (f == nullptr)
+        return 0;
+    unsigned long long size = 0;
+    unsigned long long resident = 0;
+    const int got = std::fscanf(f, "%llu %llu", &size, &resident);
+    std::fclose(f);
+    if (got != 2)
+        return 0;
+    const long page = sysconf(_SC_PAGESIZE);
+    return resident * static_cast<std::uint64_t>(page > 0 ? page : 4096) /
+           1024;
+#else
+    return 0;
+#endif
+}
+
+std::uint64_t
+hostPeakRssKib()
+{
+    return readProcKib("/proc/self/status", "VmHWM:");
+}
+
+std::uint64_t
+hostSumExclusiveNs(const HostZoneNode &node)
+{
+    std::uint64_t sum = node.exclusiveNs;
+    for (const HostZoneNode &child : node.children)
+        sum += hostSumExclusiveNs(child);
+    return sum;
+}
+
+namespace {
+
+/** DFS helper building "a;b;c"-style folded paths (root included). */
+template <class Fn>
+void
+walkFolded(const HostZoneNode &node, const std::string &prefix, Fn &&fn)
+{
+    const std::string path =
+        prefix.empty() ? node.name : prefix + ";" + node.name;
+    fn(node, path);
+    for (const HostZoneNode &child : node.children)
+        walkFolded(child, path, fn);
+}
+
+std::string
+fmtMs(std::uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fms",
+                  static_cast<double>(ns) / 1e6);
+    return buf;
+}
+
+std::string
+fmtCount(std::uint64_t n)
+{
+    char buf[32];
+    if (n >= 10'000'000)
+        std::snprintf(buf, sizeof buf, "%.1fM",
+                      static_cast<double>(n) / 1e6);
+    else if (n >= 10'000)
+        std::snprintf(buf, sizeof buf, "%.1fk",
+                      static_cast<double>(n) / 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(n));
+    return buf;
+}
+
+void
+renderTreeNode(std::ostringstream &os, const HostZoneNode &node,
+               std::uint64_t total_ns, int depth)
+{
+    std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+    label += node.name;
+    char line[160];
+    std::snprintf(
+        line, sizeof line, "%-32s x%-9s %12s %6.1f%%  self %s",
+        label.c_str(), fmtCount(node.count).c_str(),
+        fmtMs(node.inclusiveNs).c_str(),
+        total_ns > 0 ? 100.0 * static_cast<double>(node.inclusiveNs) /
+                           static_cast<double>(total_ns)
+                     : 0.0,
+        fmtMs(node.exclusiveNs).c_str());
+    os << line;
+    if (node.counterReads > 0) {
+        char ctr[96];
+        std::snprintf(ctr, sizeof ctr,
+                      "  [%.2f IPC, %s LLC-miss, %s br-miss]",
+                      node.cycles > 0
+                          ? static_cast<double>(node.instructions) /
+                                static_cast<double>(node.cycles)
+                          : 0.0,
+                      fmtCount(node.cacheMisses).c_str(),
+                      fmtCount(node.branchMisses).c_str());
+        os << ctr;
+    }
+    os << '\n';
+    for (const HostZoneNode &child : node.children)
+        renderTreeNode(os, child, total_ns, depth + 1);
+}
+
+/** Escape text for embedding in SVG element content/attributes. */
+std::string
+xmlEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+        case '&': out += "&amp;"; break;
+        case '<': out += "&lt;"; break;
+        case '>': out += "&gt;"; break;
+        case '"': out += "&quot;"; break;
+        default: out += ch; break;
+        }
+    }
+    return out;
+}
+
+/** Deterministic warm color per zone name (flamegraph convention). */
+std::string
+flameColor(const std::string &name)
+{
+    std::uint32_t h = 2166136261u;
+    for (char ch : name)
+        h = (h ^ static_cast<unsigned char>(ch)) * 16777619u;
+    const unsigned r = 205 + h % 50;
+    const unsigned g = 70 + (h >> 8) % 110;
+    const unsigned b = (h >> 16) % 60;
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "#%02x%02x%02x", r, g, b);
+    return buf;
+}
+
+int
+treeDepth(const HostZoneNode &node)
+{
+    int depth = 1;
+    for (const HostZoneNode &child : node.children)
+        depth = std::max(depth, 1 + treeDepth(child));
+    return depth;
+}
+
+void
+renderFlameNode(std::ostringstream &os, const HostZoneNode &node,
+                double x, double width, int depth, double row_h,
+                std::uint64_t total_ns)
+{
+    if (width < 0.4)
+        return;
+    const double y = 24.0 + depth * row_h;
+    os << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << width
+       << "\" height=\"" << row_h - 1.0 << "\" fill=\""
+       << flameColor(node.name) << "\" rx=\"1\"><title>"
+       << xmlEscape(node.name) << ": " << fmtMs(node.inclusiveNs)
+       << " inclusive ("
+       << (total_ns > 0
+               ? 100.0 * static_cast<double>(node.inclusiveNs) /
+                     static_cast<double>(total_ns)
+               : 0.0)
+       << "% of total), " << fmtMs(node.exclusiveNs) << " self, x"
+       << node.count << "</title></rect>\n";
+    if (width > 60.0) {
+        os << "<text x=\"" << x + 3.0 << "\" y=\"" << y + row_h - 5.0
+           << "\" font-size=\"10\" font-family=\"monospace\" "
+              "fill=\"#1a1a1a\">"
+           << xmlEscape(node.name.substr(
+                  0, static_cast<std::size_t>(width / 6.5)))
+           << "</text>\n";
+    }
+    double child_x = x;
+    for (const HostZoneNode &child : node.children) {
+        const double child_w =
+            node.inclusiveNs > 0
+                ? width * static_cast<double>(child.inclusiveNs) /
+                      static_cast<double>(node.inclusiveNs)
+                : 0.0;
+        renderFlameNode(os, child, child_x, child_w, depth + 1, row_h,
+                        total_ns);
+        child_x += child_w;
+    }
+}
+
+} // namespace
+
+std::string
+renderHostTree(const HostProfileSnapshot &s)
+{
+    std::ostringstream os;
+    os << "host zone tree (inclusive, % of total, self = exclusive):\n";
+    renderTreeNode(os, s.root, s.root.inclusiveNs, 0);
+    if (!s.countersAvailable)
+        os << "hardware counters unavailable"
+           << (s.countersError.empty() ? "" : ": " + s.countersError)
+           << '\n';
+    os << "memory: rss " << s.rssKib << " KiB, peak " << s.peakRssKib
+       << " KiB (" << s.threads << " thread"
+       << (s.threads == 1 ? "" : "s") << " profiled)\n";
+    return os.str();
+}
+
+std::string
+renderHostFolded(const HostProfileSnapshot &s)
+{
+    std::ostringstream os;
+    walkFolded(s.root, "",
+               [&os](const HostZoneNode &node, const std::string &path) {
+                   if (node.exclusiveNs == 0 && !node.children.empty())
+                       return;
+                   os << path << ' ' << node.exclusiveNs << '\n';
+               });
+    return os.str();
+}
+
+std::string
+renderHostFlameSvg(const HostProfileSnapshot &s, const std::string &title)
+{
+    const double width = 1000.0;
+    const double row_h = 17.0;
+    const int depth = treeDepth(s.root);
+    const double height = 30.0 + depth * row_h + 10.0;
+    std::ostringstream os;
+    os << "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 "
+       << width << ' ' << height << "\" width=\"" << width
+       << "\" height=\"" << height
+       << "\" role=\"img\" aria-label=\"host wall-clock flamegraph\">\n"
+       << "<rect width=\"100%\" height=\"100%\" fill=\"#fdf6ec\"/>\n"
+       << "<text x=\"6\" y=\"16\" font-size=\"13\" "
+          "font-family=\"monospace\" fill=\"#1a1a1a\">"
+       << xmlEscape(title) << " — " << fmtMs(s.root.inclusiveNs)
+       << " total</text>\n";
+    renderFlameNode(os, s.root, 0.0, width, 0, row_h,
+                    s.root.inclusiveNs);
+    os << "</svg>\n";
+    return os.str();
+}
+
+namespace {
+
+void
+writeZoneNsObject(JsonWriter &w, const HostZoneNode &root)
+{
+    w.beginObject();
+    walkFolded(root, "",
+               [&w](const HostZoneNode &node, const std::string &path) {
+                   w.key(path).beginObject();
+                   w.key("inclusive_ns").value(node.inclusiveNs);
+                   w.key("exclusive_ns").value(node.exclusiveNs);
+                   if (node.counterReads > 0) {
+                       w.key("counter_reads").value(node.counterReads);
+                       w.key("cycles").value(node.cycles);
+                       w.key("instructions").value(node.instructions);
+                       w.key("llc_misses").value(node.cacheMisses);
+                       w.key("branch_misses").value(node.branchMisses);
+                   }
+                   w.endObject();
+               });
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeHostProfileJson(JsonWriter &w, const HostProfileArtifact &a)
+{
+    const HostProfileSnapshot &s = a.snapshot;
+    w.beginObject();
+    w.key("schema").value("cachecraft.hostprof/1");
+    w.key("schema_version").value(kJsonSchemaVersion);
+    w.key("config").beginObject();
+    for (const auto &[key, value] : a.config)
+        w.key(key).value(value);
+    w.endObject();
+    // Zone paths and hit counts are deterministic for a configuration
+    // (they mirror the simulated event structure), so they live at top
+    // level where cachecraft_diff compares them; everything measured
+    // in host time goes under "manifest" below.
+    w.key("zones").beginObject();
+    walkFolded(s.root, "",
+               [&w](const HostZoneNode &node, const std::string &path) {
+                   w.key(path).value(node.count);
+               });
+    w.endObject();
+    w.key("manifest").beginObject();
+    w.key("tool").value(a.tool);
+    w.key("build").value(buildVersion());
+    w.key("hostname").value(osHostname());
+    w.key("wall_ns").value(a.wallNs);
+    w.key("threads").value(s.threads);
+    w.key("root_inclusive_ns").value(s.root.inclusiveNs);
+    w.key("sum_exclusive_ns").value(hostSumExclusiveNs(s.root));
+    w.key("counters").beginObject();
+    w.key("available").value(s.countersAvailable);
+    if (!s.countersError.empty())
+        w.key("error").value(s.countersError);
+    std::uint64_t cyc = 0;
+    std::uint64_t ins = 0;
+    std::uint64_t llc = 0;
+    std::uint64_t br = 0;
+    walkFolded(s.root, "",
+               [&](const HostZoneNode &node, const std::string &) {
+                   cyc += node.cycles;
+                   ins += node.instructions;
+                   llc += node.cacheMisses;
+                   br += node.branchMisses;
+               });
+    w.key("cycles").value(cyc);
+    w.key("instructions").value(ins);
+    w.key("llc_misses").value(llc);
+    w.key("branch_misses").value(br);
+    w.endObject();
+    w.key("zone_ns");
+    writeZoneNsObject(w, s.root);
+    w.key("memory").beginObject();
+    w.key("rss_kib").value(s.rssKib);
+    w.key("peak_rss_kib").value(s.peakRssKib);
+    w.key("rss_samples").beginArray();
+    for (const HostMemorySample &sample : s.rssSamples) {
+        w.beginObject();
+        w.key("t_ns").value(sample.tNs);
+        w.key("rss_kib").value(sample.rssKib);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace cachecraft::telemetry

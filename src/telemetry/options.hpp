@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared parsing of TelemetryOptions knobs.
+ *
+ * The same profiling switches are reachable from two surfaces — the
+ * cachecraft_sim CLI (`--profile`, `--flight-record`, ...) and
+ * campaign spec knobs (`"profile": true`) — and they must agree on
+ * names, coupling rules (profile_interval implies profile), and
+ * rejection of bad values. This header is the single source of truth
+ * both surfaces delegate to; test_telemetry_options pins the
+ * round-trip.
+ */
+
+#ifndef CACHECRAFT_TELEMETRY_OPTIONS_HPP
+#define CACHECRAFT_TELEMETRY_OPTIONS_HPP
+
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace cachecraft {
+class JsonValue;
+} // namespace cachecraft
+
+namespace cachecraft::telemetry {
+
+/** Sorted names of every knob applyTelemetryKnob understands. */
+std::vector<std::string> telemetryKnobNames();
+
+/**
+ * Apply one (knob, JSON value) pair to @p options. Returns false and
+ * fills @p error with a short diagnostic ("wants a boolean", ...) on
+ * an unknown knob or bad value; on failure @p options is unchanged.
+ */
+bool applyTelemetryKnob(TelemetryOptions &options,
+                        const std::string &knob, const JsonValue &v,
+                        std::string *error);
+
+/**
+ * Same as applyTelemetryKnob but from CLI-style text: "true"/"false"
+ * for booleans, digit strings for counts.
+ */
+bool applyTelemetryKnobText(TelemetryOptions &options,
+                            const std::string &knob,
+                            const std::string &text,
+                            std::string *error);
+
+} // namespace cachecraft::telemetry
+
+#endif // CACHECRAFT_TELEMETRY_OPTIONS_HPP

@@ -3,6 +3,7 @@
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/host_profiler.hpp"
 #include "telemetry/reuse_dist.hpp"
 
 namespace cachecraft::telemetry {
@@ -91,6 +92,10 @@ Telemetry::Telemetry(StatRegistry *stats, const TelemetryOptions &options)
         ro.retainStream = options_.reuseRetainStream;
         reuse_ = std::make_unique<ReuseProfiler>(ro);
     }
+    if (kTraceCompiledIn && options_.hostProfileEnabled) {
+        HostProfiler::retain();
+        hostRetained_ = true;
+    }
 
     stageHist_.reserve(static_cast<std::size_t>(Stage::kCount));
     for (std::size_t s = 0; s < static_cast<std::size_t>(Stage::kCount);
@@ -105,7 +110,11 @@ Telemetry::Telemetry(StatRegistry *stats, const TelemetryOptions &options)
     }
 }
 
-Telemetry::~Telemetry() = default;
+Telemetry::~Telemetry()
+{
+    if (hostRetained_)
+        HostProfiler::release();
+}
 
 const HistogramStat &
 Telemetry::stageHistogram(Stage stage) const

@@ -125,6 +125,13 @@ struct TelemetryOptions
     std::uint64_t reuseEpochAccesses = 4096;
     /** Retain raw access streams for brute-force curve validation. */
     bool reuseRetainStream = false;
+    /**
+     * Runtime gate for the host wall-clock zone profiler: the hub
+     * retains the process-wide HostProfiler for its lifetime (see
+     * host_profiler.hpp). Refcounted, so concurrent campaign points
+     * that all enable it compose.
+     */
+    bool hostProfileEnabled = false;
 };
 
 #ifdef CACHECRAFT_TRACE_DISABLED
@@ -259,6 +266,8 @@ class Telemetry
     std::unique_ptr<ReuseProfiler> reuse_;
     std::vector<HistogramStat> stageHist_;
     std::uint64_t lastId_ = 0;
+    /** True when this hub holds one HostProfiler reference. */
+    bool hostRetained_ = false;
 };
 
 } // namespace cachecraft::telemetry

@@ -121,6 +121,42 @@ TEST(SlabArenaDeathTest, DeadAccessAndDoubleReleasePanic)
     EXPECT_DEATH(empty[12345], "out-of-range");
 }
 
+TEST(SlabArena, PeakLiveTracksHighWaterMark)
+{
+    SlabArena<int> arena;
+    EXPECT_EQ(arena.peakLive(), 0u);
+    const auto a = arena.acquire(1);
+    const auto b = arena.acquire(2);
+    const auto c = arena.acquire(3);
+    arena.release(b);
+    arena.release(c);
+    // Peak stays at the high-water mark, not the current live count.
+    EXPECT_EQ(arena.liveCount(), 1u);
+    EXPECT_EQ(arena.peakLive(), 3u);
+    // Re-acquiring below the peak does not move it.
+    arena.acquire(4);
+    EXPECT_EQ(arena.peakLive(), 3u);
+    arena.release(a);
+    // reset() zeroes the peak: per-campaign-point peaks come from the
+    // worker resetting its arenas before each point.
+    arena.reset();
+    EXPECT_EQ(arena.peakLive(), 0u);
+    arena.acquire(5);
+    EXPECT_EQ(arena.peakLive(), 1u);
+}
+
+TEST(EngineArenas, PeakLiveTotalSumsAllArenas)
+{
+    EngineArenas arenas;
+    arenas.parked.acquire(SmallFn([] {}));
+    arenas.reads.acquire(PendingRead{});
+    const auto r = arenas.responses.acquire(PendingResponse{});
+    arenas.responses.release(r);
+    EXPECT_EQ(arenas.peakLiveTotal(), 3u);
+    arenas.reset();
+    EXPECT_EQ(arenas.peakLiveTotal(), 0u);
+}
+
 TEST(EngineArenas, ResetClearsEveryArena)
 {
     EngineArenas arenas;

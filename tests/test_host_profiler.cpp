@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Tests for the host-performance observatory: zone-tree aggregation
+ * (nesting, counts, exclusive-time derivation, cross-thread merge),
+ * the off-by-default and refcounted-retain gating contract, memory
+ * telemetry, and the hostprof renderers (console tree, folded stacks,
+ * flamegraph SVG, cachecraft.hostprof/1 JSON).
+ *
+ * Under CACHECRAFT_TRACE_DISABLED the profiler never records; those
+ * builds exercise only the compiled-out contract and skip the rest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/json.hpp"
+#include "telemetry/host_profiler.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace cachecraft::telemetry {
+namespace {
+
+/** Fresh profiler state per test: the profiler is process-wide. */
+class HostProfilerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { HostProfiler::reset(); }
+    void TearDown() override { HostProfiler::reset(); }
+};
+
+/** Child of @p node by name, or nullptr. */
+const HostZoneNode *
+childNamed(const HostZoneNode &node, const std::string &name)
+{
+    for (const HostZoneNode &child : node.children) {
+        if (child.name == name)
+            return &child;
+    }
+    return nullptr;
+}
+
+TEST_F(HostProfilerTest, OffByDefault)
+{
+    EXPECT_FALSE(HostProfiler::recording());
+    EXPECT_FALSE(HostProfiler::started());
+
+    // Zones constructed while off must record nothing, even if the
+    // profiler is retained afterwards.
+    {
+        HostZone zone("ignored");
+    }
+    const HostProfileSnapshot s = HostProfiler::snapshot();
+    EXPECT_TRUE(s.root.children.empty());
+    EXPECT_EQ(s.threads, 0u);
+}
+
+#ifdef CACHECRAFT_TRACE_DISABLED
+
+TEST_F(HostProfilerTest, CompiledOutNeverRecords)
+{
+    HostProfiler::retain();
+    EXPECT_FALSE(HostProfiler::recording());
+    {
+        CC_HOST_ZONE("zone");
+        CC_HOST_ZONE_COUNTED("counted");
+    }
+    EXPECT_TRUE(HostProfiler::snapshot().root.children.empty());
+    HostProfiler::release();
+}
+
+#else // tracing compiled in
+
+TEST_F(HostProfilerTest, NestedZonesBuildTheTree)
+{
+    HostProfiler::retain();
+    for (int i = 0; i < 3; ++i) {
+        HostZone outer("outer");
+        {
+            HostZone inner("inner");
+        }
+        {
+            HostZone inner("inner");
+        }
+    }
+    HostProfiler::release();
+
+    const HostProfileSnapshot s = HostProfiler::snapshot();
+    EXPECT_EQ(s.threads, 1u);
+    ASSERT_EQ(s.root.children.size(), 1u);
+
+    const HostZoneNode &outer = s.root.children[0];
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_EQ(outer.count, 3u);
+    ASSERT_EQ(outer.children.size(), 1u);
+
+    const HostZoneNode &inner = outer.children[0];
+    EXPECT_EQ(inner.name, "inner");
+    EXPECT_EQ(inner.count, 6u);
+    EXPECT_TRUE(inner.children.empty());
+
+    // Exclusive never exceeds inclusive, and a parent's inclusive
+    // covers its children's.
+    EXPECT_LE(outer.exclusiveNs, outer.inclusiveNs);
+    EXPECT_GE(outer.inclusiveNs, inner.inclusiveNs);
+    EXPECT_EQ(inner.exclusiveNs, inner.inclusiveNs);
+
+    // The synthetic root aggregates but is never entered itself.
+    EXPECT_EQ(s.root.name, "host");
+    EXPECT_EQ(s.root.count, 0u);
+    EXPECT_EQ(s.root.inclusiveNs, outer.inclusiveNs);
+}
+
+TEST_F(HostProfilerTest, SumExclusiveEqualsRootInclusive)
+{
+    HostProfiler::retain();
+    {
+        HostZone a("a");
+        {
+            HostZone b("b");
+            {
+                HostZone c("c");
+            }
+        }
+        {
+            HostZone d("d");
+        }
+    }
+    HostProfiler::release();
+
+    const HostProfileSnapshot s = HostProfiler::snapshot();
+    // Exclusive partitions inclusive exactly: each node's inclusive
+    // time is either its own or attributed to exactly one child.
+    EXPECT_EQ(hostSumExclusiveNs(s.root), s.root.inclusiveNs);
+}
+
+TEST_F(HostProfilerTest, SiblingsSortedByName)
+{
+    HostProfiler::retain();
+    {
+        HostZone z("zulu");
+    }
+    {
+        HostZone a("alpha");
+    }
+    {
+        HostZone m("mike");
+    }
+    HostProfiler::release();
+
+    const HostProfileSnapshot s = HostProfiler::snapshot();
+    ASSERT_EQ(s.root.children.size(), 3u);
+    EXPECT_EQ(s.root.children[0].name, "alpha");
+    EXPECT_EQ(s.root.children[1].name, "mike");
+    EXPECT_EQ(s.root.children[2].name, "zulu");
+}
+
+TEST_F(HostProfilerTest, RetainIsRefcounted)
+{
+    HostProfiler::retain();
+    HostProfiler::retain();
+    EXPECT_TRUE(HostProfiler::recording());
+    HostProfiler::release();
+    EXPECT_TRUE(HostProfiler::recording()); // one reference remains
+    {
+        HostZone zone("still_on");
+    }
+    HostProfiler::release();
+    EXPECT_FALSE(HostProfiler::recording());
+
+    // Data survives release for snapshot() until reset().
+    const HostProfileSnapshot s = HostProfiler::snapshot();
+    EXPECT_NE(childNamed(s.root, "still_on"), nullptr);
+
+    HostProfiler::reset();
+    EXPECT_TRUE(HostProfiler::snapshot().root.children.empty());
+}
+
+TEST_F(HostProfilerTest, MergesThreadTreesByPath)
+{
+    HostProfiler::retain();
+    auto work = [] {
+        HostZone outer("outer");
+        HostZone inner("inner");
+    };
+    std::thread t1(work);
+    std::thread t2(work);
+    t1.join();
+    t2.join();
+    HostProfiler::release();
+
+    const HostProfileSnapshot s = HostProfiler::snapshot();
+    EXPECT_EQ(s.threads, 2u);
+    const HostZoneNode *outer = childNamed(s.root, "outer");
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(outer->count, 2u); // both threads merged into one path
+    const HostZoneNode *inner = childNamed(*outer, "inner");
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->count, 2u);
+}
+
+TEST_F(HostProfilerTest, CountedZoneDegradesGracefully)
+{
+    HostProfiler::retain();
+    {
+        HostZone zone("phase", /*counted=*/true);
+    }
+    HostProfiler::release();
+
+    const HostProfileSnapshot s = HostProfiler::snapshot();
+    const HostZoneNode *phase = childNamed(s.root, "phase");
+    ASSERT_NE(phase, nullptr);
+    EXPECT_EQ(phase->count, 1u);
+    if (s.countersAvailable) {
+        // Counters live (bare-metal Linux): the visit sampled them.
+        EXPECT_EQ(phase->counterReads, 1u);
+        EXPECT_GT(phase->cycles, 0u);
+    } else {
+        // Denied or unsupported: zone still timed, reason reported.
+        EXPECT_EQ(phase->counterReads, 0u);
+        EXPECT_FALSE(s.countersError.empty());
+    }
+}
+
+TEST_F(HostProfilerTest, NoCountersOptionSkipsPerfEvent)
+{
+    HostProfileOptions options;
+    options.counters = false;
+    HostProfiler::retain(options);
+    {
+        HostZone zone("phase", /*counted=*/true);
+    }
+    HostProfiler::release();
+
+    const HostProfileSnapshot s = HostProfiler::snapshot();
+    EXPECT_FALSE(s.countersAvailable);
+    const HostZoneNode *phase = childNamed(s.root, "phase");
+    ASSERT_NE(phase, nullptr);
+    EXPECT_EQ(phase->counterReads, 0u);
+}
+
+TEST_F(HostProfilerTest, TelemetryHubRetainsWhenEnabled)
+{
+    TelemetryOptions options;
+    options.hostProfileEnabled = true;
+    StatRegistry stats;
+    {
+        Telemetry hub(&stats, options);
+        EXPECT_TRUE(HostProfiler::recording());
+        HostZone zone("hub_scope");
+    }
+    EXPECT_FALSE(HostProfiler::recording());
+    EXPECT_NE(childNamed(HostProfiler::snapshot().root, "hub_scope"),
+              nullptr);
+}
+
+TEST_F(HostProfilerTest, MemoryTelemetry)
+{
+#ifdef __linux__
+    EXPECT_GT(hostCurrentRssKib(), 0u);
+    EXPECT_GE(hostPeakRssKib(), hostCurrentRssKib() / 2);
+#endif
+    HostProfiler::retain();
+    HostProfiler::sampleMemory();
+    HostProfiler::sampleMemory();
+    HostProfiler::release();
+    const HostProfileSnapshot s = HostProfiler::snapshot();
+    ASSERT_EQ(s.rssSamples.size(), 2u);
+    EXPECT_LE(s.rssSamples[0].tNs, s.rssSamples[1].tNs);
+#ifdef __linux__
+    EXPECT_GT(s.rssKib, 0u);
+    EXPECT_GT(s.rssSamples[0].rssKib, 0u);
+#endif
+}
+
+TEST_F(HostProfilerTest, SampleMemoryWithoutRetainIsANoop)
+{
+    HostProfiler::sampleMemory();
+    EXPECT_TRUE(HostProfiler::snapshot().rssSamples.empty());
+}
+
+TEST_F(HostProfilerTest, RenderersCoverTheTree)
+{
+    HostProfiler::retain();
+    {
+        HostZone outer("outer<&>"); // hostile name for escaping
+        HostZone inner("inner");
+    }
+    HostProfiler::release();
+    const HostProfileSnapshot s = HostProfiler::snapshot();
+
+    const std::string tree = renderHostTree(s);
+    EXPECT_NE(tree.find("outer<&>"), std::string::npos);
+    EXPECT_NE(tree.find("inner"), std::string::npos);
+
+    // Folded stacks: semicolon-joined path then a space and a count.
+    const std::string folded = renderHostFolded(s);
+    EXPECT_NE(folded.find("host;outer<&>;inner "), std::string::npos);
+
+    // SVG: self-contained, scriptless, XML-escaped zone names.
+    const std::string svg = renderHostFlameSvg(s, "t");
+    EXPECT_EQ(svg.rfind("<svg ", 0), 0u);
+    EXPECT_NE(svg.find("outer&lt;&amp;&gt;"), std::string::npos);
+    EXPECT_EQ(svg.find("<script"), std::string::npos);
+    EXPECT_EQ(svg.find("outer<&>"), std::string::npos);
+}
+
+TEST_F(HostProfilerTest, JsonArtifactRoundTrips)
+{
+    HostProfiler::retain();
+    {
+        HostZone outer("outer");
+        HostZone inner("inner");
+    }
+    HostProfiler::release();
+
+    HostProfileArtifact artifact;
+    artifact.snapshot = HostProfiler::snapshot();
+    artifact.tool = "test";
+    artifact.wallNs = 12345;
+    artifact.config.emplace_back("workload", "streaming");
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    writeHostProfileJson(w, artifact);
+
+    std::string error;
+    const auto doc = jsonParse(os.str(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+
+    const JsonValue *schema = doc->find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->asString(), "cachecraft.hostprof/1");
+
+    // Deterministic zone paths and counts at top level...
+    const JsonValue *zones = doc->find("zones");
+    ASSERT_NE(zones, nullptr);
+    const JsonValue *outer = zones->find("host;outer");
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(outer->asNumber(), 1.0);
+    EXPECT_NE(zones->find("host;outer;inner"), nullptr);
+
+    // ...and every host-varying field under "manifest" so two
+    // same-config profiles diff clean by default.
+    const JsonValue *manifest = doc->find("manifest");
+    ASSERT_NE(manifest, nullptr);
+    const JsonValue *wall = manifest->find("wall_ns");
+    ASSERT_NE(wall, nullptr);
+    EXPECT_EQ(wall->asNumber(), 12345.0);
+    ASSERT_NE(manifest->find("sum_exclusive_ns"), nullptr);
+    const JsonValue *counters = manifest->find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_NE(counters->find("available"), nullptr);
+    const JsonValue *zone_ns = manifest->find("zone_ns");
+    ASSERT_NE(zone_ns, nullptr);
+    EXPECT_NE(zone_ns->find("host;outer;inner"), nullptr);
+    ASSERT_NE(manifest->find("memory"), nullptr);
+}
+
+#endif // CACHECRAFT_TRACE_DISABLED
+
+} // namespace
+} // namespace cachecraft::telemetry

@@ -20,9 +20,12 @@
 #include <optional>
 #include <string>
 
+#include "common/json.hpp"
 #include "core/cachecraft.hpp"
 #include "stats/energy.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/host_profiler.hpp"
+#include "telemetry/options.hpp"
 #include "workloads/trace_io.hpp"
 
 using namespace cachecraft;
@@ -96,6 +99,11 @@ usage()
         "                      dedicated cachecraft_curves tool)\n"
         "  --reuse-max-assoc N curve bound: miss-ratio points at\n"
         "                      1..N ways (default 64)\n"
+        "  --host-profile FILE enable the host wall-clock zone\n"
+        "                      profiler and write its JSON artifact\n"
+        "                      (schema cachecraft.hostprof/1; see the\n"
+        "                      dedicated cachecraft_hostprof tool for\n"
+        "                      trees, folded stacks, and flamegraphs)\n"
         "  --progress N        heartbeat: print cycles and events/s to\n"
         "                      stderr every N simulated cycles (off by\n"
         "                      default; output is stderr-only so\n"
@@ -166,6 +174,7 @@ main(int argc, char **argv)
     std::string report_json_path;
     std::string epochs_csv_path;
     std::string flight_path;
+    std::string host_profile_path;
     Cycle progress_interval = 0;
     bool want_energy = false;
     bool quiet = false;
@@ -175,6 +184,17 @@ main(int argc, char **argv)
         if (i + 1 >= argc)
             fatal(strCat("flag ", argv[i], " needs a value"));
         return argv[++i];
+    };
+
+    // Telemetry flags funnel through the shared knob parser (the same
+    // one campaign specs use), so the two surfaces cannot drift on
+    // names, coupling rules, or validation.
+    auto telemetry_knob = [&](const char *flag, const std::string &knob,
+                              const std::string &text) {
+        std::string error;
+        if (!telemetry::applyTelemetryKnobText(config.telemetry, knob,
+                                               text, &error))
+            fatal(strCat("flag ", flag, " ", error));
     };
 
     for (int i = 1; i < argc; ++i) {
@@ -234,44 +254,37 @@ main(int argc, char **argv)
         } else if (flag == "--stats-csv") {
             csv_path = need_value(i);
         } else if (flag == "--sample-interval") {
-            config.telemetry.sampleInterval =
-                std::stoull(need_value(i));
-            if (config.telemetry.sampleInterval == 0)
-                fatal("--sample-interval must be positive");
+            telemetry_knob("--sample-interval", "sample_interval",
+                           need_value(i));
         } else if (flag == "--epochs-csv") {
             epochs_csv_path = need_value(i);
         } else if (flag == "--trace-json") {
             trace_json_path = need_value(i);
             config.telemetry.traceEnabled = true;
         } else if (flag == "--trace-capacity") {
-            config.telemetry.traceCapacity =
-                std::stoull(need_value(i));
+            telemetry_knob("--trace-capacity", "trace_capacity",
+                           need_value(i));
         } else if (flag == "--profile") {
-            config.telemetry.profileEnabled = true;
+            telemetry_knob("--profile", "profile", "true");
         } else if (flag == "--profile-interval") {
-            config.telemetry.profileEnabled = true;
-            config.telemetry.profileInterval =
-                std::stoull(need_value(i));
-            if (config.telemetry.profileInterval == 0)
-                fatal("--profile-interval must be positive");
+            telemetry_knob("--profile-interval", "profile_interval",
+                           need_value(i));
         } else if (flag == "--report-json") {
             report_json_path = need_value(i);
         } else if (flag == "--flight-record") {
             flight_path = need_value(i);
-            config.telemetry.flightRecorderEnabled = true;
+            telemetry_knob("--flight-record", "flight_recorder", "true");
         } else if (flag == "--flight-capacity") {
-            config.telemetry.flightCapacity =
-                std::stoull(need_value(i));
-            if (config.telemetry.flightCapacity == 0)
-                fatal("--flight-capacity must be positive");
+            telemetry_knob("--flight-capacity", "flight_capacity",
+                           need_value(i));
         } else if (flag == "--reuse-profile") {
-            config.telemetry.reuseProfileEnabled = true;
+            telemetry_knob("--reuse-profile", "reuse_profile", "true");
         } else if (flag == "--reuse-max-assoc") {
-            config.telemetry.reuseMaxAssoc = static_cast<unsigned>(
-                std::stoul(need_value(i)));
-            if (config.telemetry.reuseMaxAssoc == 0)
-                fatal("--reuse-max-assoc must be positive");
-            config.telemetry.reuseProfileEnabled = true;
+            telemetry_knob("--reuse-max-assoc", "reuse_max_assoc",
+                           need_value(i));
+        } else if (flag == "--host-profile") {
+            host_profile_path = need_value(i);
+            telemetry_knob("--host-profile", "host_profile", "true");
         } else if (flag == "--progress") {
             progress_interval = std::stoull(need_value(i));
             if (progress_interval == 0)
@@ -337,10 +350,13 @@ main(int argc, char **argv)
         !telemetry::kTraceCompiledIn)
         warn("tracing was compiled out (CACHECRAFT_DISABLE_TRACING); "
              "--reuse-profile has no effect");
+    if (!host_profile_path.empty() && !telemetry::kTraceCompiledIn)
+        warn("tracing was compiled out (CACHECRAFT_DISABLE_TRACING); "
+             "the host profile will be empty");
     // Fail on unwritable output paths now, not after a long run.
     for (const std::string &path :
          {epochs_csv_path, trace_json_path, report_json_path,
-          flight_path}) {
+          flight_path, host_profile_path}) {
         if (path.empty())
             continue;
         std::ofstream probe(path, std::ios::app);
@@ -352,6 +368,7 @@ main(int argc, char **argv)
         std::printf("--- configuration ---\n%s\n",
                     config.describe().c_str());
 
+    const auto prof_start = std::chrono::steady_clock::now();
     GpuSystem gpu(config);
     const auto wall_start = std::chrono::steady_clock::now();
     if (progress_interval > 0) {
@@ -498,6 +515,28 @@ main(int argc, char **argv)
                                   gpu.telemetry().recorder(),
                                   gpu.telemetry().reuse());
         std::printf("wrote %s\n", report_json_path.c_str());
+    }
+
+    if (!host_profile_path.empty()) {
+        std::ofstream out(host_profile_path);
+        if (!out)
+            fatal("cannot write " + host_profile_path);
+        telemetry::HostProfileArtifact artifact;
+        artifact.snapshot = telemetry::HostProfiler::snapshot();
+        artifact.tool = "cachecraft_sim";
+        // The profiled window spans system construction through the
+        // memory audit — the same region the zones cover, so the
+        // exclusive-time sum is comparable to this wall clock.
+        artifact.wallNs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - prof_start)
+                .count());
+        artifact.config.emplace_back("workload", trace.name);
+        artifact.config.emplace_back("summary", config.summary());
+        JsonWriter w(out);
+        telemetry::writeHostProfileJson(w, artifact);
+        out << '\n';
+        std::printf("wrote %s\n", host_profile_path.c_str());
     }
     return 0;
 }
