@@ -1,16 +1,31 @@
 /**
  * @file
- * Experiment E11 — codec micro-costs (google-benchmark): encode and
- * decode throughput of each sector codec, including the fast clean
- * path and the correction slow path. These justify the "decode at
- * fill" design: the clean path must be cheap relative to a DRAM
- * access.
+ * Experiment E11 — codec micro-costs: encode and decode throughput of
+ * each sector codec, including the fast clean path and the correction
+ * slow path. These justify the "decode at fill" design: the clean
+ * path must be cheap relative to a DRAM access.
+ *
+ * Two layers:
+ *  - google-benchmark microbenchmarks (sector-at-a-time — the shape
+ *    the simulator used before the batch kernels — plus the
+ *    whole-chunk kernels, each at the host's widest SIMD tier and
+ *    clamped to scalar);
+ *  - a fixed-work chunk-decode throughput sweep over all four codecs
+ *    x {fault-free, faulted} x {simd, scalar}, printed as a
+ *    ResultTable and dropped into CACHECRAFT_REPORT_DIR (see
+ *    bench::emit) so the before/after numbers in README.md can be
+ *    regenerated from an artifact rather than scraped.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "ecc/codec.hpp"
+#include "ecc/simd_dispatch.hpp"
 
 using namespace cachecraft;
 using namespace cachecraft::ecc;
@@ -22,6 +37,15 @@ randomSector(std::uint64_t seed)
 {
     Xoshiro256 rng(seed);
     SectorData data;
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    return data;
+}
+
+ChunkData
+randomChunk(Xoshiro256 &rng)
+{
+    ChunkData data;
     for (auto &b : data)
         b = static_cast<std::uint8_t>(rng.next());
     return data;
@@ -67,6 +91,143 @@ BM_DecodeCorrect(benchmark::State &state, CodecKind kind)
         static_cast<std::int64_t>(state.iterations()) * kSectorBytes);
 }
 
+/** Pre-encoded chunk working set for the batch benchmarks. */
+struct ChunkSet
+{
+    std::vector<ChunkData> data;
+    std::vector<ChunkCheck> check;
+};
+
+ChunkSet
+makeChunkSet(const SectorCodec &codec, std::size_t count, bool faulted)
+{
+    Xoshiro256 rng(11);
+    ChunkSet set;
+    set.data.reserve(count);
+    set.check.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        ChunkData data = randomChunk(rng);
+        ChunkCheck check{};
+        codec.encodeChunk(data, 0x5A, check);
+        if (faulted) {
+            // One correctable single-bit error per chunk.
+            const std::size_t bit = rng.below(kChunkBytes * 8);
+            data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        set.data.push_back(data);
+        set.check.push_back(check);
+    }
+    return set;
+}
+
+void
+BM_ChunkDecode(benchmark::State &state, CodecKind kind, bool faulted,
+               SimdTier tier)
+{
+    const auto codec = makeCodec(kind);
+    const ChunkSet set = makeChunkSet(*codec, 64, faulted);
+    ScopedTierOverride clamp(tier);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            codec->decodeChunk(set.data[i], set.check[i], 0x5A));
+        i = (i + 1) % set.data.size();
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kChunkBytes);
+}
+
+/** The pre-batch shape: eight independent sector decodes per chunk. */
+void
+BM_ChunkDecodeSectorLoop(benchmark::State &state, CodecKind kind)
+{
+    const auto codec = makeCodec(kind);
+    const ChunkSet set = makeChunkSet(*codec, 64, /* faulted= */ false);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+            benchmark::DoNotOptimize(
+                codec->decode(chunkSectorData(set.data[i], s),
+                              chunkSectorCheck(set.check[i], s), 0x5A));
+        }
+        i = (i + 1) % set.data.size();
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kChunkBytes);
+}
+
+void
+BM_ChunkEncode(benchmark::State &state, CodecKind kind, SimdTier tier)
+{
+    const auto codec = makeCodec(kind);
+    Xoshiro256 rng(13);
+    const ChunkData data = randomChunk(rng);
+    ScopedTierOverride clamp(tier);
+    ChunkCheck check{};
+    for (auto _ : state) {
+        codec->encodeChunk(data, 0x5A, check);
+        benchmark::DoNotOptimize(check);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kChunkBytes);
+}
+
+/**
+ * Fixed-work throughput measurement behind the report artifact: MB/s
+ * of whole-chunk decode, per codec, fault-free and faulted, at the
+ * widest reachable tier and clamped to scalar.
+ */
+double
+measureChunkDecodeMBs(const SectorCodec &codec, bool faulted,
+                      SimdTier tier)
+{
+    const ChunkSet set = makeChunkSet(codec, 256, faulted);
+    ScopedTierOverride clamp(tier);
+
+    // Warm up, then time enough passes for a stable figure.
+    const std::size_t n = set.data.size();
+    for (std::size_t i = 0; i < n; ++i)
+        benchmark::DoNotOptimize(
+            codec.decodeChunk(set.data[i], set.check[i], 0x5A));
+
+    const std::size_t passes = faulted ? 40 : 400;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t p = 0; p < passes; ++p) {
+        for (std::size_t i = 0; i < n; ++i)
+            benchmark::DoNotOptimize(
+                codec.decodeChunk(set.data[i], set.check[i], 0x5A));
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const double bytes =
+        static_cast<double>(passes) * static_cast<double>(n) * kChunkBytes;
+    return secs > 0.0 ? bytes / secs / 1e6 : 0.0;
+}
+
+void
+emitChunkThroughputTable()
+{
+    ResultTable table("Codec chunk decode throughput");
+    table.setHeader({"codec", "faults", "tier", "MB/s"});
+    for (CodecKind kind : allCodecs()) {
+        const auto codec = makeCodec(kind);
+        for (bool faulted : {false, true}) {
+            for (SimdTier tier : {activeTier(), SimdTier::kScalar}) {
+                const double mbs =
+                    measureChunkDecodeMBs(*codec, faulted, tier);
+                table.addRow({codec->name(),
+                              faulted ? "1-bit/chunk" : "none",
+                              toString(tier), ResultTable::num(mbs, 1)});
+                if (tier == SimdTier::kScalar)
+                    break; // activeTier() may itself be scalar
+            }
+        }
+    }
+    bench::emit(table);
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_Encode, secded, CodecKind::kSecDed);
@@ -79,4 +240,33 @@ BENCHMARK_CAPTURE(BM_DecodeCorrect, secded, CodecKind::kSecDed);
 BENCHMARK_CAPTURE(BM_DecodeCorrect, chipkill, CodecKind::kChipkill);
 BENCHMARK_CAPTURE(BM_DecodeCorrect, aftecc, CodecKind::kAftEcc);
 
-BENCHMARK_MAIN();
+#define CC_CHUNK_BENCHES(name, kind)                                     \
+    BENCHMARK_CAPTURE(BM_ChunkDecode, name##_clean_simd, kind, false,    \
+                      cachecraft::ecc::hostTier());                      \
+    BENCHMARK_CAPTURE(BM_ChunkDecode, name##_clean_scalar, kind, false,  \
+                      cachecraft::ecc::SimdTier::kScalar);               \
+    BENCHMARK_CAPTURE(BM_ChunkDecode, name##_faulted_simd, kind, true,   \
+                      cachecraft::ecc::hostTier());                      \
+    BENCHMARK_CAPTURE(BM_ChunkDecodeSectorLoop, name##_sector_loop,      \
+                      kind);                                             \
+    BENCHMARK_CAPTURE(BM_ChunkEncode, name##_simd, kind,                 \
+                      cachecraft::ecc::hostTier());                      \
+    BENCHMARK_CAPTURE(BM_ChunkEncode, name##_scalar, kind,               \
+                      cachecraft::ecc::SimdTier::kScalar)
+
+CC_CHUNK_BENCHES(secded, CodecKind::kSecDed);
+CC_CHUNK_BENCHES(badaec, CodecKind::kSecBadaec);
+CC_CHUNK_BENCHES(chipkill, CodecKind::kChipkill);
+CC_CHUNK_BENCHES(aftecc, CodecKind::kAftEcc);
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    emitChunkThroughputTable();
+    return 0;
+}

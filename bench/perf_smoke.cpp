@@ -34,6 +34,10 @@
 
 #include "bench_common.hpp"
 #include "common/json.hpp"
+#include "common/rng.hpp"
+#include "ecc/codec.hpp"
+#include "ecc/crc32.hpp"
+#include "ecc/simd_dispatch.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/reuse_dist.hpp"
 
@@ -79,6 +83,118 @@ writePoint(JsonWriter &w, const RunStats &rs)
     w.key("decode_uncorrectable").value(rs.decodeUncorrectable);
     w.key("events_executed").value(rs.simThroughput.eventsExecuted);
     w.key("peak_queue_depth").value(rs.simThroughput.peakQueueDepth);
+    w.endObject();
+}
+
+/**
+ * Deterministic whole-chunk decode sweep over every codec: a seeded
+ * chunk corpus with a fixed schedule of injected fault patterns,
+ * decoded once at whatever SIMD tier this host dispatches to and once
+ * clamped to scalar. The integer outcome counts and the CRC of every
+ * decoded byte gate the batch codec kernels — a behaviour change in
+ * any dispatch tier, or any scalar/SIMD divergence, moves a metric.
+ */
+void
+writeCodecKernels(JsonWriter &w)
+{
+    w.key("codec_kernels").beginObject();
+    for (ecc::CodecKind kind : ecc::allCodecs()) {
+        const auto codec = ecc::makeCodec(kind);
+        Xoshiro256 rng(29);
+        std::uint64_t clean = 0;
+        std::uint64_t corrected = 0;
+        std::uint64_t uncorrectable = 0;
+        std::uint64_t tag_mismatch = 0;
+        std::uint64_t corrected_units = 0;
+        std::uint64_t scalar_divergences = 0;
+        std::uint32_t crc = 0;
+        for (unsigned i = 0; i < 64; ++i) {
+            ecc::ChunkData data;
+            for (auto &b : data)
+                b = static_cast<std::uint8_t>(rng.next());
+            ecc::MemTag tag = 0x2B;
+            ecc::ChunkCheck check{};
+            codec->encodeChunk(data, tag, check);
+
+            const auto flipData = [&](std::size_t byte,
+                                      unsigned bit) {
+                data[byte % data.size()] ^=
+                    static_cast<std::uint8_t>(1u << (bit % 8));
+            };
+            const std::size_t sector =
+                rng.below(kSectorsPerChunk) * kSectorBytes;
+            switch (i % 8) {
+            case 0:
+            case 4: // fault-free: the early-out path
+                break;
+            case 1: // single data bit
+                flipData(rng.below(kChunkBytes), i);
+                break;
+            case 2: // two bytes in one sector
+                flipData(sector + rng.below(kSectorBytes), 1);
+                flipData(sector + rng.below(kSectorBytes), 6);
+                break;
+            case 3: // check byte
+                check[rng.below(check.size())] ^= 0x41;
+                break;
+            case 5: // burst: beyond every codec's correction power
+                for (unsigned b = 0; b < 8; ++b)
+                    flipData(sector + 3 * b, b);
+                break;
+            case 6: // data + check in the same sector
+                flipData(sector + rng.below(kSectorBytes), 2);
+                check[(sector / kSectorBytes) *
+                          ecc::kCheckBytesPerSector +
+                      rng.below(ecc::kCheckBytesPerSector)] ^= 0x08;
+                break;
+            default: // tag mismatch where representable
+                if (codec->supportsTags())
+                    tag ^= 0x15;
+                else
+                    flipData(rng.below(kChunkBytes), 5);
+                break;
+            }
+
+            const auto res = codec->decodeChunk(data, check, tag);
+            {
+                ecc::ScopedTierOverride clamp(
+                    ecc::SimdTier::kScalar);
+                const auto ref =
+                    codec->decodeChunk(data, check, tag);
+                if (res.status != ref.status ||
+                    res.correctedUnits != ref.correctedUnits ||
+                    res.data != ref.data)
+                    ++scalar_divergences;
+            }
+            for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+                switch (res.status[s]) {
+                case ecc::DecodeStatus::kClean: ++clean; break;
+                case ecc::DecodeStatus::kCorrected:
+                    ++corrected;
+                    break;
+                case ecc::DecodeStatus::kUncorrectable:
+                    ++uncorrectable;
+                    break;
+                case ecc::DecodeStatus::kTagMismatch:
+                    ++tag_mismatch;
+                    break;
+                }
+                corrected_units += res.correctedUnits[s];
+            }
+            crc = ecc::crc32cUpdate(
+                crc, std::span<const std::uint8_t>(res.data));
+        }
+        w.key(codec->name()).beginObject();
+        w.key("sectors_clean").value(clean);
+        w.key("sectors_corrected").value(corrected);
+        w.key("sectors_uncorrectable").value(uncorrectable);
+        w.key("sectors_tag_mismatch").value(tag_mismatch);
+        w.key("corrected_units").value(corrected_units);
+        w.key("decoded_crc32c").value(
+            static_cast<std::uint64_t>(crc));
+        w.key("scalar_divergences").value(scalar_divergences);
+        w.endObject();
+    }
     w.endObject();
 }
 
@@ -208,6 +324,9 @@ main(int argc, char **argv)
         w.key("l2_misses_at_16w").value(l2_misses_16w);
         w.endObject();
     }
+
+    std::fprintf(stderr, "[perf_smoke] codec_kernels sweep\n");
+    writeCodecKernels(w);
 
     if (with_manifest) {
         // Host-varying rates, under the prefix cachecraft_diff drops.

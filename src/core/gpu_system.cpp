@@ -49,6 +49,7 @@ GpuSystem::GpuSystem(const SystemConfig &config, EngineArenas *arenas)
         ctx.metaShadow = &metaShadow_;
         ctx.stats = &stats_;
         ctx.telemetry = telemetry_.get();
+        ctx.faultIndex = &faultIndex_;
         ctx.arenas = arenas_;
         ctx.name = strCat("protect.slice", c);
         auto scheme = makeScheme(config_.scheme, ctx, config_.mrc);
@@ -217,12 +218,32 @@ GpuSystem::initialize(const KernelTrace &trace)
             fatal("regions must be 32 B aligned");
         if (region.base + region.size > map_->usableBytesTotal())
             fatal("region exceeds usable device memory");
-        for (Addr addr = region.base; addr < region.base + region.size;
-             addr += kSectorBytes) {
+        const Addr end = region.base + region.size;
+        Addr addr = region.base;
+        while (addr < end) {
+            if (offsetIn(addr, kChunkBytes) == 0 &&
+                addr + kChunkBytes <= end) {
+                // Whole aligned chunk: encode through the batch chunk
+                // codec (a chunk never straddles channels, so one
+                // slice owns all eight sectors).
+                ecc::ChunkData data{};
+                for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+                    const ecc::SectorData sector =
+                        pattern(addr + s * kSectorBytes, 0);
+                    std::copy(sector.begin(), sector.end(),
+                              data.begin() + s * kSectorBytes);
+                }
+                archMem_.write(addr, std::span<const std::uint8_t>(data));
+                slices_[sliceOf(addr)]->scheme().initializeChunk(
+                    addr, data, region.tag);
+                addr += kChunkBytes;
+                continue;
+            }
             const ecc::SectorData data = pattern(addr, 0);
             archMem_.write(addr, std::span<const std::uint8_t>(data));
             slices_[sliceOf(addr)]->scheme().initializeSector(addr, data,
                                                               region.tag);
+            addr += kSectorBytes;
         }
     }
 }
@@ -390,8 +411,57 @@ GpuSystem::auditMemory() const
     CC_HOST_ZONE_COUNTED("sim.audit");
     AuditResult audit;
     for (const TaggedRegion &region : regions_) {
-        for (Addr addr = region.base; addr < region.base + region.size;
-             addr += kSectorBytes) {
+        const Addr end = region.base + region.size;
+        Addr addr = region.base;
+        while (addr < end) {
+            // Whole aligned chunk under a protected layout: one batch
+            // decode (clean chunks early-out on laned syndromes) with
+            // the same per-sector classification as the scalar path.
+            if (map_->layout() != EccLayout::kNone &&
+                offsetIn(addr, kChunkBytes) == 0 &&
+                addr + kChunkBytes <= end) {
+                audit.sectors += kSectorsPerChunk;
+                const ChannelId channel = map_->channelOf(addr);
+                const Addr local = map_->channelLocalOf(addr);
+
+                ecc::ChunkData stored{};
+                for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+                    dram_->readBytes(
+                        channel,
+                        map_->dataPhys(local + s * kSectorBytes),
+                        std::span<std::uint8_t>(
+                            stored.data() + s * kSectorBytes,
+                            kSectorBytes));
+                }
+                ecc::ChunkCheck check{};
+                dram_->readBytes(channel, map_->eccChunkPhys(local),
+                                 std::span<std::uint8_t>(check));
+
+                const ecc::ChunkDecodeResult decoded =
+                    codec_->decodeChunk(stored, check, region.tag);
+                for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+                    switch (decoded.status[s]) {
+                      case ecc::DecodeStatus::kClean:
+                        audit.clean++;
+                        break;
+                      case ecc::DecodeStatus::kCorrected:
+                        audit.corrected++;
+                        break;
+                      case ecc::DecodeStatus::kUncorrectable:
+                      case ecc::DecodeStatus::kTagMismatch:
+                        audit.uncorrectable++;
+                        continue; // no trustworthy data to compare
+                    }
+                    const ecc::SectorData golden =
+                        archRead(addr + s * kSectorBytes);
+                    if (!std::equal(golden.begin(), golden.end(),
+                                    decoded.data.begin() +
+                                        s * kSectorBytes))
+                        audit.silentCorruptions++;
+                }
+                addr += kChunkBytes;
+                continue;
+            }
             audit.sectors++;
             const ChannelId channel = map_->channelOf(addr);
             const Addr local = map_->channelLocalOf(addr);
@@ -406,6 +476,7 @@ GpuSystem::auditMemory() const
                     audit.clean++;
                 else
                     audit.silentCorruptions++;
+                addr += kSectorBytes;
                 continue;
             }
 
@@ -426,10 +497,13 @@ GpuSystem::auditMemory() const
               case ecc::DecodeStatus::kUncorrectable:
               case ecc::DecodeStatus::kTagMismatch:
                 audit.uncorrectable++;
-                continue; // no trustworthy data to compare
+                // No trustworthy data to compare against golden.
+                addr += kSectorBytes;
+                continue;
             }
             if (decoded.data != golden)
                 audit.silentCorruptions++;
+            addr += kSectorBytes;
         }
     }
     return audit;
@@ -466,6 +540,7 @@ GpuSystem::injectDataFault(Addr logical, unsigned bit_index)
     const Addr local = map_->channelLocalOf(logical);
     const Addr phys = map_->dataPhys(sectorBase(local)) + bit_index / 8;
     dram_->flipBit(channel, phys, bit_index % 8);
+    faultIndex_.noteFaultAt(logical);
 }
 
 void
@@ -476,6 +551,9 @@ GpuSystem::injectEccFault(Addr logical, unsigned byte_in_chunk,
     const Addr local = map_->channelLocalOf(logical);
     dram_->flipBit(channel, map_->eccChunkPhys(local) + byte_in_chunk,
                    bit);
+    // An ECC-chunk fault can land in any of the chunk's eight check
+    // fields; index the whole covering chunk.
+    faultIndex_.noteFaultAt(logical);
 }
 
 } // namespace cachecraft

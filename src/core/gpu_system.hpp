@@ -22,6 +22,7 @@
 
 #include "core/config.hpp"
 #include "dram/storage.hpp"
+#include "faults/fault_index.hpp"
 #include "gpu/crossbar.hpp"
 #include "gpu/kernel_trace.hpp"
 #include "gpu/l2_slice.hpp"
@@ -191,6 +192,13 @@ class GpuSystem
      */
     AuditResult auditMemory() const;
 
+    /**
+     * Which protection chunks have had faults injected. Shared with
+     * the schemes so untouched chunks decode via the syndrome-only
+     * fast path (host-side accelerator only — outcomes are identical).
+     */
+    const FaultIndex &faultIndex() const { return faultIndex_; }
+
     /** The arena bundle this system allocates from (owned or
      *  injected); exposes the per-run slab high-water marks. */
     const EngineArenas &arenas() const { return *arenas_; }
@@ -261,6 +269,7 @@ class GpuSystem
     std::unique_ptr<Crossbar> respXbar_;
 
     std::vector<TaggedRegion> regions_;
+    FaultIndex faultIndex_;
     std::map<Addr, std::uint64_t> writeGeneration_;
     bool initialized_ = false;
     bool ran_ = false;

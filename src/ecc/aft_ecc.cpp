@@ -2,9 +2,43 @@
 
 #include <algorithm>
 
+#include "ecc/gf256_kernels.hpp"
 #include "telemetry/host_profiler.hpp"
 
 namespace cachecraft::ecc {
+
+namespace {
+
+/** Codeword symbols: [32 data | 1 virtual tag | 4 parity]. */
+constexpr unsigned kAftN = static_cast<unsigned>(
+    kSectorBytes + 1 + kCheckBytesPerSector);
+constexpr unsigned kAftK = static_cast<unsigned>(kSectorBytes + 1);
+constexpr unsigned kAftNp = static_cast<unsigned>(kCheckBytesPerSector);
+
+/**
+ * Laned form of a chunk's eight virtual codewords: the tag row is a
+ * broadcast of the accessor-expected tag (one tag per chunk — tags
+ * are region-granular).
+ */
+void
+aftRows(const ChunkData &data, const ChunkCheck &check, MemTag tag,
+        std::uint8_t *rows)
+{
+    for (unsigned i = 0; i < kSectorBytes; ++i) {
+        for (std::size_t s = 0; s < gfk::kLanes; ++s)
+            rows[i * gfk::kLanes + s] = data[s * kSectorBytes + i];
+    }
+    for (std::size_t s = 0; s < gfk::kLanes; ++s)
+        rows[AftEccCodec::kTagPosition * gfk::kLanes + s] = tag;
+    for (unsigned p = 0; p < kAftNp; ++p) {
+        for (std::size_t s = 0; s < gfk::kLanes; ++s) {
+            rows[(kAftK + p) * gfk::kLanes + s] =
+                check[s * kCheckBytesPerSector + p];
+        }
+    }
+}
+
+} // namespace
 
 AftEccCodec::AftEccCodec()
     : rs_(static_cast<unsigned>(kSectorBytes) + 1 +
@@ -17,12 +51,12 @@ SectorCheck
 AftEccCodec::encode(const SectorData &data, MemTag tag) const
 {
     CC_HOST_ZONE("ecc.aft.encode");
-    std::vector<GfElem> message(rs_.k());
-    std::copy(data.begin(), data.end(), message.begin());
+    std::uint8_t message[kAftK];
+    std::copy(data.begin(), data.end(), message);
     message[kTagPosition] = tag;
-    const auto parity = rs_.encodeParity(message);
     SectorCheck check{};
-    std::copy(parity.begin(), parity.end(), check.begin());
+    gfk::sectorEncodeParity(message, kAftK, rs_.genPoly().data() + 1,
+                            kAftNp, check.data());
     return check;
 }
 
@@ -34,13 +68,20 @@ AftEccCodec::decode(const SectorData &data, const SectorCheck &check,
     // Reconstitute the virtual codeword with the tag the accessor
     // *expects*; a stored-tag mismatch then appears as a symbol error
     // at the (known) tag position.
-    std::vector<GfElem> received(rs_.n());
-    std::copy(data.begin(), data.end(), received.begin());
+    std::uint8_t received[kAftN];
+    std::copy(data.begin(), data.end(), received);
     received[kTagPosition] = tag;
-    std::copy(check.begin(), check.end(),
-              received.begin() + kTagPosition + 1);
+    std::copy(check.begin(), check.end(), received + kTagPosition + 1);
 
-    const auto rr = rs_.decode(received);
+    std::uint8_t synd[kAftNp];
+    if (gfk::sectorSyndromes(received, kAftN, kAftNp, synd)) {
+        // Clean syndrome: data verified, tag verified.
+        DecodeResult res;
+        res.data = data;
+        return res;
+    }
+
+    const auto rr = rs_.decode(std::span<const GfElem>(received, kAftN));
     DecodeResult res;
     if (!rr.ok) {
         res.data = data;
@@ -67,6 +108,82 @@ AftEccCodec::decode(const SectorData &data, const SectorCheck &check,
         res.correctedUnits = rr.numErrors;
     }
     return res;
+}
+
+void
+AftEccCodec::encodeChunk(const ChunkData &data, MemTag tag,
+                         ChunkCheck &check) const
+{
+    CC_HOST_ZONE("ecc.aft.encode_chunk");
+    std::uint8_t rows[kAftK * gfk::kLanes];
+    for (unsigned i = 0; i < kSectorBytes; ++i) {
+        for (std::size_t s = 0; s < gfk::kLanes; ++s)
+            rows[i * gfk::kLanes + s] = data[s * kSectorBytes + i];
+    }
+    for (std::size_t s = 0; s < gfk::kLanes; ++s)
+        rows[kTagPosition * gfk::kLanes + s] = tag;
+    std::uint8_t parity[kAftNp * gfk::kLanes];
+    gfk::lanedEncodeParity(rows, kAftK, rs_.genPoly().data() + 1, kAftNp,
+                           parity);
+    for (unsigned p = 0; p < kAftNp; ++p) {
+        for (std::size_t s = 0; s < gfk::kLanes; ++s) {
+            check[s * kCheckBytesPerSector + p] =
+                parity[p * gfk::kLanes + s];
+        }
+    }
+}
+
+ChunkDecodeResult
+AftEccCodec::decodeChunk(const ChunkData &data, const ChunkCheck &check,
+                         MemTag tag) const
+{
+    CC_HOST_ZONE("ecc.aft.decode_chunk");
+    ChunkDecodeResult res;
+    res.data = data;
+
+    std::uint8_t rows[kAftN * gfk::kLanes];
+    aftRows(data, check, tag, rows);
+    std::uint8_t synd[kAftNp * gfk::kLanes];
+    if (gfk::lanedSyndromes(rows, kAftN, kAftNp, synd))
+        return res; // whole chunk clean, all tags verified
+
+    for (std::size_t s = 0; s < gfk::kLanes; ++s) {
+        std::uint8_t any = 0;
+        for (unsigned j = 0; j < kAftNp; ++j)
+            any |= synd[j * gfk::kLanes + s];
+        if (any == 0)
+            continue;
+        const DecodeResult dr = decode(chunkSectorData(data, s),
+                                       chunkSectorCheck(check, s), tag);
+        res.status[s] = dr.status;
+        res.correctedUnits[s] =
+            static_cast<std::uint8_t>(dr.correctedUnits);
+        std::copy(dr.data.begin(), dr.data.end(),
+                  res.data.begin() + s * kSectorBytes);
+    }
+    return res;
+}
+
+bool
+AftEccCodec::verifySectorClean(const SectorData &data,
+                               const SectorCheck &check, MemTag tag) const
+{
+    std::uint8_t received[kAftN];
+    std::copy(data.begin(), data.end(), received);
+    received[kTagPosition] = tag;
+    std::copy(check.begin(), check.end(), received + kTagPosition + 1);
+    std::uint8_t synd[kAftNp];
+    return gfk::sectorSyndromes(received, kAftN, kAftNp, synd);
+}
+
+bool
+AftEccCodec::verifyChunkClean(const ChunkData &data,
+                              const ChunkCheck &check, MemTag tag) const
+{
+    std::uint8_t rows[kAftN * gfk::kLanes];
+    aftRows(data, check, tag, rows);
+    std::uint8_t synd[kAftNp * gfk::kLanes];
+    return gfk::lanedSyndromes(rows, kAftN, kAftNp, synd);
 }
 
 } // namespace cachecraft::ecc

@@ -41,6 +41,17 @@ class AftEccCodec : public SectorCodec
     DecodeResult decode(const SectorData &data, const SectorCheck &check,
                         MemTag tag) const override;
 
+    void encodeChunk(const ChunkData &data, MemTag tag,
+                     ChunkCheck &check) const override;
+    ChunkDecodeResult decodeChunk(const ChunkData &data,
+                                  const ChunkCheck &check,
+                                  MemTag tag) const override;
+    bool verifySectorClean(const SectorData &data,
+                           const SectorCheck &check,
+                           MemTag tag) const override;
+    bool verifyChunkClean(const ChunkData &data, const ChunkCheck &check,
+                          MemTag tag) const override;
+
     /** Codeword index of the virtual tag symbol. */
     static constexpr unsigned kTagPosition =
         static_cast<unsigned>(kSectorBytes);

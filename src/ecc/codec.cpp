@@ -8,6 +8,53 @@
 
 namespace cachecraft::ecc {
 
+void
+SectorCodec::encodeChunk(const ChunkData &data, MemTag tag,
+                         ChunkCheck &check) const
+{
+    for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+        const SectorCheck sc = encode(chunkSectorData(data, s), tag);
+        std::copy(sc.begin(), sc.end(),
+                  check.begin() + s * kCheckBytesPerSector);
+    }
+}
+
+ChunkDecodeResult
+SectorCodec::decodeChunk(const ChunkData &data, const ChunkCheck &check,
+                         MemTag tag) const
+{
+    ChunkDecodeResult res;
+    for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+        const DecodeResult dr = decode(chunkSectorData(data, s),
+                                       chunkSectorCheck(check, s), tag);
+        res.status[s] = dr.status;
+        res.correctedUnits[s] =
+            static_cast<std::uint8_t>(dr.correctedUnits);
+        std::copy(dr.data.begin(), dr.data.end(),
+                  res.data.begin() + s * kSectorBytes);
+    }
+    return res;
+}
+
+bool
+SectorCodec::verifySectorClean(const SectorData &data,
+                               const SectorCheck &check, MemTag tag) const
+{
+    return decode(data, check, tag).status == DecodeStatus::kClean;
+}
+
+bool
+SectorCodec::verifyChunkClean(const ChunkData &data,
+                              const ChunkCheck &check, MemTag tag) const
+{
+    for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+        if (!verifySectorClean(chunkSectorData(data, s),
+                               chunkSectorCheck(check, s), tag))
+            return false;
+    }
+    return true;
+}
+
 const char *
 toString(DecodeStatus status)
 {

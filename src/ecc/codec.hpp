@@ -17,6 +17,7 @@
 #ifndef CACHECRAFT_ECC_CODEC_HPP
 #define CACHECRAFT_ECC_CODEC_HPP
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -67,6 +68,36 @@ struct DecodeResult
     unsigned correctedUnits = 0;
 };
 
+/** A whole 256 B protection chunk (8 sectors, sector-major). */
+using ChunkData = std::array<std::uint8_t, kChunkBytes>;
+
+/** The 32 B ECC chunk covering it (4 B check per sector, in order). */
+using ChunkCheck = std::array<std::uint8_t, kEccChunkBytes>;
+
+/**
+ * Result of decoding one whole protection chunk: exactly what eight
+ * independent per-sector decode() calls would have produced, batched.
+ */
+struct ChunkDecodeResult
+{
+    std::array<DecodeStatus, kSectorsPerChunk> status{};
+    std::array<std::uint8_t, kSectorsPerChunk> correctedUnits{};
+    /** Per-sector post-decode bytes (raw stored bytes for sectors
+     *  reported kUncorrectable, matching DecodeResult semantics). */
+    ChunkData data{};
+
+    /** True iff every sector decoded kClean. */
+    bool
+    allClean() const
+    {
+        for (DecodeStatus s : status) {
+            if (s != DecodeStatus::kClean)
+                return false;
+        }
+        return true;
+    }
+};
+
 /**
  * Abstract sector codec. Implementations must be stateless and
  * thread-compatible: all methods are const.
@@ -101,7 +132,63 @@ class SectorCodec
     virtual DecodeResult decode(const SectorData &data,
                                 const SectorCheck &check,
                                 MemTag tag) const = 0;
+
+    /**
+     * @{ Whole-chunk batch interface. Every chunk carries a single
+     * tag (tags are region-granular, far coarser than a chunk). The
+     * base-class defaults loop over the eight sectors; the production
+     * codecs override them with laned kernels. Contract: the chunk
+     * calls are observably identical to eight sector calls — byte-for-
+     * byte equal check/data output and equal statuses (property-tested
+     * across dispatch tiers in test_codec_kernels.cpp).
+     */
+
+    /** Encode all eight sectors of @p data into @p check. */
+    virtual void encodeChunk(const ChunkData &data, MemTag tag,
+                             ChunkCheck &check) const;
+
+    /** Verify/correct a whole stored chunk. */
+    virtual ChunkDecodeResult decodeChunk(const ChunkData &data,
+                                          const ChunkCheck &check,
+                                          MemTag tag) const;
+
+    /**
+     * Syndrome-only fast path: true iff decode() would return kClean
+     * for this sector (in which case the decoded data equals @p data
+     * unchanged). Never corrects — the caller falls back to decode()
+     * on false.
+     */
+    virtual bool verifySectorClean(const SectorData &data,
+                                   const SectorCheck &check,
+                                   MemTag tag) const;
+
+    /** Syndrome-only fast path over a whole chunk: true iff every
+     *  sector would decode kClean. */
+    virtual bool verifyChunkClean(const ChunkData &data,
+                                  const ChunkCheck &check,
+                                  MemTag tag) const;
+    /** @} */
 };
+
+/** Copy of the @p s-th sector payload of a chunk. */
+inline SectorData
+chunkSectorData(const ChunkData &data, std::size_t s)
+{
+    SectorData out;
+    std::copy_n(data.begin() + s * kSectorBytes, kSectorBytes,
+                out.begin());
+    return out;
+}
+
+/** Copy of the @p s-th sector's check field of an ECC chunk. */
+inline SectorCheck
+chunkSectorCheck(const ChunkCheck &check, std::size_t s)
+{
+    SectorCheck out;
+    std::copy_n(check.begin() + s * kCheckBytesPerSector,
+                kCheckBytesPerSector, out.begin());
+    return out;
+}
 
 /** Which codec a configuration selects. */
 enum class CodecKind : std::uint8_t

@@ -1,12 +1,20 @@
 #include "ecc/crc32.hpp"
 
 #include <array>
+#include <cstring>
+
+#include "ecc/simd_dispatch.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define CACHECRAFT_X86_CRC 1
+#include <immintrin.h>
+#endif
 
 namespace cachecraft::ecc {
 
 namespace {
 
-std::array<std::uint32_t, 256>
+constexpr std::array<std::uint32_t, 256>
 buildTable()
 {
     std::array<std::uint32_t, 256> table{};
@@ -21,22 +29,50 @@ buildTable()
     return table;
 }
 
-const std::array<std::uint32_t, 256> &
-table()
+inline constexpr std::array<std::uint32_t, 256> kCrcTable = buildTable();
+
+std::uint32_t
+crcUpdateScalar(std::uint32_t crc, std::span<const std::uint8_t> data)
 {
-    static const auto t = buildTable();
-    return t;
+    for (std::uint8_t b : data)
+        crc = (crc >> 8) ^ kCrcTable[(crc ^ b) & 0xFF];
+    return crc;
 }
+
+#if defined(CACHECRAFT_X86_CRC)
+
+/**
+ * SSE4.2 CRC32 instructions implement exactly the reflected
+ * Castagnoli CRC the table above computes, 8 bytes per instruction.
+ */
+__attribute__((target("sse4.2"))) std::uint32_t
+crcUpdateHw(std::uint32_t crc, std::span<const std::uint8_t> data)
+{
+    std::uint64_t acc = crc;
+    std::size_t i = 0;
+    for (; i + 8 <= data.size(); i += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, data.data() + i, 8);
+        acc = _mm_crc32_u64(acc, word);
+    }
+    std::uint32_t c = static_cast<std::uint32_t>(acc);
+    for (; i < data.size(); ++i)
+        c = _mm_crc32_u8(c, data[i]);
+    return c;
+}
+
+#endif // CACHECRAFT_X86_CRC
 
 } // namespace
 
 std::uint32_t
 crc32cUpdate(std::uint32_t crc, std::span<const std::uint8_t> data)
 {
-    const auto &t = table();
-    for (std::uint8_t b : data)
-        crc = (crc >> 8) ^ t[(crc ^ b) & 0xFF];
-    return crc;
+#if defined(CACHECRAFT_X86_CRC)
+    if (activeTier() >= SimdTier::kSse42)
+        return crcUpdateHw(crc, data);
+#endif
+    return crcUpdateScalar(crc, data);
 }
 
 std::uint32_t

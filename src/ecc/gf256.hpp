@@ -6,7 +6,9 @@
  * The field is constructed with the primitive polynomial
  * x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the conventional choice for
  * byte-oriented RS codes. Multiplication/division/inversion go through
- * log/antilog tables built once at startup.
+ * log/antilog tables generated entirely at compile time (`constexpr`),
+ * so there is no runtime table build and no cold-start cost in short
+ * ci_smoke points.
  */
 
 #ifndef CACHECRAFT_ECC_GF256_HPP
@@ -20,78 +22,111 @@ namespace cachecraft::ecc {
 /** A GF(2^8) element is stored in one byte. */
 using GfElem = std::uint8_t;
 
-/** Singleton table holder for GF(2^8) arithmetic. */
+namespace detail {
+
+/** The primitive polynomial (without the x^8 term bit implied). */
+inline constexpr unsigned kGfPrimPoly = 0x11D;
+
+struct GfTables
+{
+    // exp has 512 entries so mul can skip the mod-255 reduction.
+    std::array<GfElem, 512> exp{};
+    std::array<std::uint16_t, 256> log{};
+};
+
+constexpr GfTables
+buildGfTables()
+{
+    GfTables built{};
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+        built.exp[i] = static_cast<GfElem>(x);
+        built.log[x] = static_cast<std::uint16_t>(i);
+        x <<= 1;
+        if (x & 0x100)
+            x ^= kGfPrimPoly;
+    }
+    for (unsigned i = 255; i < 512; ++i)
+        built.exp[i] = built.exp[i - 255];
+    built.log[0] = 0; // never consulted for zero operands
+    return built;
+}
+
+inline constexpr GfTables kGfTables = buildGfTables();
+
+} // namespace detail
+
+/** Table holder for GF(2^8) arithmetic (all tables constexpr). */
 class Gf256
 {
   public:
     /** The primitive polynomial (without the x^8 term bit implied). */
-    static constexpr unsigned kPrimPoly = 0x11D;
+    static constexpr unsigned kPrimPoly = detail::kGfPrimPoly;
 
     /** Addition = subtraction = XOR. */
-    static GfElem add(GfElem a, GfElem b) { return a ^ b; }
+    static constexpr GfElem add(GfElem a, GfElem b) { return a ^ b; }
 
     /** Multiply two field elements. */
-    static GfElem
+    static constexpr GfElem
     mul(GfElem a, GfElem b)
     {
         if (a == 0 || b == 0)
             return 0;
-        const Tables &t = tables();
+        const detail::GfTables &t = detail::kGfTables;
         return t.exp[t.log[a] + t.log[b]];
     }
 
     /** Divide @p a by @p b; @p b must be nonzero. */
-    static GfElem
+    static constexpr GfElem
     div(GfElem a, GfElem b)
     {
-        const Tables &t = tables();
+        const detail::GfTables &t = detail::kGfTables;
         if (a == 0)
             return 0;
         return t.exp[t.log[a] + 255 - t.log[b]];
     }
 
     /** Multiplicative inverse; @p a must be nonzero. */
-    static GfElem
+    static constexpr GfElem
     inv(GfElem a)
     {
-        const Tables &t = tables();
+        const detail::GfTables &t = detail::kGfTables;
         return t.exp[255 - t.log[a]];
     }
 
     /** alpha^power for the primitive element alpha. */
-    static GfElem
+    static constexpr GfElem
     pow(GfElem a, unsigned power)
     {
         if (a == 0)
             return power == 0 ? 1 : 0;
-        const Tables &t = tables();
+        const detail::GfTables &t = detail::kGfTables;
         return t.exp[(static_cast<unsigned>(t.log[a]) * power) % 255];
     }
 
     /** alpha^i (i may exceed 255). */
-    static GfElem
+    static constexpr GfElem
     alphaPow(unsigned i)
     {
-        return tables().exp[i % 255];
+        return detail::kGfTables.exp[i % 255];
     }
 
     /** Discrete log base alpha; @p a must be nonzero. */
-    static unsigned
+    static constexpr unsigned
     logOf(GfElem a)
     {
-        return tables().log[a];
+        return detail::kGfTables.log[a];
     }
-
-  private:
-    struct Tables
-    {
-        // exp has 512 entries so mul can skip the mod-255 reduction.
-        std::array<GfElem, 512> exp{};
-        std::array<std::uint16_t, 256> log{};
-    };
-
-    static const Tables &tables();
 };
+
+// The table build is pure constexpr — pin a few field identities so a
+// broken generator fails the build, not a campaign.
+static_assert(Gf256::alphaPow(0) == 1);
+static_assert(Gf256::alphaPow(255) == 1);
+static_assert(Gf256::mul(0x53, 0) == 0);
+static_assert(Gf256::mul(Gf256::alphaPow(100), Gf256::alphaPow(155)) == 1);
+static_assert(Gf256::mul(0x53, Gf256::inv(0x53)) == 1);
+static_assert(Gf256::div(Gf256::mul(0x9C, 0x47), 0x47) == 0x9C);
 
 } // namespace cachecraft::ecc
 

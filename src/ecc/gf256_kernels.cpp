@@ -1,0 +1,446 @@
+#include "ecc/gf256_kernels.hpp"
+
+#include <cstring>
+
+#include "ecc/simd_dispatch.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define CACHECRAFT_X86_KERNELS 1
+#include <immintrin.h>
+#endif
+
+namespace cachecraft::ecc::gfk {
+
+namespace {
+
+/**
+ * Nibble-product tables: lo[c][x] = c * x and hi[c][x] = c * (x << 4)
+ * in GF(2^8), so c * b == lo[c][b & 15] ^ hi[c][b >> 4]. Each 16-byte
+ * row doubles as a pshufb shuffle table. Generated constexpr (8 KiB).
+ */
+struct NibTables
+{
+    alignas(16) std::uint8_t lo[256][16];
+    alignas(16) std::uint8_t hi[256][16];
+};
+
+constexpr NibTables
+buildNibTables()
+{
+    NibTables t{};
+    for (unsigned c = 0; c < 256; ++c) {
+        for (unsigned x = 0; x < 16; ++x) {
+            t.lo[c][x] = Gf256::mul(static_cast<GfElem>(c),
+                                    static_cast<GfElem>(x));
+            t.hi[c][x] = Gf256::mul(static_cast<GfElem>(c),
+                                    static_cast<GfElem>(x << 4));
+        }
+    }
+    return t;
+}
+
+constexpr NibTables kNib = buildNibTables();
+
+/** Branch-free scalar GF multiply through the nibble tables. */
+inline std::uint8_t
+mulc(std::uint8_t b, GfElem c)
+{
+    return static_cast<std::uint8_t>(kNib.lo[c][b & 15] ^
+                                     kNib.hi[c][b >> 4]);
+}
+
+/**
+ * Constexpr Chien locator-power tables for the two production code
+ * shapes, RS(36,32) and RS(37,33): pow[c][j-1][i] = (X_i^{-1})^j for
+ * codeword position i of the n = 36 + c code, padded to 48 lanes
+ * (pad value 0 contributes nothing and sigma[0] = 1 keeps padded
+ * lanes nonzero, so they can never read as roots).
+ */
+struct ChienTables
+{
+    alignas(16) std::uint8_t pow[2][4][48];
+};
+
+constexpr ChienTables
+buildChienTables()
+{
+    ChienTables t{};
+    for (unsigned c = 0; c < 2; ++c) {
+        const unsigned n = 36 + c;
+        for (unsigned j = 1; j <= 4; ++j) {
+            for (unsigned i = 0; i < n; ++i) {
+                const unsigned exp_x = (n - 1 - i) % 255;
+                const unsigned inv_exp = (255 - exp_x) % 255;
+                t.pow[c][j - 1][i] =
+                    Gf256::alphaPow((inv_exp * j) % 255);
+            }
+        }
+    }
+    return t;
+}
+
+constexpr ChienTables kChien = buildChienTables();
+
+inline std::uint64_t
+loadLane64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline void
+storeLane64(std::uint8_t *p, std::uint64_t v)
+{
+    std::memcpy(p, &v, sizeof(v));
+}
+
+// --------------------------------------------------------------------
+// Scalar tier
+// --------------------------------------------------------------------
+
+void
+lanedSyndromesScalar(const std::uint8_t *rows, unsigned n, unsigned np,
+                     std::uint8_t *synd)
+{
+    for (unsigned j = 0; j < np; ++j) {
+        const GfElem x = Gf256::alphaPow(j);
+        std::uint8_t *out = synd + j * kLanes;
+        if (x == 1) {
+            // Syndrome 0 evaluates at alpha^0 = 1: a pure XOR fold.
+            std::uint64_t acc = 0;
+            for (unsigned i = 0; i < n; ++i)
+                acc ^= loadLane64(rows + i * kLanes);
+            storeLane64(out, acc);
+            continue;
+        }
+        const std::uint8_t *tlo = kNib.lo[x];
+        const std::uint8_t *thi = kNib.hi[x];
+        std::uint8_t acc[kLanes] = {};
+        for (unsigned i = 0; i < n; ++i) {
+            const std::uint8_t *row = rows + i * kLanes;
+            for (std::size_t s = 0; s < kLanes; ++s) {
+                acc[s] = static_cast<std::uint8_t>(
+                    tlo[acc[s] & 15] ^ thi[acc[s] >> 4] ^ row[s]);
+            }
+        }
+        std::memcpy(out, acc, kLanes);
+    }
+}
+
+void
+lanedEncodeParityScalar(const std::uint8_t *rows, unsigned k,
+                        const GfElem *gen_tail, unsigned np,
+                        std::uint8_t *parity)
+{
+    std::uint8_t p[8 * kLanes] = {};
+    for (unsigned i = 0; i < k; ++i) {
+        const std::uint8_t *row = rows + i * kLanes;
+        std::uint8_t coef[kLanes];
+        for (std::size_t s = 0; s < kLanes; ++s)
+            coef[s] = static_cast<std::uint8_t>(row[s] ^ p[s]);
+        for (unsigned j = 0; j + 1 < np; ++j) {
+            for (std::size_t s = 0; s < kLanes; ++s) {
+                p[j * kLanes + s] = static_cast<std::uint8_t>(
+                    p[(j + 1) * kLanes + s] ^ mulc(coef[s], gen_tail[j]));
+            }
+        }
+        for (std::size_t s = 0; s < kLanes; ++s)
+            p[(np - 1) * kLanes + s] = mulc(coef[s], gen_tail[np - 1]);
+    }
+    std::memcpy(parity, p, np * kLanes);
+}
+
+std::uint64_t
+chienZerosScalar(const GfElem *sigma, unsigned deg, unsigned n)
+{
+    std::uint64_t zeros = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const unsigned exp_x = (n - 1 - i) % 255;
+        const GfElem x_inv = Gf256::alphaPow(255 - exp_x);
+        std::uint8_t acc = sigma[0];
+        GfElem xp = 1;
+        for (unsigned j = 1; j <= deg; ++j) {
+            xp = Gf256::mul(xp, x_inv);
+            acc = static_cast<std::uint8_t>(acc ^ mulc(xp, sigma[j]));
+        }
+        if (acc == 0)
+            zeros |= std::uint64_t{1} << i;
+    }
+    return zeros;
+}
+
+// --------------------------------------------------------------------
+// SSSE3 tier: one pshufb pair per multiply, 8 lanes per register.
+// --------------------------------------------------------------------
+
+#if defined(CACHECRAFT_X86_KERNELS)
+
+__attribute__((target("ssse3"))) void
+lanedSyndromesSsse3(const std::uint8_t *rows, unsigned n, unsigned np,
+                    std::uint8_t *synd)
+{
+    const __m128i mask0f = _mm_set1_epi8(0x0f);
+    for (unsigned j = 0; j < np; ++j) {
+        const GfElem x = Gf256::alphaPow(j);
+        __m128i acc = _mm_setzero_si128();
+        if (x == 1) {
+            for (unsigned i = 0; i < n; ++i) {
+                acc = _mm_xor_si128(
+                    acc, _mm_loadl_epi64(reinterpret_cast<const __m128i *>(
+                             rows + i * kLanes)));
+            }
+        } else {
+            const __m128i tlo = _mm_load_si128(
+                reinterpret_cast<const __m128i *>(kNib.lo[x]));
+            const __m128i thi = _mm_load_si128(
+                reinterpret_cast<const __m128i *>(kNib.hi[x]));
+            for (unsigned i = 0; i < n; ++i) {
+                // Horner step: acc = acc * x + row[i].
+                const __m128i lo = _mm_and_si128(acc, mask0f);
+                const __m128i hi =
+                    _mm_and_si128(_mm_srli_epi64(acc, 4), mask0f);
+                acc = _mm_xor_si128(_mm_shuffle_epi8(tlo, lo),
+                                    _mm_shuffle_epi8(thi, hi));
+                acc = _mm_xor_si128(
+                    acc, _mm_loadl_epi64(reinterpret_cast<const __m128i *>(
+                             rows + i * kLanes)));
+            }
+        }
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(synd + j * kLanes),
+                         acc);
+    }
+}
+
+__attribute__((target("ssse3"))) void
+lanedEncodeParitySsse3(const std::uint8_t *rows, unsigned k,
+                       const GfElem *gen_tail, unsigned np,
+                       std::uint8_t *parity)
+{
+    const __m128i mask0f = _mm_set1_epi8(0x0f);
+    __m128i tlo[8], thi[8], p[8];
+    for (unsigned j = 0; j < np; ++j) {
+        tlo[j] = _mm_load_si128(
+            reinterpret_cast<const __m128i *>(kNib.lo[gen_tail[j]]));
+        thi[j] = _mm_load_si128(
+            reinterpret_cast<const __m128i *>(kNib.hi[gen_tail[j]]));
+        p[j] = _mm_setzero_si128();
+    }
+    for (unsigned i = 0; i < k; ++i) {
+        const __m128i row = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(rows + i * kLanes));
+        const __m128i coef = _mm_xor_si128(row, p[0]);
+        // The quotient coefficient is shared by every parity tap, so
+        // its nibble split happens once per message row.
+        const __m128i lo = _mm_and_si128(coef, mask0f);
+        const __m128i hi = _mm_and_si128(_mm_srli_epi64(coef, 4), mask0f);
+        for (unsigned j = 0; j + 1 < np; ++j) {
+            p[j] = _mm_xor_si128(
+                p[j + 1], _mm_xor_si128(_mm_shuffle_epi8(tlo[j], lo),
+                                        _mm_shuffle_epi8(thi[j], hi)));
+        }
+        p[np - 1] = _mm_xor_si128(_mm_shuffle_epi8(tlo[np - 1], lo),
+                                  _mm_shuffle_epi8(thi[np - 1], hi));
+    }
+    for (unsigned j = 0; j < np; ++j) {
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(parity + j * kLanes),
+                         p[j]);
+    }
+}
+
+__attribute__((target("ssse3"))) std::uint64_t
+chienZerosSsse3(const GfElem *sigma, unsigned deg, unsigned n)
+{
+    // Direct evaluation across 16 positions per step using the
+    // constexpr locator-power tables (production shapes only).
+    const unsigned c = n - 36;
+    const __m128i mask0f = _mm_set1_epi8(0x0f);
+    const __m128i zero = _mm_setzero_si128();
+    std::uint64_t zeros = 0;
+    for (unsigned block = 0; block < 48; block += 16) {
+        __m128i res = _mm_set1_epi8(static_cast<char>(sigma[0]));
+        for (unsigned j = 1; j <= deg; ++j) {
+            const __m128i tlo = _mm_load_si128(
+                reinterpret_cast<const __m128i *>(kNib.lo[sigma[j]]));
+            const __m128i thi = _mm_load_si128(
+                reinterpret_cast<const __m128i *>(kNib.hi[sigma[j]]));
+            const __m128i pw = _mm_load_si128(
+                reinterpret_cast<const __m128i *>(kChien.pow[c][j - 1] +
+                                                  block));
+            const __m128i lo = _mm_and_si128(pw, mask0f);
+            const __m128i hi =
+                _mm_and_si128(_mm_srli_epi64(pw, 4), mask0f);
+            res = _mm_xor_si128(
+                res, _mm_xor_si128(_mm_shuffle_epi8(tlo, lo),
+                                   _mm_shuffle_epi8(thi, hi)));
+        }
+        const int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(res, zero));
+        zeros |= static_cast<std::uint64_t>(static_cast<unsigned>(mask))
+                 << block;
+    }
+    return zeros & ((std::uint64_t{1} << n) - 1);
+}
+
+// --------------------------------------------------------------------
+// AVX2 tier: vpshufb shuffles per 128-bit lane, so one 256-bit
+// register runs two different syndrome constants at once (lane 0 =
+// syndrome j, lane 1 = syndrome j+1) over a broadcast row.
+// --------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void
+lanedSyndromesAvx2(const std::uint8_t *rows, unsigned n, unsigned np,
+                   std::uint8_t *synd)
+{
+    const __m256i mask0f = _mm256_set1_epi8(0x0f);
+    unsigned j = 0;
+    for (; j + 1 < np; j += 2) {
+        const GfElem x0 = Gf256::alphaPow(j);
+        const GfElem x1 = Gf256::alphaPow(j + 1);
+        const __m256i tlo = _mm256_setr_m128i(
+            _mm_load_si128(reinterpret_cast<const __m128i *>(kNib.lo[x0])),
+            _mm_load_si128(
+                reinterpret_cast<const __m128i *>(kNib.lo[x1])));
+        const __m256i thi = _mm256_setr_m128i(
+            _mm_load_si128(reinterpret_cast<const __m128i *>(kNib.hi[x0])),
+            _mm_load_si128(
+                reinterpret_cast<const __m128i *>(kNib.hi[x1])));
+        __m256i acc = _mm256_setzero_si256();
+        for (unsigned i = 0; i < n; ++i) {
+            const __m256i lo = _mm256_and_si256(acc, mask0f);
+            const __m256i hi =
+                _mm256_and_si256(_mm256_srli_epi64(acc, 4), mask0f);
+            acc = _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo),
+                                   _mm256_shuffle_epi8(thi, hi));
+            const __m256i row = _mm256_set1_epi64x(
+                static_cast<long long>(loadLane64(rows + i * kLanes)));
+            acc = _mm256_xor_si256(acc, row);
+        }
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(synd + j * kLanes),
+                         _mm256_castsi256_si128(acc));
+        _mm_storel_epi64(
+            reinterpret_cast<__m128i *>(synd + (j + 1) * kLanes),
+            _mm256_extracti128_si256(acc, 1));
+    }
+    if (j < np) {
+        // Odd tail syndrome: single 128-bit chain.
+        const GfElem x = Gf256::alphaPow(j);
+        const __m128i mask0f128 = _mm_set1_epi8(0x0f);
+        const __m128i tlo = _mm_load_si128(
+            reinterpret_cast<const __m128i *>(kNib.lo[x]));
+        const __m128i thi = _mm_load_si128(
+            reinterpret_cast<const __m128i *>(kNib.hi[x]));
+        __m128i acc = _mm_setzero_si128();
+        for (unsigned i = 0; i < n; ++i) {
+            const __m128i lo = _mm_and_si128(acc, mask0f128);
+            const __m128i hi =
+                _mm_and_si128(_mm_srli_epi64(acc, 4), mask0f128);
+            acc = _mm_xor_si128(_mm_shuffle_epi8(tlo, lo),
+                                _mm_shuffle_epi8(thi, hi));
+            acc = _mm_xor_si128(
+                acc, _mm_loadl_epi64(reinterpret_cast<const __m128i *>(
+                         rows + i * kLanes)));
+        }
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(synd + j * kLanes),
+                         acc);
+    }
+}
+
+#endif // CACHECRAFT_X86_KERNELS
+
+bool
+allZero(const std::uint8_t *bytes, std::size_t count)
+{
+    std::uint8_t any = 0;
+    for (std::size_t i = 0; i < count; ++i)
+        any |= bytes[i];
+    return any == 0;
+}
+
+} // namespace
+
+bool
+sectorSyndromes(const std::uint8_t *received, unsigned n, unsigned np,
+                std::uint8_t *synd)
+{
+    std::uint8_t any = 0;
+    for (unsigned j = 0; j < np; ++j) {
+        const GfElem x = Gf256::alphaPow(j);
+        std::uint8_t acc = 0;
+        if (x == 1) {
+            for (unsigned i = 0; i < n; ++i)
+                acc ^= received[i];
+        } else {
+            const std::uint8_t *tlo = kNib.lo[x];
+            const std::uint8_t *thi = kNib.hi[x];
+            for (unsigned i = 0; i < n; ++i) {
+                acc = static_cast<std::uint8_t>(
+                    tlo[acc & 15] ^ thi[acc >> 4] ^ received[i]);
+            }
+        }
+        synd[j] = acc;
+        any |= acc;
+    }
+    return any == 0;
+}
+
+void
+sectorEncodeParity(const std::uint8_t *msg, unsigned k,
+                   const GfElem *gen_tail, unsigned np,
+                   std::uint8_t *parity)
+{
+    std::uint8_t p[8] = {};
+    for (unsigned i = 0; i < k; ++i) {
+        const std::uint8_t coef =
+            static_cast<std::uint8_t>(msg[i] ^ p[0]);
+        for (unsigned j = 0; j + 1 < np; ++j)
+            p[j] = static_cast<std::uint8_t>(p[j + 1] ^
+                                             mulc(coef, gen_tail[j]));
+        p[np - 1] = mulc(coef, gen_tail[np - 1]);
+    }
+    std::memcpy(parity, p, np);
+}
+
+bool
+lanedSyndromes(const std::uint8_t *rows, unsigned n, unsigned np,
+               std::uint8_t *synd)
+{
+#if defined(CACHECRAFT_X86_KERNELS)
+    const SimdTier tier = activeTier();
+    if (tier >= SimdTier::kAvx2)
+        lanedSyndromesAvx2(rows, n, np, synd);
+    else if (tier >= SimdTier::kSsse3)
+        lanedSyndromesSsse3(rows, n, np, synd);
+    else
+        lanedSyndromesScalar(rows, n, np, synd);
+#else
+    lanedSyndromesScalar(rows, n, np, synd);
+#endif
+    return allZero(synd, np * kLanes);
+}
+
+void
+lanedEncodeParity(const std::uint8_t *rows, unsigned k,
+                  const GfElem *gen_tail, unsigned np,
+                  std::uint8_t *parity)
+{
+#if defined(CACHECRAFT_X86_KERNELS)
+    if (np <= 8 && activeTier() >= SimdTier::kSsse3) {
+        lanedEncodeParitySsse3(rows, k, gen_tail, np, parity);
+        return;
+    }
+#endif
+    lanedEncodeParityScalar(rows, k, gen_tail, np, parity);
+}
+
+std::uint64_t
+chienZeros(const GfElem *sigma, unsigned deg, unsigned n)
+{
+#if defined(CACHECRAFT_X86_KERNELS)
+    if ((n == 36 || n == 37) && deg <= 4 &&
+        activeTier() >= SimdTier::kSsse3)
+        return chienZerosSsse3(sigma, deg, n);
+#endif
+    return chienZerosScalar(sigma, deg, n);
+}
+
+} // namespace cachecraft::ecc::gfk

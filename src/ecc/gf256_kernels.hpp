@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Batch GF(2^8) kernels behind the SIMD dispatch facade.
+ *
+ * The protection chunk is the natural kernel shape: its eight 32 B
+ * sectors form eight independent RS codewords whose bytes can be
+ * processed in lockstep ("laned" form: row i holds byte i of every
+ * lane). The kernels below implement the syndrome, encode (LFSR
+ * division) and Chien-search inner loops three ways — portable
+ * nibble-table scalar, SSSE3 `pshufb`, and two-lane AVX2 — selected
+ * per call via activeTier(). All tiers are bit-identical: GF(2^8)
+ * arithmetic is exact, so equal inputs give equal output bytes
+ * (property-tested in test_codec_kernels.cpp).
+ *
+ * The pshufb trick: multiplying a vector of bytes by a *constant* c
+ * splits each byte into nibbles, b = hi·16 + lo, so
+ * c·b = T_lo[c][lo] ^ T_hi[c][hi] with two 16-entry lookup tables per
+ * constant — exactly one shuffle each. Both tables for all 256
+ * constants are generated constexpr (8 KiB total).
+ */
+
+#ifndef CACHECRAFT_ECC_GF256_KERNELS_HPP
+#define CACHECRAFT_ECC_GF256_KERNELS_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ecc/gf256.hpp"
+
+namespace cachecraft::ecc::gfk {
+
+/** Lanes per batch call = sectors per protection chunk. */
+inline constexpr std::size_t kLanes = 8;
+
+/**
+ * Syndromes of a single received codeword (branch-free nibble-table
+ * Horner; the single-sector fast path). Writes @p np syndrome bytes
+ * to @p synd and returns true iff all of them are zero.
+ */
+bool sectorSyndromes(const std::uint8_t *received, unsigned n,
+                     unsigned np, std::uint8_t *synd);
+
+/**
+ * Syndromes of kLanes codewords at once. @p rows holds the codewords
+ * in laned form: rows[i * kLanes + s] = byte i of lane s (i < n).
+ * Writes synd[j * kLanes + s] = syndrome j of lane s (j < np) and
+ * returns true iff every syndrome byte is zero.
+ */
+bool lanedSyndromes(const std::uint8_t *rows, unsigned n, unsigned np,
+                    std::uint8_t *synd);
+
+/**
+ * Systematic RS encode of one message (nibble-table LFSR division,
+ * no allocation). @p gen_tail points at genPoly[1..np]; writes np
+ * parity bytes (index 0 = highest degree). Requires np <= 8.
+ */
+void sectorEncodeParity(const std::uint8_t *msg, unsigned k,
+                        const GfElem *gen_tail, unsigned np,
+                        std::uint8_t *parity);
+
+/**
+ * Systematic RS encode of kLanes messages at once (polynomial long
+ * division). @p rows holds k message rows in laned form; @p gen_tail
+ * points at genPoly[1..np] (the monic leading coefficient dropped).
+ * Writes np parity rows to @p parity (same laned layout, row 0 =
+ * highest degree). Requires np <= 8.
+ */
+void lanedEncodeParity(const std::uint8_t *rows, unsigned k,
+                       const GfElem *gen_tail, unsigned np,
+                       std::uint8_t *parity);
+
+/**
+ * Chien search: bit i of the result is set iff codeword position i
+ * (locator X_i = alpha^(n-1-i)) is a root of the error locator, i.e.
+ * sigma(X_i^{-1}) == 0. @p sigma has deg+1 coefficients, sigma[0] = 1,
+ * 1 <= deg <= 4; requires n <= 64. SIMD-evaluated for the production
+ * shapes n = 36 / n = 37 via constexpr locator-power tables.
+ */
+std::uint64_t chienZeros(const GfElem *sigma, unsigned deg, unsigned n);
+
+} // namespace cachecraft::ecc::gfk
+
+#endif // CACHECRAFT_ECC_GF256_KERNELS_HPP

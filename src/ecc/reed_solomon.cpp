@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "ecc/gf256_kernels.hpp"
 #include "telemetry/host_profiler.hpp"
 
 namespace cachecraft::ecc {
@@ -55,16 +56,10 @@ ReedSolomon::encodeParity(std::span<const GfElem> message) const
 std::vector<GfElem>
 ReedSolomon::syndromes(std::span<const GfElem> received) const
 {
+    // Branch-free nibble-table Horner (see gf256_kernels.hpp).
     const unsigned np = numParity();
     std::vector<GfElem> synd(np, 0);
-    for (unsigned j = 0; j < np; ++j) {
-        // Horner evaluation of R(x) at alpha^j.
-        const GfElem x = Gf256::alphaPow(j);
-        GfElem acc = 0;
-        for (unsigned i = 0; i < n_; ++i)
-            acc = Gf256::add(Gf256::mul(acc, x), received[i]);
-        synd[j] = acc;
-    }
+    gfk::sectorSyndromes(received.data(), n_, np, synd.data());
     return synd;
 }
 
@@ -145,18 +140,30 @@ ReedSolomon::decode(std::span<const GfElem> received) const
     // sigma(X_i^{-1}) == 0.
     std::vector<unsigned> positions;
     std::vector<GfElem> locators;
-    for (unsigned i = 0; i < n_; ++i) {
-        const unsigned exp_x = (n_ - 1 - i) % 255;
-        const GfElem x_inv = Gf256::alphaPow(255 - exp_x);
-        GfElem acc = 0;
-        GfElem xp = 1;
-        for (std::size_t j = 0; j < sigma.size(); ++j) {
-            acc = Gf256::add(acc, Gf256::mul(sigma[j], xp));
-            xp = Gf256::mul(xp, x_inv);
+    if (n_ <= 64 && deg_sigma <= 4) {
+        // Batched evaluation (SIMD on the production shapes).
+        const std::uint64_t zeros =
+            gfk::chienZeros(sigma.data(), deg_sigma, n_);
+        for (unsigned i = 0; i < n_; ++i) {
+            if ((zeros >> i) & 1) {
+                positions.push_back(i);
+                locators.push_back(Gf256::alphaPow((n_ - 1 - i) % 255));
+            }
         }
-        if (acc == 0) {
-            positions.push_back(i);
-            locators.push_back(Gf256::alphaPow(exp_x));
+    } else {
+        for (unsigned i = 0; i < n_; ++i) {
+            const unsigned exp_x = (n_ - 1 - i) % 255;
+            const GfElem x_inv = Gf256::alphaPow(255 - exp_x);
+            GfElem acc = 0;
+            GfElem xp = 1;
+            for (std::size_t j = 0; j < sigma.size(); ++j) {
+                acc = Gf256::add(acc, Gf256::mul(sigma[j], xp));
+                xp = Gf256::mul(xp, x_inv);
+            }
+            if (acc == 0) {
+                positions.push_back(i);
+                locators.push_back(Gf256::alphaPow(exp_x));
+            }
         }
     }
     if (positions.size() != deg_sigma) {
@@ -223,24 +230,59 @@ SectorCheck
 ChipkillCodec::encode(const SectorData &data, MemTag /* tag */) const
 {
     CC_HOST_ZONE("ecc.chipkill.encode");
-    const auto parity = rs_.encodeParity(
-        std::span<const GfElem>(data.data(), data.size()));
     SectorCheck check{};
-    std::copy(parity.begin(), parity.end(), check.begin());
+    gfk::sectorEncodeParity(data.data(),
+                            static_cast<unsigned>(data.size()),
+                            rs_.genPoly().data() + 1,
+                            static_cast<unsigned>(check.size()),
+                            check.data());
     return check;
 }
+
+namespace {
+
+/** Codeword symbols per chipkill sector: [32 data | 4 parity]. */
+constexpr unsigned kCkN =
+    static_cast<unsigned>(kSectorBytes + kCheckBytesPerSector);
+constexpr unsigned kCkNp = static_cast<unsigned>(kCheckBytesPerSector);
+
+/** Laned (row-major) form of a chunk's eight chipkill codewords. */
+void
+chipkillRows(const ChunkData &data, const ChunkCheck &check,
+             std::uint8_t *rows)
+{
+    for (unsigned i = 0; i < kSectorBytes; ++i) {
+        for (std::size_t s = 0; s < gfk::kLanes; ++s)
+            rows[i * gfk::kLanes + s] = data[s * kSectorBytes + i];
+    }
+    for (unsigned p = 0; p < kCkNp; ++p) {
+        for (std::size_t s = 0; s < gfk::kLanes; ++s) {
+            rows[(kSectorBytes + p) * gfk::kLanes + s] =
+                check[s * kCheckBytesPerSector + p];
+        }
+    }
+}
+
+} // namespace
 
 DecodeResult
 ChipkillCodec::decode(const SectorData &data, const SectorCheck &check,
                       MemTag /* tag */) const
 {
     CC_HOST_ZONE("ecc.chipkill.decode");
-    std::vector<GfElem> received(rs_.n());
-    std::copy(data.begin(), data.end(), received.begin());
-    std::copy(check.begin(), check.end(), received.begin() + data.size());
+    std::uint8_t word[kCkN];
+    std::copy(data.begin(), data.end(), word);
+    std::copy(check.begin(), check.end(), word + data.size());
 
-    const auto rr = rs_.decode(received);
     DecodeResult res;
+    std::uint8_t synd[kCkNp];
+    if (gfk::sectorSyndromes(word, kCkN, kCkNp, synd)) {
+        // Clean syndrome: no allocations, no locator work.
+        res.data = data;
+        return res;
+    }
+
+    const auto rr = rs_.decode(std::span<const GfElem>(word, kCkN));
     if (!rr.ok) {
         res.data = data;
         res.status = DecodeStatus::kUncorrectable;
@@ -253,6 +295,81 @@ ChipkillCodec::decode(const SectorData &data, const SectorCheck &check,
         res.correctedUnits = rr.numErrors;
     }
     return res;
+}
+
+void
+ChipkillCodec::encodeChunk(const ChunkData &data, MemTag /* tag */,
+                           ChunkCheck &check) const
+{
+    CC_HOST_ZONE("ecc.chipkill.encode_chunk");
+    std::uint8_t rows[kSectorBytes * gfk::kLanes];
+    for (unsigned i = 0; i < kSectorBytes; ++i) {
+        for (std::size_t s = 0; s < gfk::kLanes; ++s)
+            rows[i * gfk::kLanes + s] = data[s * kSectorBytes + i];
+    }
+    std::uint8_t parity[kCkNp * gfk::kLanes];
+    gfk::lanedEncodeParity(rows, static_cast<unsigned>(kSectorBytes),
+                           rs_.genPoly().data() + 1, kCkNp, parity);
+    for (unsigned p = 0; p < kCkNp; ++p) {
+        for (std::size_t s = 0; s < gfk::kLanes; ++s) {
+            check[s * kCheckBytesPerSector + p] =
+                parity[p * gfk::kLanes + s];
+        }
+    }
+}
+
+ChunkDecodeResult
+ChipkillCodec::decodeChunk(const ChunkData &data, const ChunkCheck &check,
+                           MemTag tag) const
+{
+    CC_HOST_ZONE("ecc.chipkill.decode_chunk");
+    ChunkDecodeResult res;
+    res.data = data;
+
+    std::uint8_t rows[kCkN * gfk::kLanes];
+    chipkillRows(data, check, rows);
+    std::uint8_t synd[kCkNp * gfk::kLanes];
+    if (gfk::lanedSyndromes(rows, kCkN, kCkNp, synd))
+        return res; // whole chunk clean — the overwhelmingly common case
+
+    for (std::size_t s = 0; s < gfk::kLanes; ++s) {
+        std::uint8_t any = 0;
+        for (unsigned j = 0; j < kCkNp; ++j)
+            any |= synd[j * gfk::kLanes + s];
+        if (any == 0)
+            continue; // this sector is clean
+        const DecodeResult dr = decode(chunkSectorData(data, s),
+                                       chunkSectorCheck(check, s), tag);
+        res.status[s] = dr.status;
+        res.correctedUnits[s] =
+            static_cast<std::uint8_t>(dr.correctedUnits);
+        std::copy(dr.data.begin(), dr.data.end(),
+                  res.data.begin() + s * kSectorBytes);
+    }
+    return res;
+}
+
+bool
+ChipkillCodec::verifySectorClean(const SectorData &data,
+                                 const SectorCheck &check,
+                                 MemTag /* tag */) const
+{
+    std::uint8_t word[kCkN];
+    std::copy(data.begin(), data.end(), word);
+    std::copy(check.begin(), check.end(), word + data.size());
+    std::uint8_t synd[kCkNp];
+    return gfk::sectorSyndromes(word, kCkN, kCkNp, synd);
+}
+
+bool
+ChipkillCodec::verifyChunkClean(const ChunkData &data,
+                                const ChunkCheck &check,
+                                MemTag /* tag */) const
+{
+    std::uint8_t rows[kCkN * gfk::kLanes];
+    chipkillRows(data, check, rows);
+    std::uint8_t synd[kCkNp * gfk::kLanes];
+    return gfk::lanedSyndromes(rows, kCkN, kCkNp, synd);
 }
 
 } // namespace cachecraft::ecc

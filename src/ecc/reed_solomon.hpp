@@ -78,6 +78,10 @@ class ReedSolomon
     /** Compute the numParity() syndromes of @p received. */
     std::vector<GfElem> syndromes(std::span<const GfElem> received) const;
 
+    /** Generator polynomial, [0] = monic leading coefficient = 1
+     *  (exposed so the laned chunk kernels can feed the LFSR taps). */
+    const std::vector<GfElem> &genPoly() const { return genPoly_; }
+
   private:
     unsigned n_;
     unsigned k_;
@@ -98,6 +102,17 @@ class ChipkillCodec : public SectorCodec
     SectorCheck encode(const SectorData &data, MemTag tag) const override;
     DecodeResult decode(const SectorData &data, const SectorCheck &check,
                         MemTag tag) const override;
+
+    void encodeChunk(const ChunkData &data, MemTag tag,
+                     ChunkCheck &check) const override;
+    ChunkDecodeResult decodeChunk(const ChunkData &data,
+                                  const ChunkCheck &check,
+                                  MemTag tag) const override;
+    bool verifySectorClean(const SectorData &data,
+                           const SectorCheck &check,
+                           MemTag tag) const override;
+    bool verifyChunkClean(const ChunkData &data, const ChunkCheck &check,
+                          MemTag tag) const override;
 
   private:
     ReedSolomon rs_;

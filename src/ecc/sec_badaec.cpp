@@ -39,6 +39,7 @@ struct SecBadaec7264::Tables
 {
     std::array<std::uint8_t, 64> column{};
     std::array<Entry, 256> decodeMap{};
+    std::array<std::uint64_t, 8> mask{};
 };
 
 const SecBadaec7264::Tables &
@@ -104,8 +105,18 @@ SecBadaec7264::tables()
                 }
                 ok = placed;
             }
-            if (ok)
+            if (ok) {
+                // Transpose into row masks for the word-parallel
+                // AND + parity encoder (derived data only — the
+                // constructed columns are untouched).
+                for (unsigned i = 0; i < 64; ++i) {
+                    for (unsigned j = 0; j < 8; ++j) {
+                        if ((built.column[i] >> j) & 1u)
+                            built.mask[j] |= std::uint64_t{1} << i;
+                    }
+                }
                 return built;
+            }
             if (seed > 1000)
                 panic("SEC-BADAEC construction failed");
         }
@@ -119,15 +130,22 @@ SecBadaec7264::dataColumn(unsigned i)
     return tables().column[i];
 }
 
+std::uint64_t
+SecBadaec7264::columnMask(unsigned j)
+{
+    return tables().mask[j];
+}
+
 std::uint8_t
 SecBadaec7264::encode(std::uint64_t data)
 {
+    // Check bit j = parity of (data & row mask j): one 64-bit AND +
+    // popcount per check bit, no per-set-bit table walk.
     const Tables &t = tables();
     std::uint8_t check = 0;
-    while (data != 0) {
-        const unsigned i = static_cast<unsigned>(std::countr_zero(data));
-        check ^= t.column[i];
-        data &= data - 1;
+    for (unsigned j = 0; j < 8; ++j) {
+        check |= static_cast<std::uint8_t>(
+            parity64(data & t.mask[j]) << j);
     }
     return check;
 }
@@ -210,6 +228,69 @@ SecBadaecCodec::decode(const SectorData &data, const SectorCheck &check,
         }
     }
     return res;
+}
+
+namespace {
+
+/** OR-fold of a sector's four word syndromes (0 iff sector clean). */
+std::uint8_t
+sectorSyndromeOr(const std::uint8_t *data, const std::uint8_t *check)
+{
+    std::uint8_t any = 0;
+    for (std::size_t w = 0; w < kCheckBytesPerSector; ++w) {
+        const std::uint64_t word = loadLe64(
+            std::span<const std::uint8_t>(data, kSectorBytes), w * 8);
+        any |= static_cast<std::uint8_t>(SecBadaec7264::encode(word) ^
+                                         check[w]);
+    }
+    return any;
+}
+
+} // namespace
+
+ChunkDecodeResult
+SecBadaecCodec::decodeChunk(const ChunkData &data, const ChunkCheck &check,
+                            MemTag tag) const
+{
+    CC_HOST_ZONE("ecc.badaec.decode_chunk");
+    ChunkDecodeResult res;
+    res.data = data;
+    // Syndrome-only sweep over all 32 words of the chunk; only sectors
+    // with a nonzero word syndrome take the correction path.
+    for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+        if (sectorSyndromeOr(data.data() + s * kSectorBytes,
+                             check.data() + s * kCheckBytesPerSector) == 0)
+            continue;
+        const DecodeResult dr = SecBadaecCodec::decode(
+            chunkSectorData(data, s), chunkSectorCheck(check, s), tag);
+        res.status[s] = dr.status;
+        res.correctedUnits[s] =
+            static_cast<std::uint8_t>(dr.correctedUnits);
+        std::copy(dr.data.begin(), dr.data.end(),
+                  res.data.begin() + s * kSectorBytes);
+    }
+    return res;
+}
+
+bool
+SecBadaecCodec::verifySectorClean(const SectorData &data,
+                                  const SectorCheck &check,
+                                  MemTag /* tag */) const
+{
+    return sectorSyndromeOr(data.data(), check.data()) == 0;
+}
+
+bool
+SecBadaecCodec::verifyChunkClean(const ChunkData &data,
+                                 const ChunkCheck &check,
+                                 MemTag /* tag */) const
+{
+    for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+        if (sectorSyndromeOr(data.data() + s * kSectorBytes,
+                             check.data() + s * kCheckBytesPerSector) != 0)
+            return false;
+    }
+    return true;
 }
 
 } // namespace cachecraft::ecc

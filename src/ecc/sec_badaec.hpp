@@ -47,6 +47,13 @@ class SecBadaec7264
     /** Parity-check column for data bit @p i. */
     static std::uint8_t dataColumn(unsigned i);
 
+    /**
+     * Row mask for check bit @p j: bit i is set iff data bit i
+     * participates in check bit j (the transpose of the data columns,
+     * used by the word-parallel AND + parity encoder).
+     */
+    static std::uint64_t columnMask(unsigned j);
+
   private:
     struct Tables;
     static const Tables &tables();
@@ -63,6 +70,15 @@ class SecBadaecCodec : public SectorCodec
     SectorCheck encode(const SectorData &data, MemTag tag) const override;
     DecodeResult decode(const SectorData &data, const SectorCheck &check,
                         MemTag tag) const override;
+
+    ChunkDecodeResult decodeChunk(const ChunkData &data,
+                                  const ChunkCheck &check,
+                                  MemTag tag) const override;
+    bool verifySectorClean(const SectorData &data,
+                           const SectorCheck &check,
+                           MemTag tag) const override;
+    bool verifyChunkClean(const ChunkData &data, const ChunkCheck &check,
+                          MemTag tag) const override;
 };
 
 } // namespace cachecraft::ecc

@@ -3,68 +3,86 @@
 #include <bit>
 
 #include "common/bits.hpp"
-#include "common/log.hpp"
 #include "telemetry/host_profiler.hpp"
 
 namespace cachecraft::ecc {
 
+namespace {
+
 /**
  * Static code tables: the 64 odd-weight parity-check columns (all 56
- * weight-3 columns plus 8 weight-5 columns) and the syndrome reverse
- * map.
+ * weight-3 columns plus 8 weight-5 columns), the syndrome reverse map,
+ * and the transposed row masks used by the word-parallel encoder.
  *
  * Reverse-map encoding: 0..63 = data bit position, 64..71 = check bit
  * position, 0xFF = not a column (uncorrectable pattern).
  */
-struct Hsiao7264::Tables
+struct HsiaoTables
 {
     std::array<std::uint8_t, 64> column{};
     std::array<std::uint8_t, 256> reverse{};
+    std::array<std::uint64_t, 8> mask{};
+    bool ok = false;
 };
 
-const Hsiao7264::Tables &
-Hsiao7264::tables()
+constexpr HsiaoTables
+buildHsiaoTables()
 {
-    static const Tables t = [] {
-        Tables built;
-        built.reverse.fill(0xFF);
-        unsigned idx = 0;
-        // All weight-3 columns first (56 of them), then weight-5
-        // columns until we have 64 data columns total.
-        for (int weight : {3, 5}) {
-            for (unsigned c = 1; c < 256 && idx < 64; ++c) {
-                if (std::popcount(c) == weight) {
-                    built.column[idx] = static_cast<std::uint8_t>(c);
-                    built.reverse[c] = static_cast<std::uint8_t>(idx);
-                    ++idx;
-                }
+    HsiaoTables t;
+    for (auto &r : t.reverse)
+        r = 0xFF;
+    unsigned idx = 0;
+    // All weight-3 columns first (56 of them), then weight-5 columns
+    // until we have 64 data columns total.
+    for (int weight : {3, 5}) {
+        for (unsigned c = 1; c < 256 && idx < 64; ++c) {
+            if (std::popcount(c) == weight) {
+                t.column[idx] = static_cast<std::uint8_t>(c);
+                t.reverse[c] = static_cast<std::uint8_t>(idx);
+                ++idx;
             }
         }
-        if (idx != 64)
-            panic("Hsiao(72,64) column construction failed");
-        // Weight-1 syndromes point at the check bits themselves.
-        for (unsigned j = 0; j < 8; ++j)
-            built.reverse[1u << j] = static_cast<std::uint8_t>(64 + j);
-        return built;
-    }();
+    }
+    t.ok = (idx == 64);
+    // Weight-1 syndromes point at the check bits themselves.
+    for (unsigned j = 0; j < 8; ++j)
+        t.reverse[1u << j] = static_cast<std::uint8_t>(64 + j);
+    // Transpose: row mask per check bit, for AND + parity encoding.
+    for (unsigned i = 0; i < 64; ++i) {
+        for (unsigned j = 0; j < 8; ++j) {
+            if ((t.column[i] >> j) & 1u)
+                t.mask[j] |= std::uint64_t{1} << i;
+        }
+    }
     return t;
 }
+
+inline constexpr HsiaoTables kHsiao = buildHsiaoTables();
+static_assert(kHsiao.ok, "Hsiao(72,64) column construction failed");
+
+} // namespace
 
 std::uint8_t
 Hsiao7264::dataColumn(unsigned i)
 {
-    return tables().column[i];
+    return kHsiao.column[i];
+}
+
+std::uint64_t
+Hsiao7264::columnMask(unsigned j)
+{
+    return kHsiao.mask[j];
 }
 
 std::uint8_t
 Hsiao7264::encode(std::uint64_t data)
 {
-    const Tables &t = tables();
+    // Check bit j = parity of the data bits selected by row mask j:
+    // one AND + one popcount per check bit, no per-bit loop.
     std::uint8_t check = 0;
-    while (data != 0) {
-        const unsigned i = static_cast<unsigned>(std::countr_zero(data));
-        check ^= t.column[i];
-        data &= data - 1;
+    for (unsigned j = 0; j < 8; ++j) {
+        check |= static_cast<std::uint8_t>(
+            parity64(data & kHsiao.mask[j]) << j);
     }
     return check;
 }
@@ -72,7 +90,6 @@ Hsiao7264::encode(std::uint64_t data)
 Hsiao7264::WordResult
 Hsiao7264::decode(std::uint64_t data, std::uint8_t check)
 {
-    const Tables &t = tables();
     WordResult res;
     res.data = data;
     res.check = check;
@@ -81,7 +98,7 @@ Hsiao7264::decode(std::uint64_t data, std::uint8_t check)
     if (syndrome == 0)
         return res;
 
-    const std::uint8_t pos = t.reverse[syndrome];
+    const std::uint8_t pos = kHsiao.reverse[syndrome];
     if (pos == 0xFF) {
         // Even-weight or unmatched odd-weight syndrome: >= 2 errors.
         res.status = DecodeStatus::kUncorrectable;
@@ -96,12 +113,33 @@ Hsiao7264::decode(std::uint64_t data, std::uint8_t check)
     return res;
 }
 
+namespace {
+
+/** Words (= check bytes) per sector. */
+constexpr std::size_t kWordsPerSector = kCheckBytesPerSector;
+
+/** OR-fold of a sector's four word syndromes (0 iff sector clean). */
+std::uint8_t
+sectorSyndromeOr(const std::uint8_t *data, const std::uint8_t *check)
+{
+    std::uint8_t any = 0;
+    for (std::size_t w = 0; w < kWordsPerSector; ++w) {
+        const std::uint64_t word = loadLe64(
+            std::span<const std::uint8_t>(data, kSectorBytes), w * 8);
+        any |= static_cast<std::uint8_t>(Hsiao7264::encode(word) ^
+                                         check[w]);
+    }
+    return any;
+}
+
+} // namespace
+
 SectorCheck
 SecDedCodec::encode(const SectorData &data, MemTag /* tag */) const
 {
     CC_HOST_ZONE("ecc.secded.encode");
     SectorCheck check{};
-    for (std::size_t w = 0; w < kCheckBytesPerSector; ++w) {
+    for (std::size_t w = 0; w < kWordsPerSector; ++w) {
         const std::uint64_t word =
             loadLe64(std::span<const std::uint8_t>(data), w * 8);
         check[w] = Hsiao7264::encode(word);
@@ -116,7 +154,7 @@ SecDedCodec::decode(const SectorData &data, const SectorCheck &check,
     CC_HOST_ZONE("ecc.secded.decode");
     DecodeResult res;
     res.data = data;
-    for (std::size_t w = 0; w < kCheckBytesPerSector; ++w) {
+    for (std::size_t w = 0; w < kWordsPerSector; ++w) {
         const std::uint64_t word =
             loadLe64(std::span<const std::uint8_t>(data), w * 8);
         const auto wr = Hsiao7264::decode(word, check[w]);
@@ -136,6 +174,51 @@ SecDedCodec::decode(const SectorData &data, const SectorCheck &check,
         }
     }
     return res;
+}
+
+ChunkDecodeResult
+SecDedCodec::decodeChunk(const ChunkData &data, const ChunkCheck &check,
+                         MemTag tag) const
+{
+    CC_HOST_ZONE("ecc.secded.decode_chunk");
+    ChunkDecodeResult res;
+    res.data = data;
+    // Syndrome-only sweep over all 32 words of the chunk; only sectors
+    // with a nonzero word syndrome take the correction path.
+    for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+        if (sectorSyndromeOr(data.data() + s * kSectorBytes,
+                             check.data() + s * kCheckBytesPerSector) == 0)
+            continue;
+        const DecodeResult dr = SecDedCodec::decode(
+            chunkSectorData(data, s), chunkSectorCheck(check, s), tag);
+        res.status[s] = dr.status;
+        res.correctedUnits[s] =
+            static_cast<std::uint8_t>(dr.correctedUnits);
+        std::copy(dr.data.begin(), dr.data.end(),
+                  res.data.begin() + s * kSectorBytes);
+    }
+    return res;
+}
+
+bool
+SecDedCodec::verifySectorClean(const SectorData &data,
+                               const SectorCheck &check,
+                               MemTag /* tag */) const
+{
+    return sectorSyndromeOr(data.data(), check.data()) == 0;
+}
+
+bool
+SecDedCodec::verifyChunkClean(const ChunkData &data,
+                              const ChunkCheck &check,
+                              MemTag /* tag */) const
+{
+    for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+        if (sectorSyndromeOr(data.data() + s * kSectorBytes,
+                             check.data() + s * kCheckBytesPerSector) != 0)
+            return false;
+    }
+    return true;
 }
 
 } // namespace cachecraft::ecc

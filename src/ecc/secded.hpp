@@ -9,6 +9,11 @@
  * double errors always produce an even-weight — hence detectable —
  * syndrome, and minimizes the total number of ones in H for fast,
  * shallow XOR trees in hardware.
+ *
+ * The software encoder mirrors those XOR trees: each check bit j is
+ * the parity of (data & columnMask(j)), one 64-bit AND + popcount per
+ * check bit instead of a per-set-bit table walk. All code tables are
+ * built constexpr.
  */
 
 #ifndef CACHECRAFT_ECC_SECDED_HPP
@@ -47,9 +52,11 @@ class Hsiao7264
     /** Parity-check column for data bit @p i (odd weight, unique). */
     static std::uint8_t dataColumn(unsigned i);
 
-  private:
-    struct Tables;
-    static const Tables &tables();
+    /**
+     * Row mask for check bit @p j: bit i is set iff data bit i
+     * participates in check bit j (i.e. dataColumn(i) has bit j).
+     */
+    static std::uint64_t columnMask(unsigned j);
 };
 
 /** Sector-granularity SEC-DED codec (4 x Hsiao (72,64)). */
@@ -63,6 +70,15 @@ class SecDedCodec : public SectorCodec
     SectorCheck encode(const SectorData &data, MemTag tag) const override;
     DecodeResult decode(const SectorData &data, const SectorCheck &check,
                         MemTag tag) const override;
+
+    ChunkDecodeResult decodeChunk(const ChunkData &data,
+                                  const ChunkCheck &check,
+                                  MemTag tag) const override;
+    bool verifySectorClean(const SectorData &data,
+                           const SectorCheck &check,
+                           MemTag tag) const override;
+    bool verifyChunkClean(const ChunkData &data, const ChunkCheck &check,
+                          MemTag tag) const override;
 };
 
 } // namespace cachecraft::ecc

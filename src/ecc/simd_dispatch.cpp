@@ -1,0 +1,116 @@
+#include "ecc/simd_dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace cachecraft::ecc {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+SimdTier
+detectHostTier()
+{
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2"))
+        return SimdTier::kAvx2;
+    if (__builtin_cpu_supports("sse4.2") &&
+        __builtin_cpu_supports("ssse3"))
+        return SimdTier::kSse42;
+    if (__builtin_cpu_supports("ssse3"))
+        return SimdTier::kSsse3;
+    return SimdTier::kScalar;
+}
+#else
+SimdTier
+detectHostTier()
+{
+    return SimdTier::kScalar;
+}
+#endif
+
+/** Environment clamp, parsed once per process. */
+SimdTier
+envCeiling()
+{
+    if (const char *force = std::getenv("CACHECRAFT_FORCE_SCALAR");
+        force && force[0] != '\0' && force[0] != '0')
+        return SimdTier::kScalar;
+    if (const char *name = std::getenv("CACHECRAFT_SIMD_TIER")) {
+        if (std::strcmp(name, "scalar") == 0)
+            return SimdTier::kScalar;
+        if (std::strcmp(name, "ssse3") == 0)
+            return SimdTier::kSsse3;
+        if (std::strcmp(name, "sse42") == 0)
+            return SimdTier::kSse42;
+        if (std::strcmp(name, "avx2") == 0)
+            return SimdTier::kAvx2;
+        // Unknown names fall through to the detected tier rather than
+        // silently disabling SIMD.
+    }
+    return SimdTier::kAvx2;
+}
+
+/** Live override ceiling (ScopedTierOverride); kAvx2 = no clamp. */
+SimdTier g_override = SimdTier::kAvx2;
+
+} // namespace
+
+const char *
+toString(SimdTier tier)
+{
+    switch (tier) {
+      case SimdTier::kScalar:
+        return "scalar";
+      case SimdTier::kSsse3:
+        return "ssse3";
+      case SimdTier::kSse42:
+        return "sse42";
+      case SimdTier::kAvx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+SimdTier
+hostTier()
+{
+    static const SimdTier tier = detectHostTier();
+    return tier;
+}
+
+SimdTier
+activeTier()
+{
+    static const SimdTier base = [] {
+        const SimdTier host = hostTier();
+        const SimdTier env = envCeiling();
+        return host < env ? host : env;
+    }();
+    return base < g_override ? base : g_override;
+}
+
+std::vector<SimdTier>
+reachableTiers()
+{
+    std::vector<SimdTier> tiers = {SimdTier::kScalar};
+    const SimdTier host = activeTier();
+    for (SimdTier t :
+         {SimdTier::kSsse3, SimdTier::kSse42, SimdTier::kAvx2}) {
+        if (t <= host)
+            tiers.push_back(t);
+    }
+    return tiers;
+}
+
+ScopedTierOverride::ScopedTierOverride(SimdTier tier) : prev_(g_override)
+{
+    g_override = tier;
+}
+
+ScopedTierOverride::~ScopedTierOverride()
+{
+    g_override = prev_;
+}
+
+} // namespace cachecraft::ecc

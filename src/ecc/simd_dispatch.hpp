@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Runtime CPU-dispatch facade for the batch codec kernels.
+ *
+ * Every SIMD kernel in src/ecc/ has a scalar implementation that is
+ * bit-identical (GF(2^8) and parity arithmetic are exact, so equal
+ * inputs produce equal bytes on every tier). The facade picks the
+ * widest tier the host supports once at startup; tests and the CI
+ * `codec-kernels` job can clamp it:
+ *
+ *  - env CACHECRAFT_FORCE_SCALAR=1    -> scalar only, whole process;
+ *  - env CACHECRAFT_SIMD_TIER=<name>  -> clamp to a named tier;
+ *  - ScopedTierOverride               -> clamp within a test scope.
+ *
+ * Tiers are cumulative: a CPU reporting kSse42 also has SSSE3, and
+ * kAvx2 implies both (true for every x86-64 part with those bits).
+ */
+
+#ifndef CACHECRAFT_ECC_SIMD_DISPATCH_HPP
+#define CACHECRAFT_ECC_SIMD_DISPATCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace cachecraft::ecc {
+
+/** Instruction-set tiers the kernels dispatch over, widest last. */
+enum class SimdTier : std::uint8_t
+{
+    kScalar = 0, //!< portable C++, no intrinsics
+    kSsse3 = 1,  //!< pshufb nibble-table GF(2^8) kernels
+    kSse42 = 2,  //!< + hardware CRC32C (implies SSSE3)
+    kAvx2 = 3,   //!< + 256-bit two-lane GF kernels
+};
+
+/** Human-readable tier name ("scalar", "ssse3", ...). */
+const char *toString(SimdTier tier);
+
+/** Widest tier the host CPU supports (detected once, cached). */
+SimdTier hostTier();
+
+/**
+ * The tier kernels actually dispatch on: hostTier() clamped by the
+ * environment overrides and any live ScopedTierOverride.
+ */
+SimdTier activeTier();
+
+/** All tiers reachable on this host, scalar first (for test sweeps). */
+std::vector<SimdTier> reachableTiers();
+
+/**
+ * RAII tier clamp for tests: while alive, activeTier() returns at
+ * most @p tier. Not thread-safe — only use from single-threaded test
+ * and benchmark code, never while a campaign is running.
+ */
+class ScopedTierOverride
+{
+  public:
+    explicit ScopedTierOverride(SimdTier tier);
+    ~ScopedTierOverride();
+
+    ScopedTierOverride(const ScopedTierOverride &) = delete;
+    ScopedTierOverride &operator=(const ScopedTierOverride &) = delete;
+
+  private:
+    SimdTier prev_;
+};
+
+} // namespace cachecraft::ecc
+
+#endif // CACHECRAFT_ECC_SIMD_DISPATCH_HPP

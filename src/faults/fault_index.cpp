@@ -1,0 +1,30 @@
+#include "faults/fault_index.hpp"
+
+namespace cachecraft {
+
+void
+FaultIndex::noteFaultAt(Addr addr)
+{
+    chunks_.insert(chunkBase(addr));
+    any_ = true;
+}
+
+bool
+FaultIndex::chunkTouched(Addr addr) const
+{
+    // The common campaign shape is a handful of faulted chunks in a
+    // large footprint: the any_ flag short-circuits the hash probe
+    // entirely for fault-free runs.
+    if (!any_)
+        return false;
+    return chunks_.count(chunkBase(addr)) != 0;
+}
+
+void
+FaultIndex::clear()
+{
+    chunks_.clear();
+    any_ = false;
+}
+
+} // namespace cachecraft

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fault-presence index: which protection chunks have ever had a fault
+ * injected into their data or check storage.
+ *
+ * The batch codecs' dominant cost in a fault campaign is decoding
+ * chunks that were never touched by the injector. The index lets the
+ * protection schemes route those chunks through the syndrome-only
+ * verify-clean fast path (which still computes every syndrome — a
+ * chunk that *is* corrupt despite not being indexed, e.g. by a scheme
+ * bug planted by the fuzz self-test, still falls back to the full
+ * decoder). It is purely a host-side accelerator: simulated timing,
+ * stats and decode outcomes are identical with or without it.
+ */
+
+#ifndef CACHECRAFT_FAULTS_FAULT_INDEX_HPP
+#define CACHECRAFT_FAULTS_FAULT_INDEX_HPP
+
+#include <cstddef>
+#include <unordered_set>
+
+#include "common/types.hpp"
+
+namespace cachecraft {
+
+/** Set of protection-chunk base addresses with injected faults. */
+class FaultIndex
+{
+  public:
+    /** Record a fault anywhere inside the chunk containing @p addr. */
+    void noteFaultAt(Addr addr);
+
+    /** True if the chunk containing @p addr ever had a fault. */
+    bool chunkTouched(Addr addr) const;
+
+    /** True if any fault has been recorded at all. */
+    bool anyFaults() const { return any_; }
+
+    /** Number of distinct touched chunks. */
+    std::size_t touchedChunks() const { return chunks_.size(); }
+
+    void clear();
+
+  private:
+    static Addr chunkBase(Addr addr) { return addr & ~Addr{kChunkBytes - 1}; }
+
+    std::unordered_set<Addr> chunks_;
+    bool any_ = false;
+};
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_FAULTS_FAULT_INDEX_HPP

@@ -32,9 +32,7 @@ InlineNaiveScheme::writeSector(Addr logical, const ecc::SectorData &data,
                           std::span<const std::uint8_t>(data));
     const ecc::SectorCheck check = ctx_.codec->encode(data, tag);
     writeShadowCheck(logical, check);
-    ctx_.dram->writeBytes(ctx_.channel,
-                          eccPhys(logical) + checkOffset(logical),
-                          std::span<const std::uint8_t>(check));
+    publishCheckToStorage(logical, check);
 
     issueDataTxn(logical, /* is_write= */ true, nullptr);
     // ECC read-modify-write: the chunk write may only issue after the

@@ -301,10 +301,7 @@ MrcScheme::writeSector(Addr logical, const ecc::SectorData &data,
 
     // Write-through (prior-art ECC cache): the check field must reach
     // DRAM now. A resident chunk skips the RMW read; a miss pays it.
-    ecc::SectorCheck field = check;
-    ctx_.dram->writeBytes(ctx_.channel,
-                          eccPhys(logical) + checkOffset(logical),
-                          std::span<const std::uint8_t>(field));
+    publishCheckToStorage(logical, check);
     if (probe.sectorHit) {
         stats.mrcHits.inc();
         issueEccTxn(logical, /* is_write= */ true, nullptr);

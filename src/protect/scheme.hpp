@@ -45,6 +45,8 @@
 
 namespace cachecraft {
 
+class FaultIndex;
+
 namespace telemetry {
 class Telemetry;
 } // namespace telemetry
@@ -85,6 +87,13 @@ struct SchemeContext
     StatRegistry *stats = nullptr;
     /** Lifecycle-trace hub (optional). */
     telemetry::Telemetry *telemetry = nullptr;
+    /**
+     * Which chunks have injected faults (optional). Chunks the index
+     * has never seen take the syndrome-only verify-clean decode fast
+     * path; null means every decode runs the full path (identical
+     * outcomes either way — this is purely a host-side accelerator).
+     */
+    const FaultIndex *faultIndex = nullptr;
     /** Slab arenas for in-flight request state; schemes fall back to
      *  an owned instance when null (tests, standalone use). */
     EngineArenas *arenas = nullptr;
@@ -167,6 +176,16 @@ class ProtectionScheme
     void initializeSector(Addr logical, const ecc::SectorData &data,
                           ecc::MemTag tag);
 
+    /**
+     * Bulk-initialize a whole naturally aligned protection chunk
+     * (@p logical chunk-aligned, @p data its 256 bytes). Byte- and
+     * hook-equivalent to eight initializeSector calls, but encodes
+     * through the batch chunk codec and writes the 32 B of metadata
+     * to the shadow and to DRAM in one span each.
+     */
+    void initializeChunk(Addr logical, const ecc::ChunkData &data,
+                         ecc::MemTag tag);
+
     /** Per-sector metadata bytes inside the ECC chunk. */
     static constexpr std::size_t kCheckBytes = ecc::kCheckBytesPerSector;
 
@@ -218,6 +237,9 @@ class ProtectionScheme
     ecc::SectorCheck readShadowCheck(Addr logical) const;
     /** Write @p check into the shadow for this sector. */
     void writeShadowCheck(Addr logical, const ecc::SectorCheck &check);
+    /** Write @p check into DRAM storage for this sector (publish). */
+    void publishCheckToStorage(Addr logical,
+                               const ecc::SectorCheck &check);
     /** Copy the shadow check bytes for @p mask sub-sectors of the
      *  chunk containing @p logical into DRAM storage (sync-on-
      *  writeback). @p mask bit i = sector i of the chunk. */

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Batch codec-kernel equivalence suite.
+ *
+ * The dispatch contract (simd_dispatch.hpp) is that every SIMD tier
+ * is bit-identical to the scalar fallback. This suite enforces it the
+ * direct way: for every codec, thousands of random chunks crossed
+ * with injected fault patterns — including beyond-correction ones —
+ * are decoded through the whole-chunk API on every tier reachable on
+ * this host and compared field-for-field against eight independent
+ * scalar per-sector decodes. The CI `codec-kernels` job runs this
+ * same binary a second time under CACHECRAFT_FORCE_SCALAR=1 so the
+ * pure-scalar build of the kernels is itself exercised as tier 0.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "ecc/codec.hpp"
+#include "ecc/crc32.hpp"
+#include "ecc/sec_badaec.hpp"
+#include "ecc/secded.hpp"
+#include "ecc/simd_dispatch.hpp"
+#include "faults/fault_index.hpp"
+
+namespace cachecraft::ecc {
+namespace {
+
+ChunkData
+randomChunk(Xoshiro256 &rng)
+{
+    ChunkData data{};
+    for (std::size_t i = 0; i < data.size(); i += 8)
+        storeLe64(std::span<std::uint8_t>(data), i, rng.next());
+    return data;
+}
+
+void
+flipDataBit(ChunkData &data, Xoshiro256 &rng)
+{
+    const std::size_t bit = rng.below(kChunkBytes * 8);
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+/**
+ * Corrupt (data, check, tag) with fault pattern @p pattern. Patterns
+ * deliberately range from fault-free through single-bit to bursts no
+ * codec in the library can correct, plus tag mismatches for tagged
+ * codecs — the tiers must agree on failures exactly as on successes.
+ */
+void
+applyFaults(unsigned pattern, Xoshiro256 &rng, ChunkData &data,
+            ChunkCheck &check, MemTag &tag, bool tagged)
+{
+    const std::size_t sector = rng.below(kSectorsPerChunk);
+    switch (pattern % 8) {
+      case 0: // fault-free
+        break;
+      case 1: // single data bit
+        flipDataBit(data, rng);
+        break;
+      case 2: { // two bytes inside one sector
+        data[sector * kSectorBytes + rng.below(kSectorBytes)] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+        data[sector * kSectorBytes + rng.below(kSectorBytes)] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+        break;
+      }
+      case 3: { // 8-byte burst in one sector: beyond every codec's t
+        const std::size_t base = sector * kSectorBytes +
+                                 rng.below(kSectorBytes - 8);
+        for (std::size_t i = 0; i < 8; ++i)
+            data[base + i] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        break;
+      }
+      case 4: // check-byte fault
+        check[rng.below(kEccChunkBytes)] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+        break;
+      case 5: // data + check fault in the same sector
+        data[sector * kSectorBytes + rng.below(kSectorBytes)] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+        check[sector * kCheckBytesPerSector +
+              rng.below(kCheckBytesPerSector)] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+        break;
+      case 6: { // scattered multi-sector corruption
+        for (int i = 0; i < 24; ++i)
+            data[rng.below(kChunkBytes)] ^=
+                static_cast<std::uint8_t>(1 + rng.below(255));
+        break;
+      }
+      case 7: // tag mismatch (tagged codecs), else another single bit
+        if (tagged)
+            tag = static_cast<MemTag>(tag ^ 0x5A);
+        else
+            flipDataBit(data, rng);
+        break;
+    }
+}
+
+/** Reference: eight independent per-sector decodes at a fixed tier. */
+struct SectorReference
+{
+    std::array<DecodeResult, kSectorsPerChunk> sector;
+    bool allClean = true;
+};
+
+SectorReference
+referenceDecode(const SectorCodec &codec, const ChunkData &data,
+                const ChunkCheck &check, MemTag tag)
+{
+    SectorReference ref;
+    for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+        ref.sector[s] =
+            codec.decode(chunkSectorData(data, s), chunkSectorCheck(check, s),
+                         tag);
+        if (ref.sector[s].status != DecodeStatus::kClean)
+            ref.allClean = false;
+    }
+    return ref;
+}
+
+void
+expectChunkMatchesReference(const SectorCodec &codec,
+                            const ChunkData &data, const ChunkCheck &check,
+                            MemTag tag, const SectorReference &ref,
+                            SimdTier tier)
+{
+    const ChunkDecodeResult res = codec.decodeChunk(data, check, tag);
+    for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+        ASSERT_EQ(res.status[s], ref.sector[s].status)
+            << codec.name() << " tier " << toString(tier) << " sector "
+            << s;
+        ASSERT_EQ(res.correctedUnits[s], ref.sector[s].correctedUnits)
+            << codec.name() << " tier " << toString(tier) << " sector "
+            << s;
+        ASSERT_TRUE(std::equal(ref.sector[s].data.begin(),
+                               ref.sector[s].data.end(),
+                               res.data.begin() + s * kSectorBytes))
+            << codec.name() << " tier " << toString(tier) << " sector "
+            << s;
+        ASSERT_EQ(codec.verifySectorClean(chunkSectorData(data, s),
+                                          chunkSectorCheck(check, s), tag),
+                  ref.sector[s].status == DecodeStatus::kClean)
+            << codec.name() << " tier " << toString(tier) << " sector "
+            << s;
+    }
+    ASSERT_EQ(res.allClean(), ref.allClean);
+    ASSERT_EQ(codec.verifyChunkClean(data, check, tag), ref.allClean)
+        << codec.name() << " tier " << toString(tier);
+}
+
+class CodecKernels : public ::testing::TestWithParam<CodecKind>
+{
+  protected:
+    std::unique_ptr<SectorCodec> codec_ = makeCodec(GetParam());
+};
+
+TEST_P(CodecKernels, ChunkDecodeMatchesScalarSectorDecodeOnEveryTier)
+{
+    // >= 1000 random chunks x cycling fault patterns, per codec.
+    constexpr int kChunks = 1024;
+    Xoshiro256 rng(0xC0DEC + static_cast<int>(GetParam()));
+    const bool tagged = codec_->supportsTags();
+    const std::vector<SimdTier> tiers = reachableTiers();
+
+    for (int trial = 0; trial < kChunks; ++trial) {
+        const ChunkData original = randomChunk(rng);
+        const MemTag stored_tag = static_cast<MemTag>(
+            tagged ? rng.below(256) : 0);
+        ChunkCheck check{};
+        codec_->encodeChunk(original, stored_tag, check);
+
+        ChunkData data = original;
+        MemTag tag = stored_tag;
+        applyFaults(static_cast<unsigned>(trial), rng, data, check, tag,
+                    tagged);
+
+        // The reference is always the scalar per-sector path.
+        SectorReference ref;
+        {
+            ScopedTierOverride scalar(SimdTier::kScalar);
+            ref = referenceDecode(*codec_, data, check, tag);
+        }
+        for (SimdTier tier : tiers) {
+            ScopedTierOverride clamp(tier);
+            expectChunkMatchesReference(*codec_, data, check, tag, ref,
+                                        tier);
+        }
+    }
+}
+
+TEST_P(CodecKernels, ChunkEncodeMatchesScalarSectorEncodeOnEveryTier)
+{
+    Xoshiro256 rng(0xE0C0DE + static_cast<int>(GetParam()));
+    const bool tagged = codec_->supportsTags();
+    for (int trial = 0; trial < 256; ++trial) {
+        const ChunkData data = randomChunk(rng);
+        const MemTag tag =
+            static_cast<MemTag>(tagged ? rng.below(256) : 0);
+
+        ChunkCheck reference{};
+        {
+            ScopedTierOverride scalar(SimdTier::kScalar);
+            for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+                const SectorCheck sc =
+                    codec_->encode(chunkSectorData(data, s), tag);
+                std::copy(sc.begin(), sc.end(),
+                          reference.begin() + s * kCheckBytesPerSector);
+            }
+        }
+        for (SimdTier tier : reachableTiers()) {
+            ScopedTierOverride clamp(tier);
+            ChunkCheck check{};
+            codec_->encodeChunk(data, tag, check);
+            ASSERT_EQ(check, reference)
+                << codec_->name() << " tier " << toString(tier);
+            // Single-sector encode must agree with itself across tiers.
+            for (std::size_t s = 0; s < kSectorsPerChunk; ++s) {
+                const SectorCheck sc =
+                    codec_->encode(chunkSectorData(data, s), tag);
+                ASSERT_TRUE(std::equal(
+                    sc.begin(), sc.end(),
+                    reference.begin() + s * kCheckBytesPerSector))
+                    << codec_->name() << " tier " << toString(tier);
+            }
+        }
+    }
+}
+
+TEST_P(CodecKernels, CleanChunkRoundTripsOnEveryTier)
+{
+    Xoshiro256 rng(0xF00D + static_cast<int>(GetParam()));
+    for (SimdTier tier : reachableTiers()) {
+        ScopedTierOverride clamp(tier);
+        for (int trial = 0; trial < 32; ++trial) {
+            const ChunkData data = randomChunk(rng);
+            ChunkCheck check{};
+            codec_->encodeChunk(data, 3, check);
+            ASSERT_TRUE(codec_->verifyChunkClean(data, check, 3));
+            const ChunkDecodeResult res =
+                codec_->decodeChunk(data, check, 3);
+            ASSERT_TRUE(res.allClean());
+            ASSERT_EQ(res.data, data);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecKernels,
+                         ::testing::ValuesIn(allCodecs()),
+                         [](const auto &param_info) {
+                             std::string s = toString(param_info.param);
+                             for (char &c : s)
+                                 if (c == '-')
+                                     c = '_';
+                             return s;
+                         });
+
+// --- Word-parallel SEC-DED / SEC-BADAEC masks ------------------------
+
+TEST(SecDedMasks, ColumnMaskIsTransposeOfDataColumns)
+{
+    for (unsigned j = 0; j < 8; ++j) {
+        for (unsigned i = 0; i < 64; ++i) {
+            EXPECT_EQ((Hsiao7264::columnMask(j) >> i) & 1u,
+                      static_cast<std::uint64_t>(
+                          (Hsiao7264::dataColumn(i) >> j) & 1u));
+            EXPECT_EQ((SecBadaec7264::columnMask(j) >> i) & 1u,
+                      static_cast<std::uint64_t>(
+                          (SecBadaec7264::dataColumn(i) >> j) & 1u));
+        }
+    }
+}
+
+TEST(SecDedMasks, MaskEncodeMatchesPerBitColumnWalk)
+{
+    // Reference encoder: the per-set-bit table walk the codes used
+    // before the word-parallel rewrite.
+    Xoshiro256 rng(42);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::uint64_t word = rng.next();
+        std::uint8_t hsiao = 0;
+        std::uint8_t badaec = 0;
+        for (unsigned i = 0; i < 64; ++i) {
+            if ((word >> i) & 1u) {
+                hsiao ^= Hsiao7264::dataColumn(i);
+                badaec ^= SecBadaec7264::dataColumn(i);
+            }
+        }
+        EXPECT_EQ(Hsiao7264::encode(word), hsiao);
+        EXPECT_EQ(SecBadaec7264::encode(word), badaec);
+    }
+}
+
+// --- CRC32C hardware dispatch ----------------------------------------
+
+TEST(Crc32Kernels, HardwareMatchesScalarOnEveryTier)
+{
+    Xoshiro256 rng(7);
+    for (int trial = 0; trial < 200; ++trial) {
+        // Lengths deliberately cover 0, sub-word, unaligned tails.
+        std::vector<std::uint8_t> buf(rng.below(300));
+        for (auto &b : buf)
+            b = static_cast<std::uint8_t>(rng.next());
+
+        std::uint32_t reference = 0;
+        {
+            ScopedTierOverride scalar(SimdTier::kScalar);
+            reference = crc32c(buf);
+        }
+        for (SimdTier tier : reachableTiers()) {
+            ScopedTierOverride clamp(tier);
+            ASSERT_EQ(crc32c(buf), reference)
+                << "len " << buf.size() << " tier " << toString(tier);
+            // Incremental folding must agree too.
+            const std::size_t split = buf.size() / 3;
+            std::uint32_t inc = 0xFFFFFFFFu;
+            inc = crc32cUpdate(
+                inc, std::span<const std::uint8_t>(buf.data(), split));
+            inc = crc32cUpdate(
+                inc, std::span<const std::uint8_t>(buf.data() + split,
+                                                   buf.size() - split));
+            ASSERT_EQ(inc ^ 0xFFFFFFFFu, reference);
+        }
+    }
+}
+
+TEST(Crc32Kernels, KnownAnswerOnEveryTier)
+{
+    // The CRC-32C check value: crc of the ASCII digits "123456789".
+    const std::uint8_t digits[] = {'1', '2', '3', '4', '5',
+                                   '6', '7', '8', '9'};
+    for (SimdTier tier : reachableTiers()) {
+        ScopedTierOverride clamp(tier);
+        EXPECT_EQ(crc32c(digits), 0xE3069283u) << toString(tier);
+        EXPECT_EQ(crc32c(std::span<const std::uint8_t>()), 0u)
+            << toString(tier);
+    }
+}
+
+// --- Dispatch facade -------------------------------------------------
+
+TEST(SimdDispatch, TiersAreOrderedAndReachableFromScalar)
+{
+    const std::vector<SimdTier> tiers = reachableTiers();
+    ASSERT_FALSE(tiers.empty());
+    EXPECT_EQ(tiers.front(), SimdTier::kScalar);
+    for (std::size_t i = 1; i < tiers.size(); ++i)
+        EXPECT_LT(tiers[i - 1], tiers[i]);
+    EXPECT_LE(tiers.back(), hostTier());
+}
+
+TEST(SimdDispatch, EnvForceScalarContract)
+{
+    // The CI codec-kernels job reruns this suite with
+    // CACHECRAFT_FORCE_SCALAR=1; under that env the facade must pin
+    // the whole process to the scalar tier.
+    if (const char *force = std::getenv("CACHECRAFT_FORCE_SCALAR");
+        force && force[0] != '\0' && force[0] != '0') {
+        EXPECT_EQ(activeTier(), SimdTier::kScalar);
+        EXPECT_EQ(reachableTiers().size(), 1u);
+    } else {
+        EXPECT_LE(activeTier(), hostTier());
+    }
+}
+
+TEST(SimdDispatch, ScopedOverrideClampsAndRestores)
+{
+    const SimdTier before = activeTier();
+    {
+        ScopedTierOverride clamp(SimdTier::kScalar);
+        EXPECT_EQ(activeTier(), SimdTier::kScalar);
+        {
+            ScopedTierOverride inner(SimdTier::kSsse3);
+            // An inner override cannot raise above the detected tier,
+            // but the clamp floor is whatever is narrower.
+            EXPECT_LE(activeTier(), SimdTier::kSsse3);
+        }
+        EXPECT_EQ(activeTier(), SimdTier::kScalar);
+    }
+    EXPECT_EQ(activeTier(), before);
+    EXPECT_STREQ(toString(SimdTier::kScalar), "scalar");
+    EXPECT_STREQ(toString(SimdTier::kSsse3), "ssse3");
+    EXPECT_STREQ(toString(SimdTier::kSse42), "sse42");
+    EXPECT_STREQ(toString(SimdTier::kAvx2), "avx2");
+}
+
+// --- Fault-presence index --------------------------------------------
+
+TEST(FaultIndexTest, TracksChunksNotSectors)
+{
+    FaultIndex index;
+    EXPECT_FALSE(index.anyFaults());
+    EXPECT_FALSE(index.chunkTouched(0x1000));
+    EXPECT_EQ(index.touchedChunks(), 0u);
+
+    index.noteFaultAt(0x1234); // chunk base 0x1200
+    EXPECT_TRUE(index.anyFaults());
+    EXPECT_EQ(index.touchedChunks(), 1u);
+    // Every address inside the same 256 B chunk reports touched.
+    EXPECT_TRUE(index.chunkTouched(0x1200));
+    EXPECT_TRUE(index.chunkTouched(0x12FF));
+    EXPECT_TRUE(index.chunkTouched(0x1234));
+    // Neighbouring chunks do not.
+    EXPECT_FALSE(index.chunkTouched(0x11FF));
+    EXPECT_FALSE(index.chunkTouched(0x1300));
+
+    index.noteFaultAt(0x1300);
+    EXPECT_EQ(index.touchedChunks(), 2u);
+    index.noteFaultAt(0x13FF); // same chunk: no growth
+    EXPECT_EQ(index.touchedChunks(), 2u);
+
+    index.clear();
+    EXPECT_FALSE(index.anyFaults());
+    EXPECT_FALSE(index.chunkTouched(0x1234));
+    EXPECT_EQ(index.touchedChunks(), 0u);
+}
+
+} // namespace
+} // namespace cachecraft::ecc
