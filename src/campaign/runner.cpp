@@ -55,13 +55,14 @@ namespace {
  */
 PointOutcome
 runOnePoint(const CampaignSpec &spec, const CampaignPoint &point,
-            const RunnerOptions &options, EngineArenas *arenas)
+            const RunnerOptions &options, EngineArenaPool *arenas)
 {
     PointOutcome outcome;
     const auto t0 = std::chrono::steady_clock::now();
     CC_HOST_ZONE_COUNTED("campaign.point");
     try {
         GpuSystem gpu(point.config, arenas);
+        gpu.setShards(std::max(1u, options.shards));
         const KernelTrace trace =
             makeWorkload(point.workload, point.params);
         RunStats rs = gpu.run(trace);
@@ -142,6 +143,7 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &options)
         std::min<std::size_t>(result.jobs,
                               std::max<std::size_t>(
                                   spec.points.size(), 1)));
+    result.shards = std::max(1u, options.shards);
     result.outcomes.resize(spec.points.size());
 
     fs::create_directories(fs::path(options.outDir) / "reports");
@@ -191,12 +193,13 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &options)
     };
 
     auto worker = [&]() {
-        // One slab-arena bundle per worker, reused across every point
-        // this worker runs: the chunk storage stays warm instead of
-        // being reallocated per GpuSystem. reset() between points
-        // restores the canonical free-list order, so a reused arena
-        // behaves exactly like a fresh one (report bytes unchanged).
-        EngineArenas arenas;
+        // One slab-arena pool per worker (one arena bundle per shard
+        // domain), reused across every point this worker runs: the
+        // chunk storage stays warm instead of being reallocated per
+        // GpuSystem. reset() between points restores the canonical
+        // free-list order, so a reused pool behaves exactly like a
+        // fresh one (report bytes unchanged).
+        EngineArenaPool arenas;
         while (true) {
             const std::size_t i =
                 cursor.fetch_add(1, std::memory_order_relaxed);
@@ -338,6 +341,7 @@ renderCampaignManifest(const CampaignSpec &spec,
     w.key("build").value(telemetry::buildVersion());
     w.key("hostname").value(telemetry::osHostname());
     w.key("jobs").value(std::uint64_t{result.jobs});
+    w.key("shards").value(std::uint64_t{result.shards});
     w.key("wall_seconds").value(result.wallSeconds);
     w.key("point_wall_seconds").beginObject();
     for (std::size_t i = 0; i < spec.points.size(); ++i)

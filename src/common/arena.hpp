@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/domain.hpp"
 #include "common/inplace_function.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
@@ -47,10 +48,31 @@ class SlabArena
     SlabArena &operator=(const SlabArena &) = delete;
     ~SlabArena() { destroyLive(); }
 
+    /**
+     * Bind this arena to one shard domain (debug builds): any
+     * acquire/release from a *different* domain's event execution
+     * panics, so cross-shard allocation — which would race under
+     * --shards > 1 and silently skew the per-shard arenaPeakSlots
+     * metric — is caught deterministically even in single-threaded
+     * runs. Calls from outside domain execution (construction,
+     * barriers, unit tests: tlsSimDomain == kDomainNone) are always
+     * allowed. No-op under NDEBUG.
+     */
+    void
+    setDebugOwner(std::int32_t domain)
+    {
+#ifndef NDEBUG
+        debugOwner_ = domain;
+#else
+        (void)domain;
+#endif
+    }
+
     /** Move @p value into a free slot and return its handle. */
     Handle
     acquire(T &&value)
     {
+        checkOwner();
         if (freeList_.empty())
             grow();
         const Handle h = freeList_.back();
@@ -84,6 +106,7 @@ class SlabArena
     void
     release(Handle h)
     {
+        checkOwner();
         if (h >= live_.size() || !live_[h])
             panic("SlabArena double release or out-of-range handle");
         slotPtr(h)->~T();
@@ -119,6 +142,16 @@ class SlabArena
 
   private:
     static constexpr std::size_t kChunkSlots = 256;
+
+    void
+    checkOwner() const
+    {
+#ifndef NDEBUG
+        if (debugOwner_ != kDomainNone && tlsSimDomain != kDomainNone &&
+            tlsSimDomain != debugOwner_)
+            panic("SlabArena touched from a foreign shard domain");
+#endif
+    }
 
     struct Slot
     {
@@ -171,6 +204,9 @@ class SlabArena
     std::vector<Handle> freeList_; //!< LIFO; back() is handed out next
     std::size_t liveCount_ = 0;
     std::size_t peakLive_ = 0;
+#ifndef NDEBUG
+    std::int32_t debugOwner_ = kDomainNone;
+#endif
 };
 
 /**
@@ -197,9 +233,11 @@ struct PendingResponse
 };
 
 /**
- * The per-simulation arena bundle. GpuSystem owns one by default; the
- * campaign runner injects a per-worker instance that is reset between
- * points so slab storage survives across the whole campaign.
+ * One shard domain's arena bundle. Every slab is owned by exactly one
+ * domain (an SM or an L2-slice/channel pair) and only that domain's
+ * event execution may allocate or release from it — the deterministic
+ * sharding contract (core/shard_exec.hpp). setDebugOwner() arms the
+ * per-slab debug assert.
  */
 struct EngineArenas
 {
@@ -217,6 +255,16 @@ struct EngineArenas
         responses.reset();
     }
 
+    /** Bind all four slabs to @p domain (debug builds; see SlabArena). */
+    void
+    setDebugOwner(std::int32_t domain)
+    {
+        parked.setDebugOwner(domain);
+        parkedWakes.setDebugOwner(domain);
+        reads.setDebugOwner(domain);
+        responses.setDebugOwner(domain);
+    }
+
     /** Combined high-water mark across the four slabs (slots, not
      *  bytes — a cheap, deterministic footprint proxy per point). */
     std::size_t
@@ -225,6 +273,58 @@ struct EngineArenas
         return parked.peakLive() + parkedWakes.peakLive() +
                reads.peakLive() + responses.peakLive();
     }
+};
+
+/**
+ * The per-simulation arena set: one EngineArenas bundle per shard
+ * domain, grown on demand. GpuSystem owns one by default; the campaign
+ * runner injects a per-worker pool that is reset between points so
+ * slab storage survives across the whole campaign. Bundle addresses
+ * are stable once created (unique_ptr indirection), so components may
+ * hold EngineArenas* across the run.
+ */
+class EngineArenaPool
+{
+  public:
+    EngineArenaPool() = default;
+    EngineArenaPool(const EngineArenaPool &) = delete;
+    EngineArenaPool &operator=(const EngineArenaPool &) = delete;
+
+    /** The bundle owned by domain @p d, created on first use. */
+    EngineArenas &
+    forDomain(std::size_t d)
+    {
+        while (bundles_.size() <= d)
+            bundles_.push_back(std::make_unique<EngineArenas>());
+        return *bundles_[d];
+    }
+
+    std::size_t numDomains() const { return bundles_.size(); }
+
+    /** Reset every bundle (between campaign points). */
+    void
+    reset()
+    {
+        for (auto &b : bundles_)
+            b->reset();
+    }
+
+    /**
+     * Sum of every domain bundle's peakLiveTotal(). Each addend is a
+     * single-domain high-water mark, so the metric stays meaningful
+     * per shard and its total is independent of --shards.
+     */
+    std::size_t
+    peakLiveTotal() const
+    {
+        std::size_t total = 0;
+        for (const auto &b : bundles_)
+            total += b->peakLiveTotal();
+        return total;
+    }
+
+  private:
+    std::vector<std::unique_ptr<EngineArenas>> bundles_;
 };
 
 } // namespace cachecraft

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Execution-domain context for the sharded engine.
+ *
+ * A sharded run partitions the machine into fixed *domains* — one per
+ * SM and one per L2-slice/DRAM-channel pair — each with a private
+ * event queue (see core/shard_exec.hpp). While a domain's events are
+ * being executed, these thread-locals identify the domain and its
+ * queue, so cross-cutting facilities can act on the caller's behalf
+ * without threading a context parameter through every component:
+ *
+ *   - the crossbar router stages outbound messages under the sending
+ *     domain's canonical (cycle, domain, seq) key,
+ *   - the profiler stages stall charges for canonical merge at the
+ *     next epoch barrier,
+ *   - slab arenas (debug builds) assert that per-domain bundles are
+ *     never touched from a foreign domain.
+ *
+ * Outside domain execution — construction, epoch barriers, unit tests
+ * driving components directly — the domain is kDomainNone and every
+ * consumer falls back to its immediate single-threaded behaviour.
+ */
+
+#ifndef CACHECRAFT_COMMON_DOMAIN_HPP
+#define CACHECRAFT_COMMON_DOMAIN_HPP
+
+#include <cstdint>
+
+namespace cachecraft {
+
+class EventQueue;
+
+/** Sentinel: not executing inside any shard domain. */
+inline constexpr std::int32_t kDomainNone = -1;
+
+/** The domain whose events this thread is currently executing. */
+inline thread_local std::int32_t tlsSimDomain = kDomainNone;
+
+/** The event queue of the currently executing domain (null outside). */
+inline thread_local EventQueue *tlsSimQueue = nullptr;
+
+/** RAII: enter a domain for the current scope (nestable, restoring). */
+class ScopedSimDomain
+{
+  public:
+    ScopedSimDomain(std::int32_t domain, EventQueue *queue)
+        : prevDomain_(tlsSimDomain), prevQueue_(tlsSimQueue)
+    {
+        tlsSimDomain = domain;
+        tlsSimQueue = queue;
+    }
+
+    ~ScopedSimDomain()
+    {
+        tlsSimDomain = prevDomain_;
+        tlsSimQueue = prevQueue_;
+    }
+
+    ScopedSimDomain(const ScopedSimDomain &) = delete;
+    ScopedSimDomain &operator=(const ScopedSimDomain &) = delete;
+
+  private:
+    std::int32_t prevDomain_;
+    EventQueue *prevQueue_;
+};
+
+} // namespace cachecraft
+
+#endif // CACHECRAFT_COMMON_DOMAIN_HPP

@@ -2,55 +2,99 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "common/bits.hpp"
+#include "common/domain.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "core/shard_exec.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/host_profiler.hpp"
 #include "telemetry/sampler.hpp"
 
 namespace cachecraft {
 
-GpuSystem::GpuSystem(const SystemConfig &config, EngineArenas *arenas)
+GpuSystem::GpuSystem(const SystemConfig &config, EngineArenaPool *arenas)
     : config_(config),
-      ownedArenas_(arenas ? nullptr : std::make_unique<EngineArenas>()),
-      arenas_(arenas ? arenas : ownedArenas_.get())
+      ownedArenas_(arenas ? nullptr : std::make_unique<EngineArenaPool>()),
+      arenaPool_(arenas ? arenas : ownedArenas_.get())
 {
     config_.validate();
 
+    // Fixed domain decomposition, independent of --shards: one event
+    // queue per SM and one per L2-slice/DRAM-channel pair. Every run
+    // executes this same decomposition under the same epoch-barrier
+    // schedule; the shard count only picks how many threads drain the
+    // domains between barriers, which is why reports are bit-identical
+    // at any value.
+    const unsigned num_slices = config_.dram.numChannels;
+    numDomains_ = config_.numSms + num_slices;
+    queues_.reserve(numDomains_);
+    for (unsigned d = 0; d < numDomains_; ++d)
+        queues_.push_back(std::make_unique<EventQueue>());
+    storeStage_.resize(config_.numSms);
+    // Materialize (and, in debug builds, bind) every domain's arena
+    // bundle now, so concurrent forDomain() lookups during the run
+    // never grow the pool.
+    for (unsigned d = 0; d < numDomains_; ++d)
+        arenaPool_->forDomain(d).setDebugOwner(
+            static_cast<std::int32_t>(d));
+
     telemetry_ = std::make_unique<telemetry::Telemetry>(
         &stats_, config_.telemetry);
+    if (auto *prof = telemetry_->profiler())
+        prof->configureDomains(numDomains_);
     map_ = std::make_unique<AddressMap>(config_.dram,
                                         config_.effectiveLayout());
-    dram_ = std::make_unique<DramSystem>(*map_, config_.timing, events_,
-                                         &stats_, telemetry_.get());
+    std::vector<EventQueue *> channel_queues;
+    channel_queues.reserve(num_slices);
+    for (unsigned c = 0; c < num_slices; ++c)
+        channel_queues.push_back(&sliceQueue(c));
+    dram_ = std::make_unique<DramSystem>(*map_, config_.timing,
+                                         channel_queues, &stats_,
+                                         telemetry_.get());
     codec_ = ecc::makeCodec(config_.codec);
 
-    const unsigned num_slices = config_.dram.numChannels;
+    // The crossbars always run in router mode (even at --shards 1):
+    // send() stages under the sending domain and the epoch leader
+    // arbitrates in canonical order at barriers. The reference queue
+    // is unused in that mode.
     reqXbar_ = std::make_unique<Crossbar>("xbar.req", num_slices,
-                                          config_.xbarLatency, events_,
+                                          config_.xbarLatency, *queues_[0],
                                           &stats_, telemetry_.get());
     respXbar_ = std::make_unique<Crossbar>("xbar.resp", config_.numSms,
-                                           config_.xbarLatency, events_,
-                                           &stats_, telemetry_.get());
+                                           config_.xbarLatency,
+                                           *queues_[0], &stats_,
+                                           telemetry_.get());
+    std::vector<EventQueue *> req_ports;
+    for (unsigned c = 0; c < num_slices; ++c)
+        req_ports.push_back(&sliceQueue(c));
+    reqXbar_->setRouter(std::move(req_ports), numDomains_);
+    std::vector<EventQueue *> resp_ports;
+    for (unsigned s = 0; s < config_.numSms; ++s)
+        resp_ports.push_back(&smQueue(s));
+    respXbar_->setRouter(std::move(resp_ports), numDomains_);
 
     auto arch_read = [this](Addr addr) { return archRead(addr); };
     auto tag_of = [this](Addr addr) { return tagOf(addr); };
 
     slices_.reserve(num_slices);
+    metaShadows_.reserve(num_slices);
     for (unsigned c = 0; c < num_slices; ++c) {
+        metaShadows_.push_back(std::make_unique<SparseMemory>());
+        const unsigned domain = config_.numSms + c;
         SchemeContext ctx;
         ctx.channel = static_cast<ChannelId>(c);
         ctx.map = map_.get();
         ctx.dram = dram_.get();
-        ctx.events = &events_;
+        ctx.events = &sliceQueue(c);
         ctx.codec = codec_.get();
-        ctx.metaShadow = &metaShadow_;
+        ctx.metaShadow = metaShadows_.back().get();
         ctx.stats = &stats_;
         ctx.telemetry = telemetry_.get();
         ctx.faultIndex = &faultIndex_;
-        ctx.arenas = arenas_;
+        ctx.arenas = &arenaPool_->forDomain(domain);
         ctx.name = strCat("protect.slice", c);
         auto scheme = makeScheme(config_.scheme, ctx, config_.mrc);
 
@@ -58,8 +102,8 @@ GpuSystem::GpuSystem(const SystemConfig &config, EngineArenas *arenas)
         slice_params.cache.seed = config_.seed + c;
         slices_.push_back(std::make_unique<L2Slice>(
             strCat("l2.slice", c), static_cast<SliceId>(c), slice_params,
-            events_, std::move(scheme), arch_read, tag_of, &stats_,
-            telemetry_.get(), arenas_));
+            sliceQueue(c), std::move(scheme), arch_read, tag_of, &stats_,
+            telemetry_.get(), &arenaPool_->forDomain(domain)));
     }
 
     sms_.reserve(config_.numSms);
@@ -67,34 +111,48 @@ GpuSystem::GpuSystem(const SystemConfig &config, EngineArenas *arenas)
         auto l2_read = [this, s](Addr addr, ecc::MemTag tag,
                                  SmallFn done, std::uint64_t id) {
             const SliceId slice = sliceOf(addr);
-            // Park the SM-side completion with its return port in the
-            // response arena; the two hop callbacks carry only the
-            // 4-byte handle instead of nesting the SmallFn. The
+            // Park the SM-side completion in *this SM domain's*
+            // response arena; the hop callbacks carry the 4-byte
+            // handle plus the owning SM index, and the arena is only
+            // ever touched from that SM's own event execution (the
+            // response crossbar hops back before the release). The
             // lifecycle id rides along so both crossbar hops and the
             // slice read land on the caller's flight-record track.
-            const std::uint32_t handle = arenas_->responses.acquire(
-                PendingResponse{std::move(done), s});
+            const std::uint32_t handle =
+                arenaPool_->forDomain(s).responses.acquire(
+                    PendingResponse{std::move(done), s});
             reqXbar_->send(
                 slice,
-                [this, slice, addr, tag, handle, id]() {
+                [this, slice, addr, tag, handle, id, s]() {
                     slices_[slice]->read(
                         addr, tag,
-                        [this, handle, id] {
-                            PendingResponse resp =
-                                std::move(arenas_->responses[handle]);
-                            arenas_->responses.release(handle);
-                            respXbar_->send(resp.port,
-                                            std::move(resp.done), id,
-                                            /* response= */ true);
+                        [this, handle, id, s] {
+                            respXbar_->send(
+                                s,
+                                [this, handle, s] {
+                                    auto &resp_arena =
+                                        arenaPool_->forDomain(s)
+                                            .responses;
+                                    PendingResponse resp = std::move(
+                                        resp_arena[handle]);
+                                    resp_arena.release(handle);
+                                    resp.done();
+                                },
+                                id,
+                                /* response= */ true);
                         },
                         id);
                 },
                 id);
         };
-        auto l2_write = [this](Addr addr, ecc::MemTag tag) {
-            // The store's architectural value is committed at issue;
-            // the transaction models the transfer cost.
-            onStore(addr);
+        auto l2_write = [this, s](Addr addr, ecc::MemTag tag) {
+            // The store's architectural value is committed at the next
+            // canonical epoch boundary, in (cycle, SM, issue-order)
+            // order — deterministic at any --shards, and always before
+            // the slice can observe the stored data (the write message
+            // itself crosses the barrier later than the commit).
+            storeStage_[s].push_back(
+                StagedStore{addr, smQueue(s).now()});
             const SliceId slice = sliceOf(addr);
             reqXbar_->send(slice, [this, slice, addr, tag] {
                 slices_[slice]->write(addr, tag);
@@ -104,7 +162,7 @@ GpuSystem::GpuSystem(const SystemConfig &config, EngineArenas *arenas)
         SmParams sm_params = config_.sm;
         sm_params.l1.seed = config_.seed + 1000 + s;
         sms_.push_back(std::make_unique<SmCore>(
-            strCat("sm", s), static_cast<SmId>(s), sm_params, events_,
+            strCat("sm", s), static_cast<SmId>(s), sm_params, smQueue(s),
             std::move(l2_read), std::move(l2_write), tag_of, &stats_,
             telemetry_.get()));
     }
@@ -117,10 +175,14 @@ GpuSystem::GpuSystem(const SystemConfig &config, EngineArenas *arenas)
             prof->addGauge(strCat("dram.ch", c, ".queue_depth"), [ch] {
                 return static_cast<std::uint64_t>(ch->queueDepth());
             });
+            // Gauges read the barrier clock (simNow_): they are polled
+            // by the epoch leader while every domain is parked, and
+            // individual domain clocks may legitimately lag the
+            // barrier when idle.
             prof->addGauge(strCat("dram.ch", c, ".busy_banks"),
                            [this, ch] {
                                return static_cast<std::uint64_t>(
-                                   ch->busyBanks(events_.now()));
+                                   ch->busyBanks(simNow_));
                            });
             L2Slice *slice = slices_[c].get();
             prof->addGauge(strCat("l2.slice", c, ".mshr_occupancy"),
@@ -136,7 +198,7 @@ GpuSystem::GpuSystem(const SystemConfig &config, EngineArenas *arenas)
             prof->addGauge(strCat("l2.slice", c, ".service_backlog"),
                            [this, slice] {
                                return static_cast<std::uint64_t>(
-                                   slice->serviceBacklog(events_.now()));
+                                   slice->serviceBacklog(simNow_));
                            });
             prof->addGauge(
                 strCat("protect.slice", c, ".outstanding_meta_fetches"),
@@ -147,11 +209,11 @@ GpuSystem::GpuSystem(const SystemConfig &config, EngineArenas *arenas)
         }
         prof->addGauge("xbar.req.max_port_backlog", [this] {
             return static_cast<std::uint64_t>(
-                reqXbar_->maxPortBacklog(events_.now()));
+                reqXbar_->maxPortBacklog(simNow_));
         });
         prof->addGauge("xbar.resp.max_port_backlog", [this] {
             return static_cast<std::uint64_t>(
-                respXbar_->maxPortBacklog(events_.now()));
+                respXbar_->maxPortBacklog(simNow_));
         });
     }
 }
@@ -182,6 +244,59 @@ GpuSystem::onStore(Addr sector_addr)
     const std::uint64_t gen = ++writeGeneration_[sector];
     const ecc::SectorData data = pattern(sector, gen);
     archMem_.write(sector, std::span<const std::uint8_t>(data));
+}
+
+Cycle
+GpuSystem::globalNow() const
+{
+    Cycle now = 0;
+    for (const auto &q : queues_)
+        now = std::max(now, q->now());
+    return now;
+}
+
+bool
+GpuSystem::anyStagedStores() const
+{
+    for (const auto &lane : storeStage_) {
+        if (!lane.empty())
+            return true;
+    }
+    return false;
+}
+
+void
+GpuSystem::applyStagedStores()
+{
+    // Write-generation bumps must happen in a canonical order — two SMs
+    // storing to the same sector in one epoch race otherwise — so the
+    // leader commits every staged store sorted by (issue cycle, source
+    // domain, lane index), identical at any --shards value.
+    struct Ref
+    {
+        Cycle cycle;
+        std::uint32_t domain;
+        std::uint32_t index;
+    };
+    std::vector<Ref> order;
+    for (std::uint32_t d = 0; d < storeStage_.size(); ++d) {
+        for (std::uint32_t i = 0; i < storeStage_[d].size(); ++i)
+            order.push_back(Ref{storeStage_[d][i].cycle, d, i});
+    }
+    if (order.empty())
+        return;
+    std::sort(order.begin(), order.end(),
+              [](const Ref &a, const Ref &b) {
+                  if (a.cycle != b.cycle)
+                      return a.cycle < b.cycle;
+                  if (a.domain != b.domain)
+                      return a.domain < b.domain;
+                  return a.index < b.index;
+              });
+    for (const Ref &r : order)
+        onStore(storeStage_[r.domain][r.index].addr);
+    for (auto &lane : storeStage_)
+        lane.clear();
 }
 
 ecc::SectorData
@@ -265,47 +380,133 @@ GpuSystem::run(const KernelTrace &trace)
     for (auto &sm : sms_)
         sm->start();
 
-    // Epoch-chunked execution: drain the queue in boundary-sized
-    // slices so the stat sampler and the profiler's occupancy gauges
-    // both see aligned cycles. Chunking only splits where runUntil
-    // stops — event execution order is untouched, so enabling either
-    // consumer is timing-neutral. Without both this is a plain run().
     if (config_.telemetry.sampleInterval > 0)
         sampler_ = std::make_unique<telemetry::StatSampler>(
             &stats_, config_.telemetry.sampleInterval);
     telemetry::Profiler *prof = telemetry_->profiler();
     const Cycle prof_interval =
         prof ? std::max<Cycle>(config_.telemetry.profileInterval, 1) : 0;
-    auto drain = [this, prof, prof_interval](const char *what) {
-        CC_HOST_ZONE_COUNTED("engine.drain");
-        if (!sampler_ && !prof && progressInterval_ == 0) {
-            if (!events_.run())
-                panic(what);
-            return;
+
+    // Deterministic sharded execution (see DESIGN.md §8.10).
+    //
+    // Every domain drains its private queue up to a shared epoch
+    // boundary, then the leader — alone, with all domains parked —
+    // performs all cross-domain work in canonical order: crossbar
+    // arbitration (by send cycle, source domain, source seq), store
+    // commits (same key), and profiler stall merges. The epoch length
+    // equals the crossbar latency (minimum 1), so every cross-domain
+    // delivery lands strictly inside a later epoch of its destination:
+    // a send at cycle s in the epoch covering [kE, kE+E-1] delivers at
+    // >= s+E >= (k+1)E, past that epoch's barrier at (k+1)E-1. With
+    // the domain decomposition and barrier schedule fixed, execution
+    // is bit-identical at every --shards value.
+    //
+    // Store commits additionally apply only at *canonical* boundaries
+    // (cycle (k+1)E-1), never at observer-inserted ones, so enabling
+    // the sampler/profiler/progress heartbeat stays timing-neutral.
+    const Cycle epoch = std::max<Cycle>(1, config_.xbarLatency);
+    constexpr Cycle kNever = EventQueue::kNoEventCycle;
+    const unsigned threads =
+        std::min<unsigned>(std::max(1u, shards_), numDomains_);
+    ShardPool pool(threads);
+    verify::Listener *raw_listener = verify::activeListener();
+    std::optional<SerializedListener> serialized;
+    if (threads > 1 && raw_listener) {
+        serialized.emplace(raw_listener);
+        pool.setListener(&*serialized);
+    }
+    // The leader executes domain events too; route its hooks through
+    // the same serialized funnel as the helper threads.
+    verify::ScopedListener listener_guard(
+        serialized ? &*serialized : raw_listener);
+
+    std::vector<std::uint32_t> runnable;
+    std::vector<std::uint8_t> ok(numDomains_, 1);
+    Cycle limit = 0;
+    ShardPool::TaskFn epoch_task = [this, &runnable, &ok,
+                                    &limit](std::size_t i) {
+        const std::uint32_t d = runnable[i];
+        ScopedSimDomain scope(static_cast<std::int32_t>(d),
+                              queues_[d].get());
+        CC_HOST_ZONE("shard.run_epoch");
+        ok[d] = queues_[d]->runUntil(limit) ? 1 : 0;
+    };
+    Cycle close_floor = 0;
+    auto close_sampler = [this, &close_floor](Cycle at) {
+        if (sampler_ && at >= close_floor) {
+            sampler_->closeEpoch(at);
+            close_floor = at;
         }
-        constexpr Cycle kNever = ~Cycle{0};
-        while (!events_.empty()) {
-            const Cycle now = events_.now();
+    };
+
+    auto drain = [&](const char *what) {
+        CC_HOST_ZONE_COUNTED("engine.drain");
+        while (true) {
+            Cycle earliest = kNever;
+            for (const auto &q : queues_)
+                earliest = std::min(earliest, q->nextAt());
+            if (earliest == kNever) {
+                if (!anyStagedStores())
+                    break;
+                // Stores staged at an observer boundary with nothing
+                // left to observe them: commit and finish.
+                applyStagedStores();
+                continue;
+            }
+            // Next barrier: the canonical boundary of the epoch
+            // containing the earliest pending event — idle epochs are
+            // skipped wholesale — clamped to the next canonical
+            // boundary while stores are staged, and to any observer
+            // boundary.
+            Cycle next = (earliest / epoch) * epoch + (epoch - 1);
+            if (anyStagedStores())
+                next = std::min(next,
+                                (simNow_ / epoch) * epoch + (epoch - 1));
             const Cycle sample_at =
-                sampler_ ? sampler_->nextBoundary(now) : kNever;
+                sampler_ ? sampler_->nextBoundary(simNow_) : kNever;
             const Cycle profile_at =
-                prof ? (now / prof_interval + 1) * prof_interval
+                prof ? (simNow_ / prof_interval + 1) * prof_interval
                      : kNever;
             const Cycle progress_at =
                 progressInterval_
-                    ? (now / progressInterval_ + 1) * progressInterval_
+                    ? (simNow_ / progressInterval_ + 1) *
+                          progressInterval_
                     : kNever;
-            if (!events_.runUntil(
-                    std::min({sample_at, profile_at, progress_at})))
-                panic(what);
-            if (prof && events_.now() >= profile_at)
+            next = std::min({next, sample_at, profile_at, progress_at});
+
+            limit = next;
+            runnable.clear();
+            for (std::uint32_t d = 0; d < numDomains_; ++d) {
+                if (queues_[d]->nextAt() <= limit)
+                    runnable.push_back(d);
+            }
+            pool.run(runnable.size(), epoch_task);
+            for (const std::uint32_t d : runnable) {
+                if (!ok[d])
+                    panic(what);
+            }
+
+            // ---- epoch barrier: leader only, all domains parked ----
+            CC_HOST_ZONE("shard.barrier");
+            simNow_ = limit;
+            reqXbar_->applyStaged();
+            respXbar_->applyStaged();
+            if ((limit + 1) % epoch == 0)
+                applyStagedStores();
+            if (prof)
+                prof->applyStagedStalls();
+            if (prof && limit >= profile_at)
                 prof->sampleOccupancy();
-            if (sampler_ &&
-                (events_.now() >= sample_at || events_.empty()))
-                sampler_->closeEpoch(events_.now());
-            if (progressFn_ && events_.now() >= progress_at)
-                progressFn_(events_.now(), events_.executedEvents());
+            if (limit >= sample_at)
+                close_sampler(limit);
+            if (progressFn_ && limit >= progress_at) {
+                std::uint64_t executed = 0;
+                for (const auto &q : queues_)
+                    executed += q->executedEvents();
+                progressFn_(limit, executed);
+            }
         }
+        close_sampler(globalNow());
     };
 
     drain("event budget exceeded: livelock in the simulator");
@@ -315,7 +516,7 @@ GpuSystem::run(const KernelTrace &trace)
     }
 
     RunStats rs;
-    rs.cycles = events_.now();
+    rs.cycles = globalNow();
     for (const auto &sm : sms_) {
         rs.instructions += sm->statInsts.value();
         rs.memInstructions += sm->statMemInsts.value();
@@ -360,8 +561,7 @@ GpuSystem::run(const KernelTrace &trace)
     drain("event budget exceeded during flush");
     for (const auto &slice : slices_)
         slice->verifyDrained();
-    if (sampler_)
-        sampler_->closeEpoch(events_.now());
+    close_sampler(globalNow());
 
     if (const telemetry::TraceSink *sink = telemetry_->sink();
         sink && sink->dropped() > 0) {
@@ -375,10 +575,12 @@ GpuSystem::run(const KernelTrace &trace)
             strCat("flight ring overflowed: ", fr->dropped(),
                    " oldest records dropped (raise flightCapacity)"));
     }
-    if (events_.valveTrips() > 0) {
+    std::uint64_t valve_trips = 0;
+    for (const auto &q : queues_)
+        valve_trips += q->valveTrips();
+    if (valve_trips > 0) {
         rs.warnings.push_back(
-            strCat("event-queue safety valve tripped ",
-                   events_.valveTrips(),
+            strCat("event-queue safety valve tripped ", valve_trips,
                    " time(s): execution was truncated"));
     }
     for (const std::string &w : rs.warnings)
@@ -391,8 +593,13 @@ GpuSystem::run(const KernelTrace &trace)
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       host_start)
             .count();
-    rs.simThroughput.eventsExecuted = events_.executedEvents();
-    rs.simThroughput.peakQueueDepth = events_.peakDepth();
+    for (const auto &q : queues_) {
+        rs.simThroughput.eventsExecuted += q->executedEvents();
+        // Summed across domains: an upper bound on simultaneous
+        // outstanding events, comparable run-to-run because the
+        // decomposition is fixed.
+        rs.simThroughput.peakQueueDepth += q->peakDepth();
+    }
     if (rs.simThroughput.hostSeconds > 0.0) {
         rs.simThroughput.eventsPerSec =
             static_cast<double>(rs.simThroughput.eventsExecuted) /

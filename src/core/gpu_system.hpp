@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "core/config.hpp"
 #include "dram/storage.hpp"
 #include "faults/fault_index.hpp"
@@ -138,12 +139,13 @@ class GpuSystem
 {
   public:
     /**
-     * @param arenas optional externally owned slab arenas (the
-     * campaign runner reuses one bundle per worker thread across
-     * points); defaults to an instance owned by this system.
+     * @param arenas optional externally owned slab-arena pool (the
+     * campaign runner reuses one pool per worker thread across
+     * points); defaults to an instance owned by this system. The pool
+     * holds one EngineArenas bundle per shard domain.
      */
     explicit GpuSystem(const SystemConfig &config,
-                       EngineArenas *arenas = nullptr);
+                       EngineArenaPool *arenas = nullptr);
     ~GpuSystem();
 
     GpuSystem(const GpuSystem &) = delete;
@@ -166,6 +168,18 @@ class GpuSystem
         progressInterval_ = interval;
         progressFn_ = std::move(fn);
     }
+
+    /**
+     * Number of worker threads run() shards the machine across
+     * (default 1 = everything on the calling thread). Execution is
+     * bit-identical at every value: the engine always runs the same
+     * fixed domain decomposition (one event queue per SM and per
+     * L2-slice/DRAM-channel pair) with the same epoch-barrier
+     * schedule; --shards only chooses how many threads drain those
+     * domains between barriers. Values above the domain count are
+     * clamped. Call before run().
+     */
+    void setShards(unsigned shards) { shards_ = shards ? shards : 1; }
 
     /**
      * Initialize the trace's regions (golden data + encoded DRAM
@@ -199,9 +213,9 @@ class GpuSystem
      */
     const FaultIndex &faultIndex() const { return faultIndex_; }
 
-    /** The arena bundle this system allocates from (owned or
+    /** The per-domain arena pool this system allocates from (owned or
      *  injected); exposes the per-run slab high-water marks. */
-    const EngineArenas &arenas() const { return *arenas_; }
+    const EngineArenaPool &arenas() const { return *arenaPool_; }
 
     /** Golden (architectural) bytes of the sector at @p addr. */
     ecc::SectorData archRead(Addr sector_addr) const;
@@ -235,7 +249,6 @@ class GpuSystem
     DramSystem &dram() { return *dram_; }
     L2Slice &slice(std::size_t i) { return *slices_[i]; }
     std::size_t numSlices() const { return slices_.size(); }
-    EventQueue &events() { return events_; }
     /** The lifecycle-trace hub (always present; may be inactive). */
     telemetry::Telemetry &telemetry() { return *telemetry_; }
     const telemetry::Telemetry &telemetry() const { return *telemetry_; }
@@ -245,23 +258,52 @@ class GpuSystem
     }
 
   private:
+    /** One store commit staged by an SM domain for the next canonical
+     *  epoch boundary (see run()'s determinism comment). */
+    struct StagedStore
+    {
+        Addr addr;
+        Cycle cycle;
+    };
+
     /** Record a store's new architectural value. */
     void onStore(Addr sector_addr);
 
     /** Slice (== channel) owning @p addr. */
     SliceId sliceOf(Addr addr) const;
 
+    /** @{ Domain topology: domain s = SM s, domain numSms + c = the
+     *  L2 slice + DRAM channel pair c. */
+    EventQueue &smQueue(unsigned s) { return *queues_[s]; }
+    EventQueue &
+    sliceQueue(unsigned c)
+    {
+        return *queues_[config_.numSms + c];
+    }
+    /** @} */
+
+    /** Latest cycle any domain has executed to (rs.cycles semantics:
+     *  drained queues rest on their last executed event). */
+    Cycle globalNow() const;
+
+    /** True if any SM domain has uncommitted staged stores. */
+    bool anyStagedStores() const;
+
+    /** Leader-only: commit staged stores in canonical order. */
+    void applyStagedStores();
+
     SystemConfig config_;
     StatRegistry stats_;
-    EventQueue events_;
-    std::unique_ptr<EngineArenas> ownedArenas_;
-    EngineArenas *arenas_;
+    unsigned numDomains_ = 0;
+    std::vector<std::unique_ptr<EventQueue>> queues_; //!< per domain
+    std::unique_ptr<EngineArenaPool> ownedArenas_;
+    EngineArenaPool *arenaPool_;
     std::unique_ptr<telemetry::Telemetry> telemetry_;
     std::unique_ptr<telemetry::StatSampler> sampler_;
     std::unique_ptr<AddressMap> map_;
     std::unique_ptr<DramSystem> dram_;
     std::unique_ptr<ecc::SectorCodec> codec_;
-    SparseMemory metaShadow_;
+    std::vector<std::unique_ptr<SparseMemory>> metaShadows_; //!< per slice
     SparseMemory archMem_;
     std::vector<std::unique_ptr<L2Slice>> slices_;
     std::vector<std::unique_ptr<SmCore>> sms_;
@@ -271,8 +313,12 @@ class GpuSystem
     std::vector<TaggedRegion> regions_;
     FaultIndex faultIndex_;
     std::map<Addr, std::uint64_t> writeGeneration_;
+    std::vector<std::vector<StagedStore>> storeStage_; //!< per SM domain
     bool initialized_ = false;
     bool ran_ = false;
+    unsigned shards_ = 1;
+    /** Barrier clock for occupancy gauges (domain clocks may lag). */
+    Cycle simNow_ = 0;
     /** @{ Progress heartbeat (see setProgress). */
     Cycle progressInterval_ = 0;
     std::function<void(Cycle, std::uint64_t)> progressFn_;

@@ -221,6 +221,7 @@ DramSystem::DramSystem(const AddressMap &map, const DramTiming &timing,
 {
     const unsigned n = map.geometry().numChannels;
     channels_.reserve(n);
+    storage_.resize(n);
     for (unsigned c = 0; c < n; ++c) {
         channels_.push_back(std::make_unique<DramChannel>(
             strCat("dram.ch", c), static_cast<ChannelId>(c), map, timing,
@@ -228,31 +229,42 @@ DramSystem::DramSystem(const AddressMap &map, const DramTiming &timing,
     }
 }
 
-Addr
-DramSystem::storageAddr(ChannelId channel, Addr phys) const
+DramSystem::DramSystem(const AddressMap &map, const DramTiming &timing,
+                       const std::vector<EventQueue *> &channel_queues,
+                       StatRegistry *stats,
+                       telemetry::Telemetry *telemetry)
+    : map_(map)
 {
-    return static_cast<Addr>(channel) * map_.geometry().channelCapacity +
-           phys;
+    const unsigned n = map.geometry().numChannels;
+    if (channel_queues.size() != n)
+        panic("DramSystem needs one event queue per channel");
+    channels_.reserve(n);
+    storage_.resize(n);
+    for (unsigned c = 0; c < n; ++c) {
+        channels_.push_back(std::make_unique<DramChannel>(
+            strCat("dram.ch", c), static_cast<ChannelId>(c), map, timing,
+            *channel_queues[c], stats, telemetry));
+    }
 }
 
 void
 DramSystem::readBytes(ChannelId channel, Addr phys,
                       std::span<std::uint8_t> out) const
 {
-    storage_.read(storageAddr(channel, phys), out);
+    storage_[channel].read(phys, out);
 }
 
 void
 DramSystem::writeBytes(ChannelId channel, Addr phys,
                        std::span<const std::uint8_t> in)
 {
-    storage_.write(storageAddr(channel, phys), in);
+    storage_[channel].write(phys, in);
 }
 
 void
 DramSystem::flipBit(ChannelId channel, Addr phys, unsigned bit)
 {
-    storage_.flipBit(storageAddr(channel, phys), bit);
+    storage_[channel].flipBit(phys, bit);
 }
 
 double

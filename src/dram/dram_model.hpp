@@ -163,6 +163,17 @@ class DramSystem
                EventQueue &events, StatRegistry *stats,
                telemetry::Telemetry *telemetry = nullptr);
 
+    /**
+     * Sharded wiring: channel @p c runs on @p channel_queues[c] (its
+     * domain's private queue). Backing storage is per-channel either
+     * way, so a channel's functional reads/writes never touch another
+     * domain's state.
+     */
+    DramSystem(const AddressMap &map, const DramTiming &timing,
+               const std::vector<EventQueue *> &channel_queues,
+               StatRegistry *stats,
+               telemetry::Telemetry *telemetry = nullptr);
+
     /** Issue a 32 B transaction on @p channel. */
     void
     enqueue(ChannelId channel, DramRequest request)
@@ -193,11 +204,9 @@ class DramSystem
     std::uint64_t totalTransactions() const;
 
   private:
-    Addr storageAddr(ChannelId channel, Addr phys) const;
-
     const AddressMap &map_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
-    SparseMemory storage_;
+    std::vector<SparseMemory> storage_; //!< one store per channel
 };
 
 } // namespace cachecraft

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/domain.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -21,27 +22,102 @@ Crossbar::Crossbar(std::string name, unsigned num_ports, Cycle latency,
 }
 
 void
-Crossbar::send(unsigned port, SmallFn fn, std::uint64_t trace_id,
-               bool response)
+Crossbar::setRouter(std::vector<EventQueue *> port_queues,
+                    unsigned num_domains)
+{
+    if (port_queues.size() != portFreeAt_.size())
+        panic("crossbar router needs one destination queue per port");
+    portQueues_ = std::move(port_queues);
+    staged_.resize(num_domains);
+}
+
+void
+Crossbar::arbitrate(unsigned port, Cycle sent, std::uint64_t trace_id,
+                    bool response, SmallFn fn, std::uint32_t src,
+                    std::uint32_t seq)
 {
     statFlits.inc();
-    const Cycle now = events_.now();
-    const Cycle accept_at = std::max(now, portFreeAt_[port]);
-    statContentionCycles.inc(accept_at - now);
+    const Cycle accept_at = std::max(sent, portFreeAt_[port]);
+    statContentionCycles.inc(accept_at - sent);
     if (telemetry_) {
         if (auto *prof = telemetry_->profiler())
             prof->chargeStall(telemetry::StallReason::kCrossbarBackpressure,
-                              now, accept_at);
+                              sent, accept_at);
         if (auto *fr = telemetry_->recorder(); fr && trace_id != 0)
-            fr->record(telemetry::RecordKind::kXbarHop, trace_id, now,
+            fr->record(telemetry::RecordKind::kXbarHop, trace_id, sent,
                        port,
-                       static_cast<std::uint32_t>(accept_at - now),
+                       static_cast<std::uint32_t>(accept_at - sent),
                        static_cast<std::uint16_t>(
                            std::min<Cycle>(latency_, 0xFFFF)),
                        response ? telemetry::kFlagResponse : 0);
     }
     portFreeAt_[port] = accept_at + 1;
-    events_.schedule(accept_at + latency_, std::move(fn));
+    if (portQueues_.empty()) {
+        events_.schedule(accept_at + latency_, std::move(fn));
+        return;
+    }
+    // Router delivery: never at or before the send cycle, so a
+    // zero-latency crossbar still delivers strictly in the receiving
+    // domain's future (identical to immediate mode for latency >= 1).
+    const Cycle deliver_at =
+        std::max(accept_at + latency_, sent + 1);
+    portQueues_[port]->postMessage(deliver_at, sent, src, seq,
+                                   std::move(fn));
+}
+
+void
+Crossbar::send(unsigned port, SmallFn fn, std::uint64_t trace_id,
+               bool response)
+{
+    if (portQueues_.empty()) {
+        arbitrate(port, events_.now(), trace_id, response, std::move(fn),
+                  0, 0);
+        return;
+    }
+    // Router mode: stage under the sending domain. Thread-owned lane,
+    // so no locking; the leader merges canonically at the barrier.
+    if (tlsSimDomain < 0 ||
+        static_cast<std::size_t>(tlsSimDomain) >= staged_.size())
+        panic("router-mode crossbar send outside a shard domain");
+    staged_[static_cast<std::size_t>(tlsSimDomain)].push_back(
+        Staged{std::move(fn), tlsSimQueue->now(), trace_id, port,
+               response});
+}
+
+void
+Crossbar::applyStaged()
+{
+    // Canonical merge: (send cycle, source domain, source seq). Within
+    // one lane entries are already in send order, so the sort key is a
+    // total order over all staged messages.
+    struct Ref
+    {
+        Cycle sent;
+        std::uint32_t domain;
+        std::uint32_t index;
+    };
+    std::vector<Ref> order;
+    for (std::uint32_t d = 0; d < staged_.size(); ++d) {
+        for (std::uint32_t i = 0; i < staged_[d].size(); ++i)
+            order.push_back(Ref{staged_[d][i].sent, d, i});
+    }
+    if (order.empty())
+        return;
+    std::sort(order.begin(), order.end(),
+              [](const Ref &a, const Ref &b) {
+                  if (a.sent != b.sent)
+                      return a.sent < b.sent;
+                  if (a.domain != b.domain)
+                      return a.domain < b.domain;
+                  return a.index < b.index;
+              });
+    for (const Ref &r : order) {
+        Staged &m = staged_[r.domain][r.index];
+        arbitrate(m.port, m.sent, m.traceId, m.response, std::move(m.fn),
+                  r.domain, r.index);
+    }
+    for (auto &lane : staged_)
+        lane.clear();
 }
 
 Cycle

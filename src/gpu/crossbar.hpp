@@ -5,6 +5,25 @@
  * each destination port. That captures the two effects that matter
  * here — added miss latency and per-slice bandwidth limits — without
  * a full NoC model.
+ *
+ * Two operating modes:
+ *
+ *   Immediate (default): send() arbitrates and schedules the delivery
+ *   on the crossbar's own event queue right away — the single-queue
+ *   behaviour unit tests and standalone components use.
+ *
+ *   Router (setRouter()): the crossbar is the only cross-domain edge
+ *   of a sharded run. send() — called from the *sending* domain's
+ *   event execution — only stages the message in a per-source-domain
+ *   buffer (thread-owned, no synchronization). At every epoch barrier
+ *   the leader calls applyStaged(), which arbitrates all staged
+ *   messages in canonical (send cycle, source domain, source seq)
+ *   order and posts each to its destination port's domain queue via
+ *   EventQueue::postMessage. The canonical order makes port
+ *   arbitration, contention stats, and delivery times bit-identical
+ *   at any --shards value; the epoch length (<= crossbar latency)
+ *   guarantees every delivery lands strictly in the destination's
+ *   future.
  */
 
 #ifndef CACHECRAFT_GPU_CROSSBAR_HPP
@@ -38,13 +57,42 @@ class Crossbar
              telemetry::Telemetry *telemetry = nullptr);
 
     /**
+     * Enter router mode (see file comment): @p port_queues maps each
+     * destination port to its domain's event queue; @p num_domains is
+     * the number of source domains that may call send(). Call once,
+     * before any traffic.
+     */
+    void setRouter(std::vector<EventQueue *> port_queues,
+                   unsigned num_domains);
+
+    /**
      * Deliver @p fn at destination @p port after traversal latency,
-     * respecting the port's one-per-cycle acceptance rate.
+     * respecting the port's one-per-cycle acceptance rate. In router
+     * mode this stages the message for the next applyStaged().
      * @param trace_id lifecycle id for the flight recorder (0 = none)
      * @param response true on the response-direction crossbar
      */
     void send(unsigned port, SmallFn fn, std::uint64_t trace_id = 0,
               bool response = false);
+
+    /**
+     * Router mode, leader-only: arbitrate every staged message in
+     * canonical (send cycle, source domain, source seq) order and post
+     * it to its destination domain queue. Called at every epoch
+     * barrier, while all domains are parked.
+     */
+    void applyStaged();
+
+    /** Router mode: any messages staged since the last applyStaged(). */
+    bool
+    hasStaged() const
+    {
+        for (const auto &lane : staged_) {
+            if (!lane.empty())
+                return true;
+        }
+        return false;
+    }
 
     /**
      * Deepest per-port backlog at cycle @p now, in flits (how far the
@@ -56,11 +104,29 @@ class Crossbar
     Counter statContentionCycles;
 
   private:
+    /** One staged router-mode message (per-source-domain lanes). */
+    struct Staged
+    {
+        SmallFn fn;
+        Cycle sent;
+        std::uint64_t traceId;
+        std::uint32_t port;
+        bool response;
+    };
+
+    /** Arbitrate one message sent at @p sent for @p port and deliver
+     *  @p fn (immediate mode: schedule; router mode via @p post). */
+    void arbitrate(unsigned port, Cycle sent, std::uint64_t trace_id,
+                   bool response, SmallFn fn, std::uint32_t src,
+                   std::uint32_t seq);
+
     std::string name_;
     Cycle latency_;
     EventQueue &events_;
     telemetry::Telemetry *telemetry_;
     std::vector<Cycle> portFreeAt_;
+    std::vector<EventQueue *> portQueues_;   //!< empty = immediate mode
+    std::vector<std::vector<Staged>> staged_; //!< per source domain
 };
 
 } // namespace cachecraft

@@ -16,6 +16,17 @@
  * edge could be scheduled directly, so bucket order always equals
  * global schedule order. Callbacks are fixed-capacity SmallFn values,
  * so steady-state scheduling performs no heap allocation at all.
+ *
+ * Sharded runs add a second ingress: postMessage() delivers a
+ * cross-domain message (a crossbar hop from another shard domain)
+ * into a small inbox heap keyed by the canonical
+ * (delivery cycle, send cycle, source domain, source seq) tuple.
+ * Messages for cycle D execute *before* D's wheel bucket, in key
+ * order — a total order independent of which thread staged what when,
+ * so execution is bit-identical at any --shards value. Only the epoch
+ * leader posts, and only while this queue's domain is parked at a
+ * barrier, so the inbox needs no locking; deliveries must be strictly
+ * in this queue's future.
  */
 
 #ifndef CACHECRAFT_GPU_EVENT_QUEUE_HPP
@@ -71,6 +82,27 @@ class EventQueue
         schedule(now_ + delta, std::move(fn));
     }
 
+    /**
+     * Deliver a cross-domain message: run @p fn at cycle @p when
+     * (strictly after now()), ordered against other messages by the
+     * canonical (when, sent, src, seq) key and before any wheel-bucket
+     * event of cycle @p when. Leader-only; see file comment.
+     */
+    void
+    postMessage(Cycle when, Cycle sent, std::uint32_t src,
+                std::uint32_t seq, EventFn fn)
+    {
+        if (when <= now_)
+            panic("cross-domain message posted at or before the "
+                  "receiver's clock");
+        inbox_.push_back(InboxMsg{when, sent, src, seq, std::move(fn)});
+        std::push_heap(inbox_.begin(), inbox_.end(), InboxAfter{});
+        ++seq_;
+        ++pending_;
+        if (pending_ > peakDepth_)
+            peakDepth_ = pending_;
+    }
+
     /** True if no events are pending. */
     bool empty() const { return pending_ == 0; }
 
@@ -107,6 +139,21 @@ class EventQueue
             return true;
         std::uint64_t budget = max_events;
         while (true) {
+            // Inbox messages for this cycle run before its bucket, in
+            // canonical key order (the heap pops them sorted).
+            while (!inbox_.empty() && inbox_.front().when == now_) {
+                if (budget == 0) {
+                    ++valveTrips_;
+                    return false;
+                }
+                --budget;
+                std::pop_heap(inbox_.begin(), inbox_.end(), InboxAfter{});
+                EventFn fn = std::move(inbox_.back().fn);
+                inbox_.pop_back();
+                ++executed_;
+                --pending_;
+                fn();
+            }
             std::vector<EventFn> &bucket = wheel_[now_ & kWheelMask];
             if (!bucket.empty()) {
                 // Re-reading size() each pass keeps re-entrant
@@ -171,6 +218,22 @@ class EventQueue
      */
     std::uint64_t valveTrips() const { return valveTrips_; }
 
+    /** nextAt() when nothing is pending. */
+    static constexpr Cycle kNoEventCycle = ~Cycle{0};
+
+    /**
+     * Earliest pending cycle (wheel, far heap, or inbox), or
+     * kNoEventCycle when drained. The epoch leader polls this to skip
+     * idle domains and to compute the global skip-ahead target.
+     */
+    Cycle
+    nextAt() const
+    {
+        if (pending_ == 0)
+            return kNoEventCycle;
+        return nextEventCycle();
+    }
+
   private:
     static constexpr std::size_t kWheelSlots = 4096;
     static constexpr Cycle kWheelMask = kWheelSlots - 1;
@@ -201,6 +264,32 @@ class EventQueue
         }
     };
 
+    /** A cross-domain message awaiting delivery (see postMessage). */
+    struct InboxMsg
+    {
+        Cycle when;
+        Cycle sent;
+        std::uint32_t src;
+        std::uint32_t seq;
+        EventFn fn;
+    };
+
+    /** Heap comparator: front is the least (when, sent, src, seq). */
+    struct InboxAfter
+    {
+        bool
+        operator()(const InboxMsg &a, const InboxMsg &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.sent != b.sent)
+                return a.sent > b.sent;
+            if (a.src != b.src)
+                return a.src > b.src;
+            return a.seq > b.seq;
+        }
+    };
+
     /** Earliest pending cycle (>= now_), or kNoEvent when drained. */
     Cycle
     nextEventCycle() const
@@ -225,6 +314,8 @@ class EventQueue
         }
         if (!far_.empty() && far_.front().when < next)
             next = far_.front().when;
+        if (!inbox_.empty() && inbox_.front().when < next)
+            next = inbox_.front().when;
         return next;
     }
 
@@ -252,6 +343,7 @@ class EventQueue
     std::array<std::vector<EventFn>, kWheelSlots> wheel_;
     std::array<std::uint64_t, kBitmapWords> occupied_{};
     std::vector<FarEvent> far_;
+    std::vector<InboxMsg> inbox_; //!< min-heap, see InboxAfter
 };
 
 } // namespace cachecraft

@@ -16,8 +16,8 @@ HistogramStat::sample(std::uint64_t v)
         static_cast<std::size_t>(v / bucketWidth_), buckets_.size() - 1);
     buckets_[idx]++;
     count_++;
-    sum_ += static_cast<double>(v);
-    sumSquares_ += static_cast<double>(v) * static_cast<double>(v);
+    sum_ += v;
+    sumSquares_ += static_cast<unsigned __int128>(v) * v;
     if (count_ == 1) {
         min_ = max_ = v;
     } else {
@@ -31,8 +31,8 @@ HistogramStat::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
     count_ = 0;
-    sum_ = 0.0;
-    sumSquares_ = 0.0;
+    sum_ = 0;
+    sumSquares_ = 0;
     min_ = 0;
     max_ = 0;
 }
@@ -43,7 +43,9 @@ HistogramStat::stddev() const
     if (count_ == 0)
         return 0.0;
     const double m = mean();
-    const double var = sumSquares_ / static_cast<double>(count_) - m * m;
+    const double var =
+        static_cast<double>(sumSquares_) / static_cast<double>(count_) -
+        m * m;
     // Cancellation can push a tiny variance below zero.
     return var > 0.0 ? std::sqrt(var) : 0.0;
 }

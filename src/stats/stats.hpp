@@ -66,8 +66,12 @@ class HistogramStat
     void reset();
 
     std::uint64_t count() const { return count_; }
-    double sum() const { return sum_; }
-    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    double sum() const { return static_cast<double>(sum_); }
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) / double(count_) : 0.0;
+    }
     /** Population standard deviation of the samples. */
     double stddev() const;
     std::uint64_t minValue() const { return count_ ? min_ : 0; }
@@ -82,8 +86,17 @@ class HistogramStat
     std::uint64_t bucketWidth_;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t count_ = 0;
-    double sum_ = 0.0;
-    double sumSquares_ = 0.0;
+    /**
+     * Integral accumulators (samples are integers), so the summary a
+     * histogram reports is exactly order-independent — floating-point
+     * accumulation would make the mean/stddev of a sharded run depend
+     * on which interleaving fed the samples. 128 bits absorbs 2^64
+     * samples of any uint64 value without overflow in sum_; for
+     * sumSquares_ that headroom holds for samples up to 2^32 (every
+     * histogram here records latencies/depths, far below that).
+     */
+    unsigned __int128 sum_ = 0;
+    unsigned __int128 sumSquares_ = 0;
     std::uint64_t min_ = 0;
     std::uint64_t max_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/domain.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
 
@@ -67,6 +68,18 @@ Profiler::chargeStall(StallReason reason, Cycle from, Cycle to)
 {
     if (to <= from)
         return;
+    if (tlsSimDomain >= 0 &&
+        static_cast<std::size_t>(tlsSimDomain) < staged_.size()) {
+        staged_[static_cast<std::size_t>(tlsSimDomain)].push_back(
+            StagedStall{reason, from, to});
+        return;
+    }
+    applyStall(reason, from, to);
+}
+
+void
+Profiler::applyStall(StallReason reason, Cycle from, Cycle to)
+{
     const std::size_t r = static_cast<std::size_t>(reason);
     events_[r].inc();
     const Cycle clipped_from = std::max(from, watermark_[r]);
@@ -74,6 +87,47 @@ Profiler::chargeStall(StallReason reason, Cycle from, Cycle to)
         cycles_[r].inc(to - clipped_from);
         watermark_[r] = to;
     }
+}
+
+void
+Profiler::configureDomains(unsigned num_domains)
+{
+    staged_.resize(num_domains);
+}
+
+void
+Profiler::applyStagedStalls()
+{
+    // Canonical merge: the union clip is order-sensitive, so staged
+    // charges apply in (from, source domain, lane index) order — the
+    // same total order at any --shards value.
+    struct Ref
+    {
+        Cycle from;
+        std::uint32_t domain;
+        std::uint32_t index;
+    };
+    std::vector<Ref> order;
+    for (std::uint32_t d = 0; d < staged_.size(); ++d) {
+        for (std::uint32_t i = 0; i < staged_[d].size(); ++i)
+            order.push_back(Ref{staged_[d][i].from, d, i});
+    }
+    if (order.empty())
+        return;
+    std::sort(order.begin(), order.end(),
+              [](const Ref &a, const Ref &b) {
+                  if (a.from != b.from)
+                      return a.from < b.from;
+                  if (a.domain != b.domain)
+                      return a.domain < b.domain;
+                  return a.index < b.index;
+              });
+    for (const Ref &r : order) {
+        const StagedStall &s = staged_[r.domain][r.index];
+        applyStall(s.reason, s.from, s.to);
+    }
+    for (auto &lane : staged_)
+        lane.clear();
 }
 
 std::uint64_t
@@ -114,12 +168,18 @@ Profiler::sampleOccupancy()
 void
 Profiler::recordRowAccess(std::uint64_t row_key)
 {
+    // Commutative sums into a map read only after the run; the lock
+    // (shared with sectors) only keeps concurrent domain threads from
+    // corrupting the containers. rank() sorts, so report output is
+    // independent of both arrival order and hash iteration order.
+    std::lock_guard<std::mutex> lock(hotMutex_);
     rowCounts_[row_key]++;
 }
 
 void
 Profiler::recordSectorAccess(std::uint64_t sector_addr)
 {
+    std::lock_guard<std::mutex> lock(hotMutex_);
     sectorCounts_[sector_addr]++;
 }
 

@@ -46,6 +46,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -100,8 +101,27 @@ class Profiler
      * union-clipped per reason (see file comment); a call entirely
      * behind the reason's high-water mark adds no cycles but still
      * counts one event when to > from.
+     *
+     * Sharded runs: a charge reported from inside a shard domain's
+     * event execution (tlsSimDomain set, after configureDomains()) is
+     * *staged* in a per-domain lane instead of applied — the union
+     * clip is order-sensitive, so the epoch leader merges all lanes in
+     * canonical (from, domain, lane index) order at every barrier via
+     * applyStagedStalls(). Charges from outside domain execution (the
+     * leader's own crossbar arbitration, unit tests, serial engines)
+     * apply immediately, which is canonical by construction.
      */
     void chargeStall(StallReason reason, Cycle from, Cycle to);
+
+    /**
+     * Arm sharded staging with one lane per shard domain. Call during
+     * system construction, before any domain executes.
+     */
+    void configureDomains(unsigned num_domains);
+
+    /** Leader-only, all domains parked: apply every staged charge in
+     *  canonical order and clear the lanes. */
+    void applyStagedStalls();
 
     std::uint64_t stallCycles(StallReason reason) const;
     std::uint64_t stallEvents(StallReason reason) const;
@@ -148,6 +168,17 @@ class Profiler
         std::unique_ptr<HistogramStat> hist;
     };
 
+    /** One staged (not yet union-clipped) stall charge. */
+    struct StagedStall
+    {
+        StallReason reason;
+        Cycle from;
+        Cycle to;
+    };
+
+    /** Apply one charge to the watermark accounting (legacy body). */
+    void applyStall(StallReason reason, Cycle from, Cycle to);
+
     static std::vector<HotEntry>
     rank(const std::unordered_map<std::uint64_t, std::uint64_t> &m);
 
@@ -157,6 +188,8 @@ class Profiler
     Cycle watermark_[static_cast<std::size_t>(StallReason::kCount)] = {};
     std::vector<Gauge> gauges_;
     Counter samples_;
+    std::vector<std::vector<StagedStall>> staged_; //!< per shard domain
+    std::mutex hotMutex_; //!< guards the two hot-access maps
     std::unordered_map<std::uint64_t, std::uint64_t> rowCounts_;
     std::unordered_map<std::uint64_t, std::uint64_t> sectorCounts_;
 };

@@ -134,6 +134,13 @@ Telemetry::record(Stage stage, std::uint64_t id, Cycle start, Cycle end,
     ev.instant = is_instant;
     ev.argKey = arg_key;
     ev.argVal = arg_val;
+    // Sharded runs record from several domain threads at once. The
+    // lock keeps sink ring and stage histograms coherent; the *values*
+    // that reach reports (histogram summaries, drop counts) are sums
+    // over a fixed multiset of events, so they stay bit-identical at
+    // any --shards. Sink event order is only deterministic at
+    // --shards 1, which is why trace dumps are a shards=1 artifact.
+    std::lock_guard<std::mutex> lock(recordMutex_);
     sink_->push(ev);
     if (!is_instant)
         stageHist_[static_cast<std::size_t>(stage)].sample(end - start);

@@ -25,8 +25,10 @@
 #ifndef CACHECRAFT_TELEMETRY_TELEMETRY_HPP
 #define CACHECRAFT_TELEMETRY_TELEMETRY_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <vector>
 
@@ -176,8 +178,13 @@ class Telemetry
         return sink_ != nullptr || recorder_ != nullptr;
     }
 
-    /** Allocate a fresh request id (never 0). */
-    std::uint64_t newId() { return ++lastId_; }
+    /** Allocate a fresh request id (never 0; thread-safe — sharded
+     *  domains mint ids concurrently, and ids only need uniqueness). */
+    std::uint64_t
+    newId()
+    {
+        return lastId_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
 
     /** Record a completed span and feed its stage histogram. */
     void
@@ -265,7 +272,8 @@ class Telemetry
     std::unique_ptr<FlightRecorder> recorder_;
     std::unique_ptr<ReuseProfiler> reuse_;
     std::vector<HistogramStat> stageHist_;
-    std::uint64_t lastId_ = 0;
+    std::mutex recordMutex_;
+    std::atomic<std::uint64_t> lastId_{0};
     /** True when this hub holds one HostProfiler reference. */
     bool hostRetained_ = false;
 };

@@ -28,9 +28,12 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/** Pinned digest of the ci_smoke report tree (see file comment). */
+/** Pinned digest of the ci_smoke report tree (see file comment).
+ *  Last deliberate refresh: the sharded-engine rework (crossbar
+ *  arbitration moved to canonical epoch barriers and store commits to
+ *  epoch boundaries — same model, one-time timing re-baseline). */
 constexpr const char *kCiSmokeGoldenHash =
-    "b2855d4b07732a850024bbcca556b2fff37a18a044ab7f69dd2d6e2e0cd6280a";
+    "a163453cd83010fc81960893128e4a7b749e87fd62e5d6569b505496098c69ca";
 
 std::string
 slurp(const fs::path &path)
@@ -43,7 +46,7 @@ slurp(const fs::path &path)
 }
 
 std::string
-runCiSmoke(const fs::path &out_dir, unsigned jobs)
+runCiSmoke(const fs::path &out_dir, unsigned jobs, unsigned shards = 1)
 {
     const fs::path spec_path = fs::path(CACHECRAFT_REPO_ROOT) / "bench" /
                                "campaigns" / "ci_smoke.json";
@@ -58,6 +61,7 @@ runCiSmoke(const fs::path &out_dir, unsigned jobs)
     campaign::RunnerOptions options;
     options.outDir = out_dir.string();
     options.jobs = jobs;
+    options.shards = shards;
     options.progress = nullptr;
     campaign::runCampaign(*spec, options);
     return verify::canonicalReportTreeHash(
@@ -91,6 +95,22 @@ TEST(GoldenRegression, DigestIsIndependentOfJobCount)
     const std::string parallel = runCiSmoke(base / "j4", /* jobs= */ 4);
     ASSERT_FALSE(serial.empty());
     EXPECT_EQ(serial, parallel);
+    fs::remove_all(base);
+}
+
+TEST(GoldenRegression, DigestIsIndependentOfShardCount)
+{
+    // The engine-level determinism contract, end to end: the whole
+    // ci_smoke tree must hash identically when every point runs its
+    // GpuSystem across shard worker threads.
+    const fs::path base = fs::path(::testing::TempDir()) /
+                          "golden_shards";
+    const std::string serial =
+        runCiSmoke(base / "s1", /* jobs= */ 1, /* shards= */ 1);
+    const std::string sharded =
+        runCiSmoke(base / "s4", /* jobs= */ 1, /* shards= */ 4);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, sharded);
     fs::remove_all(base);
 }
 

@@ -107,7 +107,13 @@ usage()
         "  --progress N        heartbeat: print cycles and events/s to\n"
         "                      stderr every N simulated cycles (off by\n"
         "                      default; output is stderr-only so\n"
-        "                      reports stay byte-identical)\n");
+        "                      reports stay byte-identical)\n"
+        "  --shards N          engine worker threads (default 1). The\n"
+        "                      run is bit-identical at every value —\n"
+        "                      the engine always executes the same\n"
+        "                      fixed domain decomposition under the\n"
+        "                      same epoch-barrier schedule; this only\n"
+        "                      sets how many threads drain it\n");
 }
 
 std::optional<SchemeKind>
@@ -176,6 +182,7 @@ main(int argc, char **argv)
     std::string flight_path;
     std::string host_profile_path;
     Cycle progress_interval = 0;
+    unsigned shards = 1;
     bool want_energy = false;
     bool quiet = false;
     bool list_stats = false;
@@ -289,6 +296,10 @@ main(int argc, char **argv)
             progress_interval = std::stoull(need_value(i));
             if (progress_interval == 0)
                 fatal("--progress must be positive");
+        } else if (flag == "--shards") {
+            shards = static_cast<unsigned>(std::stoul(need_value(i)));
+            if (shards == 0)
+                fatal("--shards must be positive");
         } else if (flag == "--log-level") {
             const auto level = parseLogLevel(need_value(i));
             if (!level)
@@ -370,6 +381,7 @@ main(int argc, char **argv)
 
     const auto prof_start = std::chrono::steady_clock::now();
     GpuSystem gpu(config);
+    gpu.setShards(shards);
     const auto wall_start = std::chrono::steady_clock::now();
     if (progress_interval > 0) {
         gpu.setProgress(

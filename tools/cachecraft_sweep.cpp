@@ -44,6 +44,9 @@ usage()
         "  --jobs N            worker threads (default: hardware\n"
         "                      concurrency; report bytes do not depend\n"
         "                      on N)\n"
+        "  --shards N          engine threads within each point\n"
+        "                      (default 1; composes with --jobs;\n"
+        "                      report bytes do not depend on N)\n"
         "  --point-timeout S   record points running longer than S\n"
         "                      wall seconds as \"timeout\" (default:\n"
         "                      unlimited)\n"
@@ -87,6 +90,14 @@ main(int argc, char **argv)
         } else if (flag == "--jobs") {
             options.jobs =
                 static_cast<unsigned>(std::stoul(need_value(i)));
+        } else if (flag == "--shards") {
+            options.shards =
+                static_cast<unsigned>(std::stoul(need_value(i)));
+            if (options.shards == 0) {
+                std::fprintf(stderr, "cachecraft_sweep: --shards "
+                                     "must be positive\n");
+                return 2;
+            }
         } else if (flag == "--point-timeout") {
             options.pointTimeoutSeconds = std::stod(need_value(i));
         } else if (flag == "--dry-run") {
